@@ -1,0 +1,59 @@
+// Figure 13 — replay time using GPUs from multiple P3.8xLarge machines, on
+// experiment RsNt (chosen because it has 200 epochs to parallelize).
+//
+// Expected shape: near-ideal speedup as machines are added, with the gap to
+// ideal explained by load balancing: 200 epochs over 16 workers means some
+// worker does ceil(200/16) = 13 epochs, capping speedup at 200/13 = 15.38x.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace flor;
+
+  auto profile_or = workloads::WorkloadByName("RsNt");
+  FLOR_CHECK(profile_or.ok());
+  const auto& profile = *profile_or;
+
+  MemFileSystem fs;
+  bench::RunRecord(&fs, profile, "run");
+  const double vanilla =
+      bench::RunVanilla(&fs, profile, workloads::kProbeInner);
+  auto factory =
+      workloads::MakeWorkloadFactory(profile, workloads::kProbeInner);
+
+  std::printf("Figure 13: RsNt replay scale-out over P3.8xLarge machines "
+              "(4 GPUs each).\n\n");
+  std::printf("vanilla re-execution: %s\n\n",
+              HumanSeconds(vanilla).c_str());
+  std::printf("%9s %6s %12s %9s %9s %12s\n", "machines", "GPUs", "replay",
+              "speedup", "ideal", "ceiling");
+  bench::Hr();
+
+  for (int machines = 1; machines <= 4; ++machines) {
+    sim::ClusterReplayOptions copts;
+    copts.run_prefix = "run";
+    copts.cluster.num_machines = machines;
+    copts.cluster.instance = sim::kP3_8xLarge;
+    copts.init_mode = InitMode::kWeak;  // the paper's Fig. 13 uses weak
+    copts.costs = sim::PaperPlatformCosts();
+    auto result = sim::ClusterReplay(factory, &fs, copts);
+    FLOR_CHECK(result.ok()) << result.status().ToString();
+    FLOR_CHECK(result->deferred.ok);
+
+    const int gpus = machines * 4;
+    const double speedup = vanilla / result->latency_seconds;
+    const double ceiling =
+        static_cast<double>(profile.epochs) /
+        ((profile.epochs + gpus - 1) / gpus);  // epochs / ceil(E/G)
+    std::printf("%9d %6d %12s %8.2fx %8.2fx %11.2fx\n", machines, gpus,
+                HumanSeconds(result->latency_seconds).c_str(), speedup,
+                static_cast<double>(gpus), ceiling);
+  }
+  bench::Hr();
+  std::printf("Paper shape: near-ideal scaling; at 16 GPUs the max "
+              "achievable speedup is\n200/13 = 15.38x due to load "
+              "balancing.\n");
+  return 0;
+}

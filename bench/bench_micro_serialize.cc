@@ -1,0 +1,113 @@
+// Micro benchmarks (google-benchmark) for the serialization substrate:
+// tensor encode/decode, compression codecs, checksummed frames, and full
+// checkpoint round trips. These are the real-time costs behind the §5.1
+// serialization-vs-I/O discussion.
+
+#include <benchmark/benchmark.h>
+
+#include "checkpoint/checkpoint.h"
+#include "common/random.h"
+#include "serialize/compress.h"
+#include "serialize/frame.h"
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+
+namespace flor {
+namespace {
+
+Tensor MakeTensor(int64_t n, bool compressible) {
+  Tensor t(Shape{n});
+  if (compressible) {
+    // Block-constant data: the frozen-parameter pattern.
+    float* p = t.f32();
+    for (int64_t i = 0; i < n; ++i)
+      p[i] = static_cast<float>((i / 64) % 7);
+  } else {
+    Rng rng(1234);
+    ops::RandNormal(&t, &rng);
+  }
+  return t;
+}
+
+void BM_TensorEncode(benchmark::State& state) {
+  Tensor t = MakeTensor(state.range(0), false);
+  for (auto _ : state) {
+    std::string bytes = TensorToBytes(t);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(t.byte_size()));
+}
+BENCHMARK(BM_TensorEncode)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_TensorDecode(benchmark::State& state) {
+  std::string bytes = TensorToBytes(MakeTensor(state.range(0), false));
+  for (auto _ : state) {
+    auto t = TensorFromBytes(bytes);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_TensorDecode)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_CompressLz(benchmark::State& state) {
+  const bool compressible = state.range(1) != 0;
+  std::string payload = TensorToBytes(MakeTensor(state.range(0),
+                                                 compressible));
+  for (auto _ : state) {
+    std::string out = Compress(payload, Codec::kLz);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_CompressLz)
+    ->Args({1 << 14, 0})
+    ->Args({1 << 14, 1})
+    ->Args({1 << 18, 0})
+    ->Args({1 << 18, 1});
+
+void BM_CompressRle(benchmark::State& state) {
+  std::string payload = TensorToBytes(MakeTensor(state.range(0), true));
+  for (auto _ : state) {
+    std::string out = Compress(payload, Codec::kRle);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_CompressRle)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_FrameRoundTrip(benchmark::State& state) {
+  std::string payload = TensorToBytes(MakeTensor(state.range(0), false));
+  for (auto _ : state) {
+    std::string framed;
+    AppendFrame(&framed, payload);
+    FrameReader reader(framed);
+    std::string out;
+    benchmark::DoNotOptimize(reader.Next(&out));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_FrameRoundTrip)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_CheckpointEncodeDecode(benchmark::State& state) {
+  NamedSnapshots snaps;
+  for (int i = 0; i < 4; ++i) {
+    snaps.emplace_back(
+        "t" + std::to_string(i),
+        ir::SnapshotValue(ir::Value::FromTensor(
+            MakeTensor(state.range(0), i % 2 == 0))));
+  }
+  for (auto _ : state) {
+    std::string bytes = EncodeCheckpoint(snaps);
+    auto decoded = DecodeCheckpoint(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_CheckpointEncodeDecode)->Arg(1 << 12)->Arg(1 << 16);
+
+}  // namespace
+}  // namespace flor

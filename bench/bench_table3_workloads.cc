@@ -1,0 +1,42 @@
+// Table 3 — the computer vision and NLP benchmarks used in the evaluation.
+// Reprints the table from the workload registry and adds the simulated
+// scale parameters each experiment harness uses.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace flor;
+
+  std::printf("Table 3: Computer vision and NLP benchmarks used in our "
+              "evaluation.\n\n");
+  std::printf("%-5s %-10s %-33s %-16s %-11s %-10s %7s\n", "Name", "Benchmark",
+              "Task", "Model", "Dataset", "Train/Tune", "Epochs");
+  bench::Hr();
+  for (const auto& p : workloads::AllWorkloads()) {
+    std::printf("%-5s %-10s %-33s %-16s %-11s %-10s %7lld\n",
+                p.name.c_str(), p.benchmark.c_str(), p.task.c_str(),
+                p.model.c_str(), p.dataset.c_str(),
+                p.fine_tune ? "Fine-Tune" : "Train",
+                static_cast<long long>(p.epochs));
+  }
+
+  std::printf("\nSimulated scale calibration (see EXPERIMENTS.md):\n\n");
+  std::printf("%-5s %14s %13s %13s %16s\n", "Name", "epoch compute",
+              "outer/epoch", "preamble", "ckpt raw bytes");
+  bench::Hr();
+  for (const auto& p : workloads::AllWorkloads()) {
+    std::printf("%-5s %14s %13s %13s %16s\n", p.name.c_str(),
+                HumanSeconds(p.sim_epoch_seconds).c_str(),
+                HumanSeconds(p.sim_outer_seconds).c_str(),
+                HumanSeconds(p.sim_preamble_seconds).c_str(),
+                HumanBytes(p.sim_ckpt_raw_bytes).c_str());
+  }
+  std::printf("\nVanilla training runtimes (simulated):\n");
+  for (const auto& p : workloads::AllWorkloads()) {
+    std::printf("  %-5s %s\n", p.name.c_str(),
+                HumanSeconds(p.VanillaSeconds()).c_str());
+  }
+  return 0;
+}

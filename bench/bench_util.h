@@ -1,0 +1,67 @@
+// Shared helpers for the figure/table reproduction harnesses.
+
+#ifndef FLOR_BENCH_BENCH_UTIL_H_
+#define FLOR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/strings.h"
+#include "flor/record.h"
+#include "flor/replay.h"
+#include "sim/cost_model.h"
+#include "sim/parallel_replay.h"
+#include "workloads/programs.h"
+
+namespace flor {
+namespace bench {
+
+/// Vanilla (no-Flor) simulated run of a workload program; returns runtime.
+inline double RunVanilla(FileSystem* fs,
+                         const workloads::WorkloadProfile& profile,
+                         uint32_t probes) {
+  Env env(std::make_unique<SimClock>(), fs);
+  auto instance = workloads::MakeWorkloadFactory(profile, probes)();
+  FLOR_CHECK(instance.ok()) << instance.status().ToString();
+  exec::Frame frame;
+  auto result = VanillaRun(&env, instance->program.get(), &frame);
+  FLOR_CHECK(result.ok()) << result.status().ToString();
+  return result->runtime_seconds;
+}
+
+/// Flor record of a workload into `fs` under `run_prefix`.
+inline RecordResult RunRecord(FileSystem* fs,
+                              const workloads::WorkloadProfile& profile,
+                              const std::string& run_prefix,
+                              bool adaptive_enabled = true,
+                              MaterializeStrategy strategy =
+                                  MaterializeStrategy::kFork) {
+  Env env(std::make_unique<SimClock>(), fs);
+  auto instance =
+      workloads::MakeWorkloadFactory(profile, workloads::kProbeNone)();
+  FLOR_CHECK(instance.ok()) << instance.status().ToString();
+  RecordOptions opts = workloads::DefaultRecordOptions(profile, run_prefix);
+  opts.adaptive.enabled = adaptive_enabled;
+  opts.materializer.strategy = strategy;
+  RecordSession session(&env, opts);
+  exec::Frame frame;
+  auto result = session.Run(instance->program.get(), &frame);
+  FLOR_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// Fraction formatter ("8.3%").
+inline std::string Pct(double fraction) {
+  return StrFormat("%.2f%%", fraction * 100.0);
+}
+
+inline void Hr() {
+  std::printf(
+      "--------------------------------------------------------------------"
+      "----------\n");
+}
+
+}  // namespace bench
+}  // namespace flor
+
+#endif  // FLOR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,84 @@
+#include "analysis/augment.h"
+
+#include <algorithm>
+#include <set>
+
+namespace flor {
+namespace analysis {
+
+namespace {
+
+/// Frame variables whose value is a ModuleRef to `target`.
+void AddModuleVars(const exec::Frame& frame, const nn::Module* target,
+                   std::set<std::string>* out) {
+  for (const auto& name : frame.Names()) {
+    auto v = frame.Get(name);
+    if (v.ok() && v->kind() == ir::ValueKind::kModule &&
+        v->AsModule() == target) {
+      out->insert(name);
+    }
+  }
+}
+
+/// Frame variables whose value is an OptimizerRef to `target`.
+void AddOptimizerVars(const exec::Frame& frame, const nn::Optimizer* target,
+                      std::set<std::string>* out) {
+  for (const auto& name : frame.Names()) {
+    auto v = frame.Get(name);
+    if (v.ok() && v->kind() == ir::ValueKind::kOptimizer &&
+        v->AsOptimizer() == target) {
+      out->insert(name);
+    }
+  }
+}
+
+/// Frame variables holding a scheduler that *drives* `target` (the reverse
+/// edge). Required for anomaly-free weak initialization: the optimizer's
+/// future LR trajectory is a function of the scheduler's counter, so a
+/// checkpoint that restores the optimizer without its scheduler would let
+/// the first post-restore scheduler.step() write a wrong LR. The paper
+/// reports no weak-init anomalies on its workloads (§5.4.2), which entails
+/// this state being captured; we encode it as a third library-knowledge
+/// fact.
+void AddSchedulerVarsDriving(const exec::Frame& frame,
+                             const nn::Optimizer* target,
+                             std::set<std::string>* out) {
+  for (const auto& name : frame.Names()) {
+    auto v = frame.Get(name);
+    if (v.ok() && v->kind() == ir::ValueKind::kScheduler &&
+        v->AsScheduler()->optimizer() == target) {
+      out->insert(name);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> AugmentChangeset(
+    const exec::Frame& frame, const std::vector<std::string>& changeset) {
+  std::set<std::string> result(changeset.begin(), changeset.end());
+
+  // Fixpoint: scheduler pulls optimizer; optimizer pulls model. Two passes
+  // suffice for the scheduler → optimizer → model chain, but iterate until
+  // stable for robustness under aliasing.
+  for (;;) {
+    const size_t before = result.size();
+    std::set<std::string> additions;
+    for (const auto& name : result) {
+      auto v = frame.Get(name);
+      if (!v.ok()) continue;
+      if (v->kind() == ir::ValueKind::kScheduler) {
+        AddOptimizerVars(frame, v->AsScheduler()->optimizer(), &additions);
+      } else if (v->kind() == ir::ValueKind::kOptimizer) {
+        AddModuleVars(frame, v->AsOptimizer()->model(), &additions);
+        AddSchedulerVarsDriving(frame, v->AsOptimizer(), &additions);
+      }
+    }
+    result.insert(additions.begin(), additions.end());
+    if (result.size() == before) break;
+  }
+  return {result.begin(), result.end()};
+}
+
+}  // namespace analysis
+}  // namespace flor

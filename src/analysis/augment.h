@@ -1,0 +1,36 @@
+// Runtime changeset augmentation with library knowledge (paper §5.2.1).
+//
+// "For PyTorch, it suffices to encode two facts: (a) the model may be
+//  updated via the optimizer; and (b) the optimizer may be updated via the
+//  learning rate schedule. ... This changeset augmentation is done at
+//  runtime rather than statically, so Flor has an opportunity to check
+//  whether any object in the changeset is an instance of a PyTorch
+//  optimizer or learning rate scheduler."
+//
+// Here: a changeset variable holding a SchedulerRef pulls in the frame
+// variable bound to its optimizer; an OptimizerRef pulls in the variable(s)
+// bound to its model. Resolution is by referent identity over the live
+// frame, iterated to a fixpoint (scheduler → optimizer → model).
+
+#ifndef FLOR_ANALYSIS_AUGMENT_H_
+#define FLOR_ANALYSIS_AUGMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/frame.h"
+
+namespace flor {
+namespace analysis {
+
+/// Returns the changeset augmented with inferred side-effect targets,
+/// sorted and deduplicated. Variables in `changeset` missing from the frame
+/// are kept verbatim (they may be bound later; restoration will surface any
+/// real problem).
+std::vector<std::string> AugmentChangeset(
+    const exec::Frame& frame, const std::vector<std::string>& changeset);
+
+}  // namespace analysis
+}  // namespace flor
+
+#endif  // FLOR_ANALYSIS_AUGMENT_H_

@@ -1,0 +1,60 @@
+#include "analysis/changeset.h"
+
+namespace flor {
+namespace analysis {
+
+RuleOutcome ApplyRules(const ir::Stmt& stmt,
+                       const std::set<std::string>& changeset_so_far) {
+  RuleOutcome out;
+  using P = ir::StmtPattern;
+
+  if (stmt.pattern == P::kLog) {
+    return out;  // no rule; probes never contribute side effects
+  }
+
+  // Rule 0 has the highest precedence: any assignment whose target was
+  // already modified in this loop body would lose the variable's old value
+  // from the changeset.
+  const bool is_assignment = stmt.pattern == P::kMethodAssign ||
+                             stmt.pattern == P::kCallAssign ||
+                             stmt.pattern == P::kAssign;
+  if (is_assignment) {
+    for (const auto& target : stmt.targets) {
+      if (changeset_so_far.count(target)) {
+        out.rule = 0;
+        out.refuse = true;
+        return out;
+      }
+    }
+  }
+
+  switch (stmt.pattern) {
+    case P::kMethodAssign:  // Rule 1: {obj, v1..vn}
+      out.rule = 1;
+      out.delta.push_back(stmt.receiver);
+      for (const auto& t : stmt.targets) out.delta.push_back(t);
+      return out;
+    case P::kCallAssign:  // Rule 2: {v1..vn}
+      out.rule = 2;
+      out.delta = stmt.targets;
+      return out;
+    case P::kAssign:  // Rule 3: {v1..vn}
+      out.rule = 3;
+      out.delta = stmt.targets;
+      return out;
+    case P::kMethodCall:  // Rule 4: {obj}
+      out.rule = 4;
+      out.delta.push_back(stmt.receiver);
+      return out;
+    case P::kOpaqueCall:  // Rule 5: No Estimate
+      out.rule = 5;
+      out.refuse = true;
+      return out;
+    case P::kLog:
+      return out;  // unreachable; handled above
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace flor

@@ -1,0 +1,47 @@
+// Statement-level changeset rules — the paper's Table 1.
+//
+//   Rule | Pattern                              | ΔChangeset
+//   -----+--------------------------------------+---------------
+//    0   | v1..vn = ...  ∧ ∃vi ∈ Changeset      | No Estimate
+//    1   | v1..vn = obj.method(args)            | {obj, v1..vn}
+//    2   | v1..vn = func(args)                  | {v1..vn}
+//    3   | v1..vn = u1..um                      | {v1..vn}
+//    4   | obj.method(args)                     | {obj}
+//    5   | func(args)                           | No Estimate
+//
+// Rules are sorted in descending precedence; at most one rule activates per
+// statement. Log statements activate no rule (they are side-effect-free by
+// the hindsight-logging contract and their output is captured separately).
+
+#ifndef FLOR_ANALYSIS_CHANGESET_H_
+#define FLOR_ANALYSIS_CHANGESET_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace flor {
+namespace analysis {
+
+/// Outcome of matching one statement against the rules.
+struct RuleOutcome {
+  /// Activated rule number (0-5), or -1 when no rule applies (log stmts).
+  int rule = -1;
+  /// True when the rule yields "No Estimate" (rules 0 and 5): the enclosing
+  /// loop must be refused.
+  bool refuse = false;
+  /// Variables added to the changeset by this statement.
+  std::vector<std::string> delta;
+};
+
+/// Matches `stmt` against the rules given the changeset accumulated so far
+/// within the enclosing loop body.
+RuleOutcome ApplyRules(const ir::Stmt& stmt,
+                       const std::set<std::string>& changeset_so_far);
+
+}  // namespace analysis
+}  // namespace flor
+
+#endif  // FLOR_ANALYSIS_CHANGESET_H_

@@ -1,0 +1,114 @@
+#include "analysis/side_effect.h"
+
+#include <algorithm>
+
+#include "analysis/changeset.h"
+#include "common/strings.h"
+
+namespace flor {
+namespace analysis {
+
+namespace {
+
+/// Accumulates the raw (unfiltered) changeset of a loop body. Returns false
+/// with `refusal` set when a rule refuses.
+bool AccumulateBody(const ir::Block& block, std::set<std::string>* changeset,
+                    std::vector<int>* rules_fired, std::string* refusal) {
+  for (const auto& node : block.nodes) {
+    if (node.is_stmt()) {
+      const ir::Stmt& stmt = *node.stmt;
+      RuleOutcome outcome = ApplyRules(stmt, *changeset);
+      if (outcome.rule >= 0) rules_fired->push_back(outcome.rule);
+      if (outcome.refuse) {
+        *refusal = StrCat("rule ", outcome.rule, " fired on '",
+                          stmt.Render(), "'");
+        return false;
+      }
+      for (const auto& v : outcome.delta) changeset->insert(v);
+    } else {
+      // A nested loop: its raw changeset joins the parent's; the parent's
+      // own filtering pass later removes anything scoped to the parent
+      // body, and the nested loop's iteration variable is scoped to it.
+      const ir::Loop& nested = *node.loop;
+      std::set<std::string> nested_changeset;
+      std::vector<int> nested_rules;
+      std::string nested_refusal;
+      if (!AccumulateBody(nested.body(), &nested_changeset, &nested_rules,
+                          &nested_refusal)) {
+        *refusal = StrCat("nested loop L", nested.id(),
+                          " refused: ", nested_refusal);
+        return false;
+      }
+      rules_fired->insert(rules_fired->end(), nested_rules.begin(),
+                          nested_rules.end());
+      // Rule 0 across nesting: a later assignment to a variable the nested
+      // loop modified would hide its pre-state, so merged variables count
+      // as "in the changeset" for subsequent statements.
+      for (const auto& v : nested_changeset) changeset->insert(v);
+      // The nested loop's iteration variable is scoped to it.
+      changeset->erase(nested.iter().var);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+LoopReport AnalyzeLoop(const ir::Loop& loop,
+                       const std::set<std::string>& defined_before) {
+  LoopReport report;
+  std::set<std::string> raw;
+  if (!AccumulateBody(loop.body(), &raw, &report.rules_fired,
+                      &report.refusal)) {
+    report.eligible = false;
+    return report;
+  }
+  // Loop-scoped filtering: keep only variables already defined before the
+  // loop; everything first assigned inside the body is assumed local.
+  raw.erase(loop.iter().var);
+  for (const auto& v : raw) {
+    if (defined_before.count(v)) {
+      report.changeset.push_back(v);
+    } else {
+      report.filtered.push_back(v);
+    }
+  }
+  std::sort(report.changeset.begin(), report.changeset.end());
+  std::sort(report.filtered.begin(), report.filtered.end());
+  report.eligible = true;
+  return report;
+}
+
+namespace {
+
+void AnalyzeBlock(ir::Block* block, std::set<std::string>* defined) {
+  for (auto& node : block->nodes) {
+    if (node.is_stmt()) {
+      for (const auto& t : node.stmt->targets) defined->insert(t);
+      continue;
+    }
+    ir::Loop* loop = node.loop.get();
+    LoopReport report = AnalyzeLoop(*loop, *defined);
+    ir::LoopAnalysis& out = loop->analysis();
+    out.instrumented = false;  // policy applied later by flor/instrument
+    out.refusal = report.eligible ? "" : report.refusal;
+    out.changeset = report.changeset;
+    out.filtered = report.filtered;
+    // Descend: nested loops get their own reports with the defined set as
+    // of their position (loop iter var + earlier body targets count).
+    defined->insert(loop->iter().var);
+    AnalyzeBlock(&loop->body(), defined);
+  }
+}
+
+}  // namespace
+
+void AnalyzeProgram(ir::Program* program) {
+  // AnalyzeBlock mutates `defined` in program order, so each loop sees
+  // exactly the variables assigned before it began.
+  std::set<std::string> defined;
+  AnalyzeBlock(&program->top(), &defined);
+}
+
+}  // namespace analysis
+}  // namespace flor

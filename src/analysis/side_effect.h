@@ -1,0 +1,54 @@
+// Static side-effect analysis for lean checkpointing (paper §5.2).
+//
+// Per loop, three steps:
+//   1. Rule application (Table 1) over the body, in order, accumulating the
+//      changeset. Rules 0/5 refuse the loop ("No Estimate"); a refused
+//      nested loop refuses its parent (the parent's checkpoint could not
+//      capture the nested effects).
+//   2. Loop-scoped filtering: changeset variables first defined *inside* the
+//      loop body are dropped — they are assumed local and dead after the
+//      loop. This keeps huge per-batch temporaries (batch, preds, avg_loss
+//      in the paper's Fig. 6) out of checkpoints.
+//   3. Library-knowledge augmentation is *runtime* work (it needs value
+//      types), provided by analysis/augment.h.
+//
+// The analysis is deliberately unsafe (it trusts surface patterns); the
+// deferred checks of flor/deferred_check.h are the mitigation, exactly as
+// in the paper (§5.2.2).
+
+#ifndef FLOR_ANALYSIS_SIDE_EFFECT_H_
+#define FLOR_ANALYSIS_SIDE_EFFECT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/program.h"
+
+namespace flor {
+namespace analysis {
+
+/// Analysis result for one loop.
+struct LoopReport {
+  bool eligible = false;
+  std::string refusal;                  ///< set when !eligible
+  std::vector<std::string> changeset;   ///< after loop-scoped filtering
+  std::vector<std::string> filtered;    ///< removed as loop-scoped
+  std::vector<int> rules_fired;         ///< rule per analyzed statement
+};
+
+/// Analyzes one loop. `defined_before` = variables assigned in the program
+/// before the loop starts (in any enclosing scope).
+LoopReport AnalyzeLoop(const ir::Loop& loop,
+                       const std::set<std::string>& defined_before);
+
+/// Walks the whole program in execution order, analyzing every loop and
+/// writing results into each loop's LoopAnalysis (instrumented stays false;
+/// policy decisions such as wrapping live in flor/instrument.h).
+void AnalyzeProgram(ir::Program* program);
+
+}  // namespace analysis
+}  // namespace flor
+
+#endif  // FLOR_ANALYSIS_SIDE_EFFECT_H_

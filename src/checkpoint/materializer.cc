@@ -1,0 +1,161 @@
+#include "checkpoint/materializer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace flor {
+
+const char* MaterializeStrategyName(MaterializeStrategy s) {
+  switch (s) {
+    case MaterializeStrategy::kBaseline:
+      return "Baseline";
+    case MaterializeStrategy::kIpcQueue:
+      return "IPC-Queue";
+    case MaterializeStrategy::kIpcPlasma:
+      return "IPC-Plasma";
+    case MaterializeStrategy::kFork:
+      return "Fork";
+  }
+  return "?";
+}
+
+Materializer::Materializer(Env* env, MaterializerOptions options)
+    : env_(env), options_(options) {}
+
+Materializer::~Materializer() { Drain(); }
+
+std::pair<double, double> Materializer::AccountSim(uint64_t nominal_bytes,
+                                                   double* bg_seconds) {
+  const MaterializerCosts& c = options_.costs;
+  const double bytes = static_cast<double>(nominal_bytes);
+  const double ser = bytes / c.serialize_bps;
+  const double io = bytes / c.io_bps;
+
+  double main_s = 0;
+  double bg_s = 0;
+  switch (options_.strategy) {
+    case MaterializeStrategy::kBaseline:
+      main_s = ser + io;
+      bg_s = 0;
+      break;
+    case MaterializeStrategy::kIpcQueue:
+      main_s = ser;
+      bg_s = io;
+      break;
+    case MaterializeStrategy::kIpcPlasma:
+      main_s = bytes / c.plasma_copy_bps +
+               c.plasma_per_object_s *
+                   static_cast<double>(options_.objects_per_batch);
+      bg_s = io;
+      break;
+    case MaterializeStrategy::kFork:
+      main_s = bytes / c.snapshot_bps + c.fork_batch_overhead_s;
+      bg_s = ser + io;
+      break;
+  }
+  *bg_seconds = bg_s;
+
+  double stall_s = 0;
+  if (bg_s > 0) {
+    double now = env_->clock()->NowSeconds();
+    // Retire completed jobs.
+    while (!inflight_completions_.empty() &&
+           inflight_completions_.front() <= now) {
+      inflight_completions_.pop_front();
+    }
+    // Backpressure: the checkpoint buffer is full — the training thread
+    // stalls until the oldest background job retires.
+    if (static_cast<int>(inflight_completions_.size()) >=
+        options_.max_in_flight) {
+      const double wake = inflight_completions_.front();
+      stall_s = std::max(0.0, wake - now);
+      now = wake;
+      inflight_completions_.pop_front();
+    }
+    // Enqueue the new background job on the single background worker.
+    const double start = std::max(now + main_s, bg_busy_until_);
+    const double done = start + bg_s;
+    bg_busy_until_ = done;
+    inflight_completions_.push_back(done);
+  }
+  return {main_s + stall_s, stall_s};
+}
+
+Result<MaterializeReceipt> Materializer::Materialize(
+    CheckpointStore* store, const CheckpointKey& key, NamedSnapshots snaps,
+    uint64_t nominal_raw_bytes) {
+  MaterializeReceipt receipt;
+  receipt.raw_bytes = SnapshotsRawBytes(snaps);
+  const uint64_t nominal =
+      nominal_raw_bytes ? nominal_raw_bytes : receipt.raw_bytes;
+
+  if (env_->clock()->is_simulated()) {
+    // Real serialize + write (synchronously, correctness path), simulated
+    // time (cost model path).
+    std::string bytes = EncodeCheckpoint(snaps);
+    receipt.stored_bytes = bytes.size();
+    FLOR_RETURN_IF_ERROR(store->PutBytes(key, bytes));
+
+    double bg_s = 0;
+    auto [main_s, stall_s] = AccountSim(nominal, &bg_s);
+    env_->clock()->AdvanceMicros(SecondsToMicros(main_s));
+    receipt.main_thread_seconds = main_s;
+    receipt.stall_seconds = stall_s;
+    receipt.background_seconds = bg_s;
+  } else {
+    // Wall mode: measure the blocking portion for real.
+    const double start = env_->clock()->NowSeconds();
+    if (options_.strategy == MaterializeStrategy::kBaseline) {
+      std::string bytes = EncodeCheckpoint(snaps);
+      receipt.stored_bytes = bytes.size();
+      FLOR_RETURN_IF_ERROR(store->PutBytes(key, bytes));
+      receipt.main_thread_seconds = env_->clock()->NowSeconds() - start;
+      receipt.background_seconds = 0;
+    } else {
+      // The snapshot deep-copy happened in the caller (SnapshotValue); the
+      // remaining blocking work is handing the batch to the worker.
+      if (!queue_) queue_ = std::make_unique<BackgroundQueue>();
+      if (queue_->InFlight() >=
+          static_cast<size_t>(options_.max_in_flight)) {
+        queue_->Drain();  // backpressure
+      }
+      auto shared =
+          std::make_shared<NamedSnapshots>(std::move(snaps));
+      CheckpointStore* store_ptr = store;
+      const CheckpointKey key_copy = key;
+      queue_->Submit([shared, store_ptr, key_copy] {
+        std::string bytes = EncodeCheckpoint(*shared);
+        // Errors in background materialization are logged, not fatal; the
+        // deferred replay checks surface missing checkpoints.
+        Status s = store_ptr->PutBytes(key_copy, bytes);
+        if (!s.ok()) {
+          FLOR_LOG(kError) << "background materialization failed: "
+                           << s.ToString();
+        }
+      });
+      receipt.main_thread_seconds = env_->clock()->NowSeconds() - start;
+      receipt.background_seconds =
+          options_.costs.MaterializeSeconds(nominal);
+    }
+  }
+
+  total_main_seconds_ += receipt.main_thread_seconds;
+  total_stall_seconds_ += receipt.stall_seconds;
+  total_bg_seconds_ += receipt.background_seconds;
+  ++count_;
+  return receipt;
+}
+
+void Materializer::Drain() {
+  if (queue_) queue_->Drain();
+  if (env_->clock()->is_simulated() && !inflight_completions_.empty()) {
+    const double last = inflight_completions_.back();
+    const double now = env_->clock()->NowSeconds();
+    if (last > now)
+      env_->clock()->AdvanceMicros(SecondsToMicros(last - now));
+    inflight_completions_.clear();
+  }
+}
+
+}  // namespace flor

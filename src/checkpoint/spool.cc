@@ -1,0 +1,24 @@
+#include "checkpoint/spool.h"
+
+namespace flor {
+
+double S3MonthlyCost(uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0) *
+         kS3DollarsPerGBMonth;
+}
+
+Result<SpoolReport> SpoolToS3(FileSystem* fs, const std::string& src_prefix,
+                              const std::string& dst_prefix) {
+  SpoolReport report;
+  for (const auto& path : fs->ListPrefix(src_prefix)) {
+    FLOR_ASSIGN_OR_RETURN(std::string data, fs->ReadFile(path));
+    const std::string rel = path.substr(src_prefix.size());
+    FLOR_RETURN_IF_ERROR(fs->WriteFile(dst_prefix + rel, data));
+    ++report.objects;
+    report.bytes += data.size();
+  }
+  report.monthly_cost_dollars = S3MonthlyCost(report.bytes);
+  return report;
+}
+
+}  // namespace flor

@@ -1,0 +1,39 @@
+// Checkpoint spooling to cloud object storage (paper §6.2, Table 4).
+//
+// "The checkpoints materialized by Flor record were compressed by a
+//  background process, before being spooled to an S3 bucket."
+//
+// The spooler copies everything under a local prefix to an "s3/" prefix on
+// the same FileSystem (the MemFileSystem doubles as the simulated bucket)
+// and prices the result at S3 standard-storage rates.
+
+#ifndef FLOR_CHECKPOINT_SPOOL_H_
+#define FLOR_CHECKPOINT_SPOOL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "env/filesystem.h"
+
+namespace flor {
+
+/// Outcome of spooling one record run.
+struct SpoolReport {
+  int64_t objects = 0;
+  uint64_t bytes = 0;
+  double monthly_cost_dollars = 0;
+};
+
+/// S3 standard storage price used throughout the benches ($/GB/month).
+inline constexpr double kS3DollarsPerGBMonth = 0.023;
+
+/// Monthly cost of storing `bytes` at S3 standard rates.
+double S3MonthlyCost(uint64_t bytes);
+
+/// Copies all objects under `src_prefix` to `dst_prefix` and prices them.
+Result<SpoolReport> SpoolToS3(FileSystem* fs, const std::string& src_prefix,
+                              const std::string& dst_prefix);
+
+}  // namespace flor
+
+#endif  // FLOR_CHECKPOINT_SPOOL_H_

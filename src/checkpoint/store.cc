@@ -1,0 +1,116 @@
+#include "checkpoint/store.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace flor {
+
+std::vector<int64_t> Manifest::EpochsWithCheckpoint(int32_t loop_id) const {
+  std::vector<int64_t> out;
+  for (const auto& rec : records)
+    if (rec.key.loop_id == loop_id && rec.epoch >= 0)
+      out.push_back(rec.epoch);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+uint64_t Manifest::TotalStoredBytes() const {
+  uint64_t total = 0;
+  for (const auto& rec : records) total += rec.stored_bytes;
+  return total;
+}
+
+uint64_t Manifest::TotalNominalBytes() const {
+  uint64_t total = 0;
+  for (const auto& rec : records)
+    total += rec.nominal_raw_bytes ? rec.nominal_raw_bytes : rec.raw_bytes;
+  return total;
+}
+
+std::string Manifest::Serialize() const {
+  std::string out;
+  out += StrCat("workload\t", workload, "\n");
+  out += StrFormat("record_runtime\t%.9g\n", record_runtime_seconds);
+  out += StrFormat("vanilla_runtime\t%.9g\n", vanilla_runtime_seconds);
+  out += StrFormat("c_estimate\t%.9g\n", c_estimate);
+  for (const auto& [loop_id, n] : loop_executions)
+    out += StrCat("loop_exec\t", loop_id, "\t", n, "\n");
+  for (const auto& rec : records) {
+    out += StrCat("ckpt\t", rec.key.loop_id, "\t", rec.key.ctx, "\t",
+                  rec.epoch, "\t", rec.raw_bytes, "\t", rec.stored_bytes,
+                  "\t", rec.nominal_raw_bytes, "\t",
+                  StrFormat("%.9g", rec.materialize_seconds), "\n");
+  }
+  return out;
+}
+
+Result<Manifest> Manifest::Deserialize(const std::string& data) {
+  Manifest m;
+  for (const auto& line : StrSplit(data, '\n')) {
+    if (line.empty()) continue;
+    auto fields = StrSplit(line, '\t');
+    const std::string& tag = fields[0];
+    if (tag == "workload" && fields.size() == 2) {
+      m.workload = fields[1];
+    } else if (tag == "record_runtime" && fields.size() == 2) {
+      m.record_runtime_seconds = std::strtod(fields[1].c_str(), nullptr);
+    } else if (tag == "vanilla_runtime" && fields.size() == 2) {
+      m.vanilla_runtime_seconds = std::strtod(fields[1].c_str(), nullptr);
+    } else if (tag == "c_estimate" && fields.size() == 2) {
+      m.c_estimate = std::strtod(fields[1].c_str(), nullptr);
+    } else if (tag == "loop_exec" && fields.size() == 3) {
+      m.loop_executions[static_cast<int32_t>(
+          std::strtol(fields[1].c_str(), nullptr, 10))] =
+          std::strtoll(fields[2].c_str(), nullptr, 10);
+    } else if (tag == "ckpt" && fields.size() == 8) {
+      CheckpointRecord rec;
+      rec.key.loop_id =
+          static_cast<int32_t>(std::strtol(fields[1].c_str(), nullptr, 10));
+      rec.key.ctx = fields[2];
+      rec.epoch = std::strtoll(fields[3].c_str(), nullptr, 10);
+      rec.raw_bytes = std::strtoull(fields[4].c_str(), nullptr, 10);
+      rec.stored_bytes = std::strtoull(fields[5].c_str(), nullptr, 10);
+      rec.nominal_raw_bytes = std::strtoull(fields[6].c_str(), nullptr, 10);
+      rec.materialize_seconds = std::strtod(fields[7].c_str(), nullptr);
+      m.records.push_back(std::move(rec));
+    } else {
+      return Status::Corruption("malformed manifest line: " + line);
+    }
+  }
+  return m;
+}
+
+CheckpointStore::CheckpointStore(FileSystem* fs, std::string prefix)
+    : fs_(fs), prefix_(std::move(prefix)) {}
+
+std::string CheckpointStore::PathFor(const CheckpointKey& key) const {
+  return StrCat(prefix_, "/", key.ToString(), ".ckpt");
+}
+
+Status CheckpointStore::PutBytes(const CheckpointKey& key,
+                                 const std::string& bytes) {
+  return fs_->WriteFile(PathFor(key), bytes);
+}
+
+Result<std::string> CheckpointStore::GetBytes(
+    const CheckpointKey& key) const {
+  return fs_->ReadFile(PathFor(key));
+}
+
+Result<NamedSnapshots> CheckpointStore::Get(const CheckpointKey& key) const {
+  FLOR_ASSIGN_OR_RETURN(std::string bytes, GetBytes(key));
+  return DecodeCheckpoint(bytes);
+}
+
+bool CheckpointStore::Exists(const CheckpointKey& key) const {
+  return fs_->Exists(PathFor(key));
+}
+
+uint64_t CheckpointStore::TotalBytes() const {
+  return fs_->TotalBytesUnder(prefix_ + "/");
+}
+
+}  // namespace flor

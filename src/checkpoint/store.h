@@ -1,0 +1,83 @@
+// Checkpoint store and record manifest.
+//
+// The store lays checkpoints out under a filesystem prefix; the manifest is
+// the record-session index replay needs: which loop executions have
+// checkpoints, their sizes, and the adaptive controller's bookkeeping
+// (execution counts, refined c estimate).
+
+#ifndef FLOR_CHECKPOINT_STORE_H_
+#define FLOR_CHECKPOINT_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "checkpoint/checkpoint.h"
+#include "env/filesystem.h"
+
+namespace flor {
+
+/// One materialized checkpoint, as recorded in the manifest.
+struct CheckpointRecord {
+  CheckpointKey key;
+  int64_t epoch = -1;             ///< main-loop iteration index, -1 if n/a
+  uint64_t raw_bytes = 0;         ///< uncompressed snapshot bytes (actual)
+  uint64_t stored_bytes = 0;      ///< on-disk bytes (actual)
+  uint64_t nominal_raw_bytes = 0; ///< profile-scaled raw size (sim)
+  double materialize_seconds = 0; ///< background serialize+write time
+};
+
+/// Record-session index.
+struct Manifest {
+  std::string workload;
+  double record_runtime_seconds = 0;   ///< wall/sim time of the record run
+  double vanilla_runtime_seconds = 0;  ///< same run without checkpointing
+  double c_estimate = 1.0;             ///< refined restore/materialize ratio
+  /// Per-loop execution counts at end of record (loop id -> ni).
+  std::map<int32_t, int64_t> loop_executions;
+  std::vector<CheckpointRecord> records;
+
+  /// Sorted main-loop epochs that have a checkpoint for `loop_id`.
+  std::vector<int64_t> EpochsWithCheckpoint(int32_t loop_id) const;
+
+  /// Sum of stored_bytes.
+  uint64_t TotalStoredBytes() const;
+  /// Sum of nominal_raw_bytes (falls back to raw_bytes when nominal is 0).
+  uint64_t TotalNominalBytes() const;
+
+  std::string Serialize() const;
+  static Result<Manifest> Deserialize(const std::string& data);
+};
+
+/// Filesystem-backed checkpoint storage under a prefix.
+class CheckpointStore {
+ public:
+  /// Does not own `fs`. Typical prefix: "run1/ckpt".
+  CheckpointStore(FileSystem* fs, std::string prefix);
+
+  /// Writes encoded checkpoint bytes for `key`.
+  Status PutBytes(const CheckpointKey& key, const std::string& bytes);
+
+  Result<std::string> GetBytes(const CheckpointKey& key) const;
+
+  /// Decoded convenience read.
+  Result<NamedSnapshots> Get(const CheckpointKey& key) const;
+
+  bool Exists(const CheckpointKey& key) const;
+
+  /// Total bytes stored under this prefix.
+  uint64_t TotalBytes() const;
+
+  const std::string& prefix() const { return prefix_; }
+  FileSystem* fs() const { return fs_; }
+
+ private:
+  std::string PathFor(const CheckpointKey& key) const;
+
+  FileSystem* fs_;
+  std::string prefix_;
+};
+
+}  // namespace flor
+
+#endif  // FLOR_CHECKPOINT_STORE_H_

@@ -1,0 +1,36 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace flor {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78;  // CRC32C reversed polynomial.
+
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> t{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> t = MakeTable();
+  return t;
+}
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  const auto& table = Table();
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  return ~crc;
+}
+
+}  // namespace flor

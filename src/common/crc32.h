@@ -1,0 +1,23 @@
+// CRC32C (Castagnoli) used to checksum checkpoint frames (serialize/frame.h).
+// Software implementation (slice-by-1 table); correctness over raw speed is
+// fine here — checksumming is off the training thread in the Fork strategy.
+
+#ifndef FLOR_COMMON_CRC32_H_
+#define FLOR_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flor {
+
+/// Extends `crc` with `data[0, n)`. Start with `crc = 0`.
+uint32_t Crc32c(uint32_t crc, const void* data, size_t n);
+
+/// One-shot convenience.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32c(0, data, n);
+}
+
+}  // namespace flor
+
+#endif  // FLOR_COMMON_CRC32_H_

@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+namespace flor {
+namespace internal {
+
+namespace {
+std::atomic<LogSeverity> g_min_severity{LogSeverity::kWarning};
+
+const char* SeverityTag(LogSeverity s) {
+  switch (s) {
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+LogSeverity MinLogSeverity() { return g_min_severity; }
+
+void EmitLog(LogSeverity severity, const char* file, int line,
+             const std::string& message) {
+  if (severity >= g_min_severity || severity == LogSeverity::kFatal) {
+    std::fprintf(stderr, "[flor %s %s:%d] %s\n", SeverityTag(severity), file,
+                 line, message.c_str());
+  }
+  if (severity == LogSeverity::kFatal) {
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+LogMessage::~LogMessage() { EmitLog(severity_, file_, line_, stream_.str()); }
+
+}  // namespace internal
+}  // namespace flor

@@ -1,0 +1,73 @@
+// Internal check macros and a minimal leveled logger.
+//
+// FLOR_CHECK* are for programmer errors (precondition violations inside the
+// library); user-facing failures go through Status instead.
+
+#ifndef FLOR_COMMON_LOGGING_H_
+#define FLOR_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace flor {
+namespace internal {
+
+/// Severity for internal diagnostics (not the hindsight logging subsystem —
+/// that lives in exec/log_stream.h).
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Emits one diagnostic line to stderr; aborts the process on kFatal.
+void EmitLog(LogSeverity severity, const char* file, int line,
+             const std::string& message);
+
+/// Stream-style builder used by the FLOR_LOG / FLOR_CHECK macros.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line)
+      : severity_(severity), file_(file), line_(line) {}
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Minimum severity actually emitted; default kWarning so tests stay quiet.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+}  // namespace internal
+}  // namespace flor
+
+#define FLOR_LOG(severity)                                              \
+  ::flor::internal::LogMessage(::flor::internal::LogSeverity::severity, \
+                               __FILE__, __LINE__)
+
+#define FLOR_CHECK(cond)                                       \
+  if (!(cond))                                                 \
+  ::flor::internal::LogMessage(                                \
+      ::flor::internal::LogSeverity::kFatal, __FILE__, __LINE__) \
+      << "Check failed: " #cond " "
+
+#define FLOR_CHECK_OK(expr)                                      \
+  do {                                                           \
+    ::flor::Status _flor_chk = (expr);                           \
+    FLOR_CHECK(_flor_chk.ok()) << _flor_chk.ToString();          \
+  } while (0)
+
+#define FLOR_CHECK_EQ(a, b) FLOR_CHECK((a) == (b))
+#define FLOR_CHECK_NE(a, b) FLOR_CHECK((a) != (b))
+#define FLOR_CHECK_LT(a, b) FLOR_CHECK((a) < (b))
+#define FLOR_CHECK_LE(a, b) FLOR_CHECK((a) <= (b))
+#define FLOR_CHECK_GT(a, b) FLOR_CHECK((a) > (b))
+#define FLOR_CHECK_GE(a, b) FLOR_CHECK((a) >= (b))
+
+#endif  // FLOR_COMMON_LOGGING_H_

@@ -1,0 +1,81 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace flor {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& w : s_) w = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+float Rng::UniformFloat(float lo, float hi) {
+  return lo + static_cast<float>(NextDouble()) * (hi - lo);
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller without caching the second value: stream position stays a
+  // pure function of call count, which keeps record/replay streams aligned.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+void Rng::GetState(uint64_t out[4]) const {
+  std::memcpy(out, s_, sizeof(s_));
+}
+
+void Rng::SetState(const uint64_t in[4]) { std::memcpy(s_, in, sizeof(s_)); }
+
+bool Rng::operator==(const Rng& other) const {
+  return std::memcmp(s_, other.s_, sizeof(s_)) == 0;
+}
+
+}  // namespace flor

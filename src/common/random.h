@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation.
+//
+// Model training reproducibility is a premise of the paper (§7: "sources of
+// non-determinism (e.g. random seeds) are typically captured"). Every random
+// draw in florcpp flows through `Rng` so that record and replay see identical
+// streams, which the deferred correctness checks (§5.2.2) rely on.
+
+#ifndef FLOR_COMMON_RANDOM_H_
+#define FLOR_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace flor {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via SplitMix64).
+///
+/// Cheap to copy; copying captures the full stream state, which is exactly
+/// what a Loop End Checkpoint needs to resume the stream on replay.
+class Rng {
+ public:
+  /// Seeds the four-word state from `seed` using SplitMix64 so that nearby
+  /// seeds produce uncorrelated streams.
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL);
+
+  /// Next raw 64-bit draw.
+  uint64_t Next();
+
+  /// Uniform in [0, n). Precondition: n > 0. Uses rejection sampling, so the
+  /// distribution is exactly uniform.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double NextDouble();
+
+  /// Uniform float in [lo, hi).
+  float UniformFloat(float lo, float hi);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare so the
+  /// stream position is a pure function of the number of calls).
+  double NextGaussian();
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Serializable state access (used by tensor/RNG checkpointing).
+  void GetState(uint64_t out[4]) const;
+  void SetState(const uint64_t in[4]);
+
+  bool operator==(const Rng& other) const;
+
+ private:
+  uint64_t s_[4];
+};
+
+/// SplitMix64 step; exposed for hashing/seeding helpers.
+uint64_t SplitMix64(uint64_t& state);
+
+/// Stateless 64-bit mix (Stafford variant 13); good for fingerprints.
+uint64_t Mix64(uint64_t x);
+
+}  // namespace flor
+
+#endif  // FLOR_COMMON_RANDOM_H_

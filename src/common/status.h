@@ -1,0 +1,157 @@
+// Status / Result error handling for florcpp.
+//
+// Following the RocksDB / Arrow idiom from the session guides, no exceptions
+// cross public API boundaries. Fallible operations return `Status` (or
+// `Result<T>` when they also produce a value). `FLOR_RETURN_IF_ERROR` and
+// `FLOR_ASSIGN_OR_RETURN` keep call sites compact.
+
+#ifndef FLOR_COMMON_STATUS_H_
+#define FLOR_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace flor {
+
+/// Machine-readable category of a `Status`.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kCorruption = 6,
+  kIOError = 7,
+  kNotSupported = 8,
+  kInternal = 9,
+  kReplayAnomaly = 10,  ///< deferred correctness check failed (paper §5.2.2)
+  kAborted = 11,
+};
+
+/// Returns a stable human-readable name ("OK", "Corruption", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus a context message.
+///
+/// `Status` is cheap to copy in the OK case (empty message) and is used
+/// pervasively instead of exceptions.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ReplayAnomaly(std::string msg) {
+    return Status(StatusCode::kReplayAnomaly, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsReplayAnomaly() const { return code_ == StatusCode::kReplayAnomaly; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of type `T` or a non-OK `Status`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return some_t;`.
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: `return Status::NotFound(...)`.
+  Result(Status status) : v_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(v_);
+  }
+
+  /// Precondition: ok(). Accessing the value of an error result aborts.
+  const T& value() const& { return std::get<T>(v_); }
+  T& value() & { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace flor
+
+/// Propagates a non-OK Status to the caller.
+#define FLOR_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::flor::Status _flor_st = (expr);                \
+    if (!_flor_st.ok()) return _flor_st;             \
+  } while (0)
+
+#define FLOR_CONCAT_IMPL_(a, b) a##b
+#define FLOR_CONCAT_(a, b) FLOR_CONCAT_IMPL_(a, b)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// moves the value into `lhs` (which may be a declaration).
+#define FLOR_ASSIGN_OR_RETURN(lhs, expr)                            \
+  FLOR_ASSIGN_OR_RETURN_IMPL_(FLOR_CONCAT_(_flor_res_, __LINE__),   \
+                              lhs, expr)
+
+#define FLOR_ASSIGN_OR_RETURN_IMPL_(res, lhs, expr)  \
+  auto res = (expr);                                 \
+  if (!res.ok()) return res.status();                \
+  lhs = std::move(res).value();
+
+#endif  // FLOR_COMMON_STATUS_H_

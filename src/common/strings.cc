@@ -1,0 +1,77 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace flor {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+std::vector<std::string> StrSplit(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  const double kb = 1024.0, mb = kb * 1024.0, gb = mb * 1024.0;
+  double b = static_cast<double>(bytes);
+  if (b >= gb) return StrFormat("%.1f GB", b / gb);
+  if (b >= mb) return StrFormat("%.0f MB", b / mb);
+  if (b >= kb) return StrFormat("%.0f KB", b / kb);
+  return StrFormat("%llu B", static_cast<unsigned long long>(bytes));
+}
+
+std::string HumanSeconds(double seconds) {
+  if (seconds >= 3600.0) return StrFormat("%.2f h", seconds / 3600.0);
+  if (seconds >= 60.0) return StrFormat("%.1f min", seconds / 60.0);
+  if (seconds >= 1.0) return StrFormat("%.1f s", seconds);
+  return StrFormat("%.0f ms", seconds * 1000.0);
+}
+
+std::string HumanDollars(double dollars) {
+  if (dollars < 0.005 && dollars > 0.0) return StrFormat("$ %.3f", dollars);
+  return StrFormat("$ %.2f", dollars);
+}
+
+}  // namespace flor

@@ -1,0 +1,47 @@
+// Small string utilities shared across modules: formatting, splitting, and
+// human-readable units for bench output.
+
+#ifndef FLOR_COMMON_STRINGS_H_
+#define FLOR_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace flor {
+
+/// Concatenates the stream representation of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> StrSplit(const std::string& s, char sep);
+
+/// Joins with a separator.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+/// "51 MB", "1.1 GB", "705 MB" — matches the paper's table style.
+std::string HumanBytes(uint64_t bytes);
+
+/// "1.02 h", "3.4 min", "12.5 s", "340 ms" — for bench tables.
+std::string HumanSeconds(double seconds);
+
+/// "$ 0.33" style for the cost tables.
+std::string HumanDollars(double dollars);
+
+}  // namespace flor
+
+#endif  // FLOR_COMMON_STRINGS_H_

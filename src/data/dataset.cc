@@ -1,0 +1,88 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace flor {
+namespace data {
+
+SyntheticDataset::SyntheticDataset(Config config) : config_(config) {
+  FLOR_CHECK_GT(config_.num_samples, 0);
+  FLOR_CHECK_GT(config_.feature_dim, 0);
+  FLOR_CHECK_GT(config_.num_classes, 0);
+}
+
+int64_t SyntheticDataset::Label(int64_t index) const {
+  // Labels derive from the same per-sample stream as features, so they are
+  // learnable (class-dependent feature means) yet fully deterministic.
+  uint64_t h = Mix64(config_.seed ^ Mix64(static_cast<uint64_t>(index)));
+  return static_cast<int64_t>(h % static_cast<uint64_t>(config_.num_classes));
+}
+
+Tensor SyntheticDataset::Sample(int64_t index) const {
+  Rng rng(Mix64(config_.seed * 0x9e3779b97f4a7c15ULL +
+                static_cast<uint64_t>(index)));
+  const int64_t label = Label(index);
+  if (config_.task == Task::kText) {
+    // Token ids biased by label so text models can learn the mapping.
+    std::vector<int64_t> toks(static_cast<size_t>(config_.feature_dim));
+    for (auto& t : toks) {
+      const int64_t base =
+          (label * config_.vocab_size) / config_.num_classes;
+      const int64_t spread = config_.vocab_size / 4 + 1;
+      t = (base + static_cast<int64_t>(rng.Uniform(
+                      static_cast<uint64_t>(spread)))) %
+          config_.vocab_size;
+    }
+    return Tensor(Shape{config_.feature_dim}, std::move(toks));
+  }
+  // Dense modalities: class-dependent mean + noise.
+  std::vector<float> feats(static_cast<size_t>(config_.feature_dim));
+  const float mean = static_cast<float>(label) /
+                         static_cast<float>(config_.num_classes) -
+                     0.5f;
+  for (size_t i = 0; i < feats.size(); ++i) {
+    const float phase =
+        std::sin(static_cast<float>(i + 1) * (mean + 1.5f));
+    feats[i] = phase + 0.3f * static_cast<float>(rng.NextGaussian());
+  }
+  return Tensor(Shape{config_.feature_dim}, std::move(feats));
+}
+
+Result<Tensor> SyntheticDataset::BatchFeatures(int64_t first,
+                                               int64_t count) const {
+  if (first < 0 || count <= 0 || first + count > config_.num_samples)
+    return Status::OutOfRange("batch range out of bounds");
+  if (config_.task == Task::kText) {
+    Tensor out(Shape{count, config_.feature_dim}, DType::kI64);
+    int64_t* p = out.i64();
+    for (int64_t i = 0; i < count; ++i) {
+      Tensor s = Sample(first + i);
+      for (int64_t j = 0; j < config_.feature_dim; ++j)
+        p[i * config_.feature_dim + j] = s.at_i64(j);
+    }
+    return out;
+  }
+  Tensor out(Shape{count, config_.feature_dim});
+  float* p = out.f32();
+  for (int64_t i = 0; i < count; ++i) {
+    Tensor s = Sample(first + i);
+    for (int64_t j = 0; j < config_.feature_dim; ++j)
+      p[i * config_.feature_dim + j] = s.at(j);
+  }
+  return out;
+}
+
+Result<Tensor> SyntheticDataset::BatchLabels(int64_t first,
+                                             int64_t count) const {
+  if (first < 0 || count <= 0 || first + count > config_.num_samples)
+    return Status::OutOfRange("batch range out of bounds");
+  std::vector<int64_t> labels(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i)
+    labels[static_cast<size_t>(i)] = Label(first + i);
+  return Tensor(Shape{count}, std::move(labels));
+}
+
+}  // namespace data
+}  // namespace flor

@@ -1,0 +1,68 @@
+// Synthetic datasets with the shapes of the paper's benchmarks (Table 3).
+//
+// The evaluation never depends on label semantics — only on sample counts,
+// feature dimensions, and batch counts, which drive loop structure and
+// timing. Samples are generated deterministically from (seed, index), so a
+// dataset never needs to be checkpointed: replay regenerates identical data,
+// mirroring how Flor relies on deterministic data loading in Python.
+
+#ifndef FLOR_DATA_DATASET_H_
+#define FLOR_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace flor {
+namespace data {
+
+/// Modality of a synthetic dataset.
+enum class Task : uint8_t {
+  kVision = 0,  ///< dense feature vector per sample (flattened image)
+  kText = 1,    ///< i64 token sequence per sample
+  kAudio = 2,   ///< dense frame features per sample (speech)
+};
+
+/// Deterministic synthetic dataset.
+class SyntheticDataset {
+ public:
+  struct Config {
+    Task task = Task::kVision;
+    int64_t num_samples = 1024;
+    int64_t feature_dim = 64;  ///< dense dims, or sequence length for text
+    int64_t num_classes = 10;
+    int64_t vocab_size = 1000;  ///< text only
+    uint64_t seed = 42;
+  };
+
+  explicit SyntheticDataset(Config config);
+
+  int64_t size() const { return config_.num_samples; }
+  const Config& config() const { return config_; }
+
+  /// Features for sample `index`: f32 [feature_dim] for vision/audio,
+  /// i64 [feature_dim] token ids for text. Pure function of (seed, index).
+  Tensor Sample(int64_t index) const;
+
+  /// Label in [0, num_classes). Correlated with the features so models can
+  /// actually learn (tests assert loss decreases).
+  int64_t Label(int64_t index) const;
+
+  /// Stacks samples [first, first+count) into a batch tensor:
+  /// f32 [count, feature_dim] or i64 [count, feature_dim].
+  Result<Tensor> BatchFeatures(int64_t first, int64_t count) const;
+
+  /// i64 [count] labels for the same range.
+  Result<Tensor> BatchLabels(int64_t first, int64_t count) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace data
+}  // namespace flor
+
+#endif  // FLOR_DATA_DATASET_H_

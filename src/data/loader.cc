@@ -1,0 +1,74 @@
+#include "data/loader.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace flor {
+namespace data {
+
+DataLoader::DataLoader(const SyntheticDataset* dataset, int64_t batch_size)
+    : dataset_(dataset), batch_size_(batch_size) {
+  FLOR_CHECK_GT(batch_size, 0);
+}
+
+int64_t DataLoader::batches_per_epoch() const {
+  return dataset_->size() / batch_size_;
+}
+
+std::vector<int64_t> DataLoader::Permutation(int64_t epoch) const {
+  std::vector<int64_t> perm(static_cast<size_t>(dataset_->size()));
+  std::iota(perm.begin(), perm.end(), 0);
+  Rng rng(Mix64(dataset_->config().seed ^
+                (0xe90cull + static_cast<uint64_t>(epoch))));
+  // Fisher-Yates with the deterministic stream.
+  for (size_t i = perm.size(); i > 1; --i) {
+    size_t j = static_cast<size_t>(rng.Uniform(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+Result<Batch> DataLoader::GetBatch(int64_t epoch, int64_t batch_index) const {
+  if (batch_index < 0 || batch_index >= batches_per_epoch())
+    return Status::OutOfRange("batch index out of range");
+  const auto perm = Permutation(epoch);
+  const auto& cfg = dataset_->config();
+
+  Batch out;
+  out.index = batch_index;
+  std::vector<int64_t> labels(static_cast<size_t>(batch_size_));
+  const bool text = cfg.task == Task::kText;
+  Tensor feats(Shape{batch_size_, cfg.feature_dim},
+               text ? DType::kI64 : DType::kF32);
+  for (int64_t i = 0; i < batch_size_; ++i) {
+    const int64_t sample_idx =
+        perm[static_cast<size_t>(batch_index * batch_size_ + i)];
+    Tensor s = dataset_->Sample(sample_idx);
+    if (text) {
+      std::copy(s.i64(), s.i64() + cfg.feature_dim,
+                feats.i64() + i * cfg.feature_dim);
+    } else {
+      std::copy(s.f32(), s.f32() + cfg.feature_dim,
+                feats.f32() + i * cfg.feature_dim);
+    }
+    labels[static_cast<size_t>(i)] = dataset_->Label(sample_idx);
+  }
+  out.features = std::move(feats);
+  out.labels = Tensor(Shape{batch_size_}, std::move(labels));
+  return out;
+}
+
+Result<std::vector<Batch>> DataLoader::Epoch(int64_t epoch) const {
+  std::vector<Batch> out;
+  const int64_t n = batches_per_epoch();
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t b = 0; b < n; ++b) {
+    FLOR_ASSIGN_OR_RETURN(Batch batch, GetBatch(epoch, b));
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace flor

@@ -1,0 +1,50 @@
+// Batched iteration over a SyntheticDataset.
+//
+// Iteration order is a deterministic permutation per epoch (seeded by
+// (dataset seed, epoch)), mirroring PyTorch's seeded DataLoader shuffling —
+// another piece of the reproducibility premise record/replay relies on.
+
+#ifndef FLOR_DATA_LOADER_H_
+#define FLOR_DATA_LOADER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace flor {
+namespace data {
+
+/// One minibatch.
+struct Batch {
+  Tensor features;
+  Tensor labels;
+  int64_t index = 0;  ///< batch ordinal within the epoch
+};
+
+/// Deterministic shuffling batch loader.
+class DataLoader {
+ public:
+  /// Does not own `dataset`. Drops the final partial batch (as the paper's
+  /// training loops effectively do for steady-state timing).
+  DataLoader(const SyntheticDataset* dataset, int64_t batch_size);
+
+  int64_t batches_per_epoch() const;
+
+  /// Materializes batch `batch_index` of `epoch`.
+  Result<Batch> GetBatch(int64_t epoch, int64_t batch_index) const;
+
+  /// All batches of an epoch, in order.
+  Result<std::vector<Batch>> Epoch(int64_t epoch) const;
+
+ private:
+  /// Sample index permutation for `epoch`.
+  std::vector<int64_t> Permutation(int64_t epoch) const;
+
+  const SyntheticDataset* dataset_;
+  int64_t batch_size_;
+};
+
+}  // namespace data
+}  // namespace flor
+
+#endif  // FLOR_DATA_LOADER_H_

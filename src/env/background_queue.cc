@@ -1,0 +1,64 @@
+#include "env/background_queue.h"
+
+namespace flor {
+
+BackgroundQueue::BackgroundQueue()
+    : worker_([this] { WorkerLoop(); }) {}
+
+BackgroundQueue::~BackgroundQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void BackgroundQueue::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(std::move(job));
+    ++in_flight_;
+    if (in_flight_ > max_in_flight_) max_in_flight_ = in_flight_;
+  }
+  cv_.notify_one();
+}
+
+void BackgroundQueue::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+size_t BackgroundQueue::InFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+size_t BackgroundQueue::MaxInFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_in_flight_;
+}
+
+void BackgroundQueue::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !jobs_.empty(); });
+      if (jobs_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) drained_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace flor

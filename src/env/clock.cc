@@ -1,0 +1,23 @@
+#include "env/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace flor {
+
+uint64_t WallClock::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void WallClock::AdvanceMicros(uint64_t micros) {
+  // Cap real sleeps: tests should never block for long on a wall clock.
+  constexpr uint64_t kMaxSleepMicros = 100'000;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(micros < kMaxSleepMicros ? micros
+                                                         : kMaxSleepMicros));
+}
+
+}  // namespace flor

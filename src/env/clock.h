@@ -1,0 +1,71 @@
+// Clock abstraction (RocksDB Env idiom).
+//
+// All timing in florcpp flows through `Clock` so the whole system can run
+// against either the wall clock or a discrete-event simulated clock. The
+// paper's experiments involve hours of GPU training; the simulated clock lets
+// the benchmark harnesses reproduce those time scales deterministically in
+// milliseconds of real time (see DESIGN.md §2, "Calibration, not
+// fabrication").
+
+#ifndef FLOR_ENV_CLOCK_H_
+#define FLOR_ENV_CLOCK_H_
+
+#include <cstdint>
+
+namespace flor {
+
+/// Monotonic time source measured in microseconds.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds since an arbitrary epoch.
+  virtual uint64_t NowMicros() const = 0;
+
+  /// Advances time by `micros`. On a wall clock this sleeps (bounded); on a
+  /// simulated clock it is instantaneous.
+  virtual void AdvanceMicros(uint64_t micros) = 0;
+
+  /// True for simulated clocks; lets components decide whether modeled
+  /// costs should be charged (sim) or simply measured (wall).
+  virtual bool is_simulated() const = 0;
+
+  double NowSeconds() const { return NowMicros() * 1e-6; }
+};
+
+/// Real wall clock (std::chrono::steady_clock). AdvanceMicros sleeps.
+class WallClock : public Clock {
+ public:
+  uint64_t NowMicros() const override;
+  void AdvanceMicros(uint64_t micros) override;
+  bool is_simulated() const override { return false; }
+};
+
+/// Deterministic simulated clock for the cluster simulator and benches.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(uint64_t start_micros = 0) : now_(start_micros) {}
+
+  uint64_t NowMicros() const override { return now_; }
+  void AdvanceMicros(uint64_t micros) override { now_ += micros; }
+  bool is_simulated() const override { return true; }
+
+  /// Jump to an absolute time; no-op if `micros` is in the past (discrete-
+  /// event "advance to next event" semantics).
+  void AdvanceTo(uint64_t micros) {
+    if (micros > now_) now_ = micros;
+  }
+  void Reset(uint64_t micros = 0) { now_ = micros; }
+
+ private:
+  uint64_t now_;
+};
+
+/// Converts seconds to the integer microsecond domain used by Clock.
+inline uint64_t SecondsToMicros(double seconds) {
+  return static_cast<uint64_t>(seconds * 1e6 + 0.5);
+}
+
+}  // namespace flor
+
+#endif  // FLOR_ENV_CLOCK_H_

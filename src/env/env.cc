@@ -1,0 +1,15 @@
+#include "env/env.h"
+
+namespace flor {
+
+std::unique_ptr<Env> Env::NewSimEnv(uint64_t start_micros) {
+  return std::make_unique<Env>(std::make_unique<SimClock>(start_micros),
+                               std::make_unique<MemFileSystem>());
+}
+
+std::unique_ptr<Env> Env::NewPosixEnv(const std::string& root) {
+  return std::make_unique<Env>(std::make_unique<WallClock>(),
+                               std::make_unique<PosixFileSystem>(root));
+}
+
+}  // namespace flor

@@ -1,0 +1,59 @@
+// Env — the bundle of platform services every florcpp component runs
+// against (RocksDB idiom). An Env owns a Clock and a FileSystem; tests and
+// benches construct a simulated Env, examples construct a real one.
+
+#ifndef FLOR_ENV_ENV_H_
+#define FLOR_ENV_ENV_H_
+
+#include <memory>
+#include <string>
+
+#include "env/clock.h"
+#include "env/filesystem.h"
+
+namespace flor {
+
+/// Platform service bundle. Non-owning consumers take `Env*`.
+class Env {
+ public:
+  /// Owning constructor.
+  Env(std::unique_ptr<Clock> clock, std::unique_ptr<FileSystem> fs)
+      : owned_clock_(std::move(clock)), owned_fs_(std::move(fs)),
+        clock_ptr_(owned_clock_.get()), fs_ptr_(owned_fs_.get()) {}
+
+  /// Non-owning constructor — used by parallel replay workers that each own
+  /// a simulated clock but share one filesystem (the checkpoint store).
+  Env(Clock* clock, FileSystem* fs) : clock_ptr_(clock), fs_ptr_(fs) {}
+
+  /// Mixed: owns the clock, borrows the filesystem.
+  Env(std::unique_ptr<Clock> clock, FileSystem* fs)
+      : owned_clock_(std::move(clock)), clock_ptr_(owned_clock_.get()),
+        fs_ptr_(fs) {}
+
+  Clock* clock() { return clock_ptr_; }
+  const Clock* clock() const { return clock_ptr_; }
+  FileSystem* fs() { return fs_ptr_; }
+  const FileSystem* fs() const { return fs_ptr_; }
+
+  /// Simulated clock + in-memory filesystem (deterministic).
+  static std::unique_ptr<Env> NewSimEnv(uint64_t start_micros = 0);
+
+  /// Wall clock + posix filesystem rooted at `root`.
+  static std::unique_ptr<Env> NewPosixEnv(const std::string& root);
+
+  /// Convenience downcast; null if the clock is not simulated.
+  SimClock* sim_clock() {
+    return clock_ptr_->is_simulated() ? static_cast<SimClock*>(clock_ptr_)
+                                      : nullptr;
+  }
+
+ private:
+  std::unique_ptr<Clock> owned_clock_;
+  std::unique_ptr<FileSystem> owned_fs_;
+  Clock* clock_ptr_;
+  FileSystem* fs_ptr_;
+};
+
+}  // namespace flor
+
+#endif  // FLOR_ENV_ENV_H_

@@ -1,0 +1,174 @@
+#include "env/filesystem.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace stdfs = std::filesystem;
+
+namespace flor {
+
+uint64_t FileSystem::TotalBytesUnder(const std::string& prefix) const {
+  uint64_t total = 0;
+  for (const auto& p : ListPrefix(prefix)) {
+    auto sz = FileSize(p);
+    if (sz.ok()) total += *sz;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------- MemFS ---
+
+Status MemFileSystem::WriteFile(const std::string& path,
+                                const std::string& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_written_ += data.size();
+  files_[path] = data;
+  return Status::OK();
+}
+
+Status MemFileSystem::AppendFile(const std::string& path,
+                                 const std::string& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_written_ += data.size();
+  files_[path] += data;
+  return Status::OK();
+}
+
+Result<std::string> MemFileSystem::ReadFile(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return it->second;
+}
+
+bool MemFileSystem::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+Result<uint64_t> MemFileSystem::FileSize(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return static_cast<uint64_t>(it->second.size());
+}
+
+Status MemFileSystem::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0)
+    return Status::NotFound("no such file: " + path);
+  return Status::OK();
+}
+
+std::vector<std::string> MemFileSystem::ListPrefix(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (!StartsWith(it->first, prefix)) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+uint64_t MemFileSystem::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_written_;
+}
+
+Status MemFileSystem::CorruptByte(const std::string& path, size_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  if (offset >= it->second.size())
+    return Status::OutOfRange("offset beyond file size");
+  it->second[offset] = static_cast<char>(it->second[offset] ^ 0xff);
+  return Status::OK();
+}
+
+// -------------------------------------------------------------- PosixFS ---
+
+PosixFileSystem::PosixFileSystem(std::string root) : root_(std::move(root)) {
+  std::error_code ec;
+  stdfs::create_directories(root_, ec);
+}
+
+std::string PosixFileSystem::Resolve(const std::string& path) const {
+  return root_ + "/" + path;
+}
+
+Status PosixFileSystem::WriteFile(const std::string& path,
+                                  const std::string& data) {
+  const std::string full = Resolve(path);
+  std::error_code ec;
+  stdfs::create_directories(stdfs::path(full).parent_path(), ec);
+  // Write to a temp file then rename for atomicity.
+  const std::string tmp = full + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open for write: " + full);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) return Status::IOError("short write: " + full);
+  }
+  stdfs::rename(tmp, full, ec);
+  if (ec) return Status::IOError("rename failed: " + full);
+  return Status::OK();
+}
+
+Status PosixFileSystem::AppendFile(const std::string& path,
+                                   const std::string& data) {
+  const std::string full = Resolve(path);
+  std::error_code ec;
+  stdfs::create_directories(stdfs::path(full).parent_path(), ec);
+  std::ofstream out(full, std::ios::binary | std::ios::app);
+  if (!out) return Status::IOError("cannot open for append: " + full);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out) return Status::IOError("short append: " + full);
+  return Status::OK();
+}
+
+Result<std::string> PosixFileSystem::ReadFile(const std::string& path) const {
+  std::ifstream in(Resolve(path), std::ios::binary);
+  if (!in) return Status::NotFound("no such file: " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return data;
+}
+
+bool PosixFileSystem::Exists(const std::string& path) const {
+  return stdfs::exists(Resolve(path));
+}
+
+Result<uint64_t> PosixFileSystem::FileSize(const std::string& path) const {
+  std::error_code ec;
+  auto sz = stdfs::file_size(Resolve(path), ec);
+  if (ec) return Status::NotFound("no such file: " + path);
+  return static_cast<uint64_t>(sz);
+}
+
+Status PosixFileSystem::DeleteFile(const std::string& path) {
+  std::error_code ec;
+  if (!stdfs::remove(Resolve(path), ec))
+    return Status::NotFound("no such file: " + path);
+  return Status::OK();
+}
+
+std::vector<std::string> PosixFileSystem::ListPrefix(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (auto it = stdfs::recursive_directory_iterator(root_, ec);
+       it != stdfs::recursive_directory_iterator(); ++it) {
+    if (!it->is_regular_file()) continue;
+    std::string rel =
+        stdfs::relative(it->path(), root_, ec).generic_string();
+    if (StartsWith(rel, prefix)) out.push_back(rel);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace flor

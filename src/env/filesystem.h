@@ -1,0 +1,101 @@
+// Minimal filesystem abstraction (RocksDB Env idiom).
+//
+// Checkpoints, recorded source versions, and logs are stored through this
+// interface. `MemFileSystem` keeps everything in memory for deterministic
+// tests and benches; `PosixFileSystem` writes real files (used by examples).
+// Paths are flat, '/'-separated strings; directories are implicit (an object
+// store model, matching the paper's S3 target).
+
+#ifndef FLOR_ENV_FILESYSTEM_H_
+#define FLOR_ENV_FILESYSTEM_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace flor {
+
+/// Abstract byte-oriented object store.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Atomically creates or replaces the object at `path`.
+  virtual Status WriteFile(const std::string& path,
+                           const std::string& data) = 0;
+
+  /// Appends to the object at `path`, creating it if absent.
+  virtual Status AppendFile(const std::string& path,
+                            const std::string& data) = 0;
+
+  /// Reads the whole object.
+  virtual Result<std::string> ReadFile(const std::string& path) const = 0;
+
+  virtual bool Exists(const std::string& path) const = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) const = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  /// All object paths with the given prefix, sorted lexicographically.
+  virtual std::vector<std::string> ListPrefix(
+      const std::string& prefix) const = 0;
+
+  /// Sum of sizes of all objects under `prefix`.
+  uint64_t TotalBytesUnder(const std::string& prefix) const;
+};
+
+/// In-memory filesystem; thread-safe. Also tracks write statistics used by
+/// the checkpoint spooler.
+class MemFileSystem : public FileSystem {
+ public:
+  Status WriteFile(const std::string& path, const std::string& data) override;
+  Status AppendFile(const std::string& path,
+                    const std::string& data) override;
+  Result<std::string> ReadFile(const std::string& path) const override;
+  bool Exists(const std::string& path) const override;
+  Result<uint64_t> FileSize(const std::string& path) const override;
+  Status DeleteFile(const std::string& path) override;
+  std::vector<std::string> ListPrefix(
+      const std::string& prefix) const override;
+
+  /// Total bytes ever written (for I/O accounting in tests).
+  uint64_t bytes_written() const;
+
+  /// Corrupts one byte at `offset` in `path` — failure-injection hook for
+  /// checksum tests.
+  Status CorruptByte(const std::string& path, size_t offset);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> files_;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Real filesystem rooted at a directory. Creates parent directories on
+/// demand; ListPrefix walks the tree under the root.
+class PosixFileSystem : public FileSystem {
+ public:
+  /// `root` must name a directory; it is created if missing.
+  explicit PosixFileSystem(std::string root);
+
+  Status WriteFile(const std::string& path, const std::string& data) override;
+  Status AppendFile(const std::string& path,
+                    const std::string& data) override;
+  Result<std::string> ReadFile(const std::string& path) const override;
+  bool Exists(const std::string& path) const override;
+  Result<uint64_t> FileSize(const std::string& path) const override;
+  Status DeleteFile(const std::string& path) override;
+  std::vector<std::string> ListPrefix(
+      const std::string& prefix) const override;
+
+ private:
+  std::string Resolve(const std::string& path) const;
+  std::string root_;
+};
+
+}  // namespace flor
+
+#endif  // FLOR_ENV_FILESYSTEM_H_

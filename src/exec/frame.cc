@@ -1,0 +1,57 @@
+#include "exec/frame.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace flor {
+namespace exec {
+
+void Frame::Set(const std::string& name, ir::Value value) {
+  vars_[name] = std::move(value);
+}
+
+Result<ir::Value> Frame::Get(const std::string& name) const {
+  auto it = vars_.find(name);
+  if (it == vars_.end())
+    return Status::NotFound("unbound variable: " + name);
+  return it->second;
+}
+
+const ir::Value& Frame::At(const std::string& name) const {
+  auto it = vars_.find(name);
+  FLOR_CHECK(it != vars_.end()) << "unbound variable: " << name;
+  return it->second;
+}
+
+ir::Value* Frame::Mutable(const std::string& name) {
+  auto it = vars_.find(name);
+  FLOR_CHECK(it != vars_.end()) << "unbound variable: " << name;
+  return &it->second;
+}
+
+bool Frame::Has(const std::string& name) const {
+  return vars_.count(name) > 0;
+}
+
+std::vector<std::string> Frame::Names() const {
+  std::vector<std::string> out;
+  out.reserve(vars_.size());
+  for (const auto& [name, v] : vars_) out.push_back(name);
+  return out;
+}
+
+uint64_t Frame::FingerprintOf(const std::vector<std::string>& names) const {
+  std::vector<std::string> sorted = names;
+  std::sort(sorted.begin(), sorted.end());
+  uint64_t h = 0xf7a3e;
+  for (const auto& name : sorted) {
+    for (char c : name) h = Mix64(h ^ static_cast<uint8_t>(c));
+    auto it = vars_.find(name);
+    h = Mix64(h ^ (it == vars_.end() ? 0 : it->second.Fingerprint()));
+  }
+  return h;
+}
+
+}  // namespace exec
+}  // namespace flor

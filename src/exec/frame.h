@@ -1,0 +1,50 @@
+// Interpreter frame: the global variable scope of a training script.
+//
+// Python training scripts effectively run in one module-level scope; loop
+// variables and temporaries share it. Checkpoint restoration writes directly
+// into this frame (SkipBlock side-effect restoration).
+
+#ifndef FLOR_EXEC_FRAME_H_
+#define FLOR_EXEC_FRAME_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/value.h"
+
+namespace flor {
+namespace exec {
+
+/// Named variable store.
+class Frame {
+ public:
+  /// Binds (creates or overwrites) a variable.
+  void Set(const std::string& name, ir::Value value);
+
+  /// Variable lookup. NotFound if unbound.
+  Result<ir::Value> Get(const std::string& name) const;
+
+  /// Lookup that aborts on absence — for semantic callbacks whose bindings
+  /// are guaranteed by program construction.
+  const ir::Value& At(const std::string& name) const;
+  ir::Value* Mutable(const std::string& name);
+
+  bool Has(const std::string& name) const;
+
+  /// All bound names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Combined fingerprint of a set of variables (order-insensitive by
+  /// sorting names) — used by tests to compare end states.
+  uint64_t FingerprintOf(const std::vector<std::string>& names) const;
+
+ private:
+  std::map<std::string, ir::Value> vars_;
+};
+
+}  // namespace exec
+}  // namespace flor
+
+#endif  // FLOR_EXEC_FRAME_H_

@@ -1,0 +1,130 @@
+#include "exec/interpreter.h"
+
+#include "common/strings.h"
+
+namespace flor {
+namespace exec {
+
+Interpreter::Interpreter(Env* env, LogStream* log, ExecHooks* hooks)
+    : env_(env), log_(log), hooks_(hooks ? hooks : &vanilla_) {}
+
+Status Interpreter::Run(ir::Program* program, Frame* frame) {
+  program_ = program;
+  iter_stack_.clear();
+  init_mode_ = false;
+  const double start = env_->clock()->NowSeconds();
+  Status s = RunBlock(&program->top(), frame);
+  elapsed_seconds_ = env_->clock()->NowSeconds() - start;
+  return s;
+}
+
+Status Interpreter::RunBlock(ir::Block* block, Frame* frame) {
+  for (auto& node : block->nodes) {
+    if (node.is_stmt()) {
+      FLOR_RETURN_IF_ERROR(RunStmt(node.stmt.get(), frame));
+    } else {
+      FLOR_RETURN_IF_ERROR(RunLoop(node.loop.get(), frame));
+    }
+  }
+  return Status::OK();
+}
+
+Result<int64_t> Interpreter::TripCount(const ir::Loop& loop,
+                                       Frame* frame) const {
+  if (loop.iter().fixed_count >= 0) return loop.iter().fixed_count;
+  FLOR_ASSIGN_OR_RETURN(ir::Value v, frame->Get(loop.iter().count_var));
+  if (v.kind() != ir::ValueKind::kInt)
+    return Status::InvalidArgument(
+        StrCat("loop count variable '", loop.iter().count_var,
+               "' is not an int"));
+  return v.AsInt();
+}
+
+std::string Interpreter::ContextString() const {
+  std::string out;
+  for (const auto& [var, idx] : iter_stack_) {
+    if (!out.empty()) out += "/";
+    out += StrCat(var, "=", idx);
+  }
+  return out;
+}
+
+Status Interpreter::RunLoopBodyOnce(ir::Loop* loop, int64_t index,
+                                    Frame* frame) {
+  frame->Set(loop->iter().var, ir::Value::Int(index));
+  iter_stack_.emplace_back(loop->iter().var, index);
+  Status s = RunBlock(&loop->body(), frame);
+  iter_stack_.pop_back();
+  return s;
+}
+
+Status Interpreter::RunLoop(ir::Loop* loop, Frame* frame) {
+  FLOR_ASSIGN_OR_RETURN(int64_t n, TripCount(*loop, frame));
+
+  const bool is_main = program_->MainLoop() == loop;
+  if (is_main) {
+    FLOR_ASSIGN_OR_RETURN(auto plan, hooks_->PlanMainLoop(loop, n, frame));
+    if (plan.has_value()) {
+      for (const PlannedIter& it : plan->iters) {
+        if (it.index < 0 || it.index >= n)
+          return Status::OutOfRange("planned iteration out of range");
+        const bool saved = init_mode_;
+        init_mode_ = it.mode == IterMode::kInit || saved;
+        Status s = RunLoopBodyOnce(loop, it.index, frame);
+        init_mode_ = saved;
+        FLOR_RETURN_IF_ERROR(s);
+      }
+      if (!plan->covers_final_epoch) {
+        // The rest of the program runs on non-final state: its output is a
+        // by-product of partitioned replay, not part of the log partition.
+        init_mode_ = true;
+      }
+      return Status::OK();
+    }
+    // No plan: fall through to plain full-range execution.
+  }
+
+  const bool skipblock = loop->analysis().instrumented;
+  if (skipblock) {
+    const std::string ctx = ContextString();
+    FLOR_ASSIGN_OR_RETURN(
+        exec::LoopAction action,
+        hooks_->OnSkipBlockEnter(loop, ctx, init_mode_, frame));
+    if (action == LoopAction::kSkip) {
+      // Side effects were restored by the hook; leave the iterator variable
+      // at its final value as an executed loop would.
+      if (n > 0) frame->Set(loop->iter().var, ir::Value::Int(n - 1));
+      return Status::OK();
+    }
+    const double start = env_->clock()->NowSeconds();
+    for (int64_t i = 0; i < n; ++i)
+      FLOR_RETURN_IF_ERROR(RunLoopBodyOnce(loop, i, frame));
+    const double compute = env_->clock()->NowSeconds() - start;
+    return hooks_->OnSkipBlockExit(loop, ctx, frame, compute);
+  }
+
+  for (int64_t i = 0; i < n; ++i)
+    FLOR_RETURN_IF_ERROR(RunLoopBodyOnce(loop, i, frame));
+  return Status::OK();
+}
+
+Status Interpreter::RunStmt(ir::Stmt* stmt, Frame* frame) {
+  if (env_->clock()->is_simulated() && stmt->sim_cost_seconds > 0)
+    env_->clock()->AdvanceMicros(SecondsToMicros(stmt->sim_cost_seconds));
+  if (stmt->is_log()) {
+    FLOR_ASSIGN_OR_RETURN(std::string text, stmt->log_fn(frame));
+    LogEntry entry;
+    entry.stmt_uid = stmt->uid;
+    entry.context = ContextString();
+    entry.init_mode = init_mode_;
+    entry.label = stmt->log_label;
+    entry.text = std::move(text);
+    if (log_) log_->Append(std::move(entry));
+    return Status::OK();
+  }
+  if (!stmt->fn) return Status::OK();
+  return stmt->fn(frame);
+}
+
+}  // namespace exec
+}  // namespace flor

@@ -1,0 +1,139 @@
+// Tree-walking interpreter for training-script programs, with the hook
+// surface Flor's record/replay sessions plug into.
+//
+// The hook protocol is the paper's SkipBlock parameterization (§4.2): the
+// interpreter is generic; whether a wrapped loop executes or restores, and
+// whether its end state is materialized, is decided by the installed hooks
+// ("SkipBlock ... is parameterized by Flor to be informed about relevant
+// execution state: record execution, replay initialization, replay
+// execution, and whether the enclosed loop is probed").
+//
+// The main loop is special: its iterator can be re-planned by the hooks
+// (the Flor generator of §5.4), yielding (index, mode) pairs where mode is
+// kInit during worker initialization and kWork for the worker's segment.
+
+#ifndef FLOR_EXEC_INTERPRETER_H_
+#define FLOR_EXEC_INTERPRETER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "env/env.h"
+#include "exec/frame.h"
+#include "exec/log_stream.h"
+#include "ir/program.h"
+
+namespace flor {
+namespace exec {
+
+/// Iteration mode assigned by the Flor generator.
+enum class IterMode : uint8_t {
+  kWork = 0,  ///< normal execution (record, or a worker's own segment)
+  kInit = 1,  ///< worker initialization: SkipBlocks restore, logs discarded
+};
+
+/// One planned main-loop iteration.
+struct PlannedIter {
+  int64_t index = 0;
+  IterMode mode = IterMode::kWork;
+};
+
+/// A re-planned main loop (the Flor generator's output).
+struct MainLoopPlan {
+  std::vector<PlannedIter> iters;
+  /// False when this worker's work segment ends before the final epoch: the
+  /// program state after the loop is then *not* the final training state,
+  /// so everything executed after the main loop runs in init mode (its log
+  /// output is a reconstruction by-product, not part of the log partition).
+  bool covers_final_epoch = true;
+};
+
+/// SkipBlock branch decision.
+enum class LoopAction : uint8_t {
+  kExecute = 0,  ///< run the enclosed loop
+  kSkip = 1,     ///< side-effects restored by the hook; body not run
+};
+
+/// Callbacks implemented by Flor record/replay sessions.
+class ExecHooks {
+ public:
+  virtual ~ExecHooks() = default;
+
+  /// SkipBlock entry for an instrumented loop. `ctx` is the enclosing
+  /// iteration context (e.g. "e=17") identifying this loop *execution*.
+  /// If the hook returns kSkip it must already have applied the loop's
+  /// memoized side-effects to `frame`.
+  virtual Result<LoopAction> OnSkipBlockEnter(ir::Loop* loop,
+                                              const std::string& ctx,
+                                              bool init_mode,
+                                              Frame* frame) = 0;
+
+  /// SkipBlock exit after an *executed* loop. `compute_seconds` is the
+  /// measured body time (Ci sample). The hook may materialize the Loop End
+  /// Checkpoint here (and charge any main-thread cost to the clock).
+  virtual Status OnSkipBlockExit(ir::Loop* loop, const std::string& ctx,
+                                 Frame* frame, double compute_seconds) = 0;
+
+  /// Main-loop plan (the Flor generator). Returning nullopt runs the full
+  /// range in kWork mode (vanilla / record behaviour).
+  virtual Result<std::optional<MainLoopPlan>> PlanMainLoop(
+      ir::Loop* loop, int64_t trip_count, Frame* frame) = 0;
+};
+
+/// Hooks that do nothing — vanilla execution.
+class VanillaHooks : public ExecHooks {
+ public:
+  Result<LoopAction> OnSkipBlockEnter(ir::Loop*, const std::string&, bool,
+                                      Frame*) override {
+    return LoopAction::kExecute;
+  }
+  Status OnSkipBlockExit(ir::Loop*, const std::string&, Frame*,
+                         double) override {
+    return Status::OK();
+  }
+  Result<std::optional<MainLoopPlan>> PlanMainLoop(ir::Loop*, int64_t,
+                                                   Frame*) override {
+    return std::optional<MainLoopPlan>();
+  }
+};
+
+/// Executes programs. Statement costs are charged to the Env clock when it
+/// is simulated; on a wall clock, real execution time is simply measured.
+class Interpreter {
+ public:
+  /// `hooks` may be null (vanilla). Does not own its arguments.
+  Interpreter(Env* env, LogStream* log, ExecHooks* hooks);
+
+  /// Runs the whole program against `frame`.
+  Status Run(ir::Program* program, Frame* frame);
+
+  /// Clock delta over the last Run() (seconds).
+  double elapsed_seconds() const { return elapsed_seconds_; }
+
+ private:
+  Status RunBlock(ir::Block* block, Frame* frame);
+  Status RunLoop(ir::Loop* loop, Frame* frame);
+  Status RunLoopBodyOnce(ir::Loop* loop, int64_t index, Frame* frame);
+  Status RunStmt(ir::Stmt* stmt, Frame* frame);
+  Result<int64_t> TripCount(const ir::Loop& loop, Frame* frame) const;
+
+  /// "e=17/i=3" for the current loop-iteration stack.
+  std::string ContextString() const;
+
+  Env* env_;
+  LogStream* log_;
+  ExecHooks* hooks_;
+  VanillaHooks vanilla_;
+
+  ir::Program* program_ = nullptr;
+  std::vector<std::pair<std::string, int64_t>> iter_stack_;
+  bool init_mode_ = false;
+  double elapsed_seconds_ = 0;
+};
+
+}  // namespace exec
+}  // namespace flor
+
+#endif  // FLOR_EXEC_INTERPRETER_H_

@@ -1,0 +1,102 @@
+#include "exec/log_stream.h"
+
+#include "common/strings.h"
+
+namespace flor {
+namespace exec {
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> Unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (i + 1 >= s.size())
+      return Status::Corruption("dangling escape in log entry");
+    switch (s[++i]) {
+      case 't':
+        out += '\t';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case '\\':
+        out += '\\';
+        break;
+      default:
+        return Status::Corruption("unknown escape in log entry");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<LogEntry> LogStream::WorkEntries() const {
+  std::vector<LogEntry> out;
+  for (const auto& e : entries_)
+    if (!e.init_mode) out.push_back(e);
+  return out;
+}
+
+std::string LogStream::Serialize() const {
+  std::string out;
+  for (const auto& e : entries_) {
+    out += StrCat(e.stmt_uid, "\t", Escape(e.context), "\t",
+                  e.init_mode ? 1 : 0, "\t", Escape(e.label), "\t",
+                  Escape(e.text), "\n");
+  }
+  return out;
+}
+
+Result<LogStream> LogStream::Deserialize(const std::string& data) {
+  LogStream out;
+  for (const auto& line : StrSplit(data, '\n')) {
+    if (line.empty()) continue;
+    auto fields = StrSplit(line, '\t');
+    if (fields.size() != 5)
+      return Status::Corruption("malformed log line: " + line);
+    LogEntry e;
+    e.stmt_uid = static_cast<int32_t>(std::strtol(fields[0].c_str(),
+                                                  nullptr, 10));
+    FLOR_ASSIGN_OR_RETURN(e.context, Unescape(fields[1]));
+    e.init_mode = fields[2] == "1";
+    FLOR_ASSIGN_OR_RETURN(e.label, Unescape(fields[3]));
+    FLOR_ASSIGN_OR_RETURN(e.text, Unescape(fields[4]));
+    out.Append(std::move(e));
+  }
+  return out;
+}
+
+void LogStream::Extend(const LogStream& other) {
+  entries_.insert(entries_.end(), other.entries_.begin(),
+                  other.entries_.end());
+}
+
+}  // namespace exec
+}  // namespace flor

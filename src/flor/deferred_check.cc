@@ -1,0 +1,72 @@
+#include "flor/deferred_check.h"
+
+#include <map>
+
+#include "common/strings.h"
+
+namespace flor {
+
+Status DeferredCheckReport::ToStatus() const {
+  if (ok) return Status::OK();
+  return Status::ReplayAnomaly(anomalies.empty() ? "replay anomaly"
+                                                 : anomalies.front());
+}
+
+DeferredCheckReport DeferredCheck(
+    const std::vector<exec::LogEntry>& record,
+    const std::vector<exec::LogEntry>& replay,
+    const std::set<int32_t>& probe_uids) {
+  constexpr size_t kMaxAnomalies = 8;
+  DeferredCheckReport report;
+
+  // Index record entries by (label, context): list of texts in order, with
+  // a consumption cursor so duplicate log lines (same statement firing
+  // several times in one context) pair off one-to-one. Identity is the log
+  // *label* rather than the statement uid because inserting hindsight
+  // probes shifts the uids of later statements between program versions —
+  // labels are the stable cross-version name of a logged quantity (exactly
+  // what a TensorBoard tag is in the paper's setting).
+  struct Bucket {
+    std::vector<const exec::LogEntry*> entries;
+    size_t next = 0;
+  };
+  std::map<std::pair<std::string, std::string>, Bucket> index;
+  for (const auto& e : record) {
+    if (e.init_mode) continue;
+    index[{e.label, e.context}].entries.push_back(&e);
+  }
+
+  auto add_anomaly = [&](std::string msg) {
+    report.ok = false;
+    if (report.anomalies.size() < kMaxAnomalies)
+      report.anomalies.push_back(std::move(msg));
+  };
+
+  for (const auto& e : replay) {
+    if (e.init_mode) continue;
+    if (probe_uids.count(e.stmt_uid)) continue;  // hindsight output is new
+    ++report.entries_compared;
+    auto it = index.find({e.label, e.context});
+    if (it == index.end()) {
+      add_anomaly(StrCat("replay logged '", e.label, "=", e.text, "' at [",
+                         e.context,
+                         "] but record has no entry for that statement"));
+      continue;
+    }
+    Bucket& bucket = it->second;
+    if (bucket.next >= bucket.entries.size()) {
+      add_anomaly(StrCat("replay logged '", e.label, "' at [", e.context,
+                         "] more times than record did"));
+      continue;
+    }
+    const exec::LogEntry* rec = bucket.entries[bucket.next++];
+    if (rec->text != e.text) {
+      add_anomaly(StrCat("log divergence at [", e.context, "] '", e.label,
+                         "': record='", rec->text, "' replay='", e.text,
+                         "'"));
+    }
+  }
+  return report;
+}
+
+}  // namespace flor

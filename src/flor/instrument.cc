@@ -1,0 +1,43 @@
+#include "flor/instrument.h"
+
+#include "analysis/side_effect.h"
+
+namespace flor {
+
+InstrumentReport InstrumentProgram(ir::Program* program) {
+  analysis::AnalyzeProgram(program);
+
+  InstrumentReport report;
+  ir::Loop* main_loop = program->MainLoop();
+  for (ir::Loop* loop : program->AllLoops()) {
+    ++report.loops_total;
+    ir::LoopAnalysis& a = loop->analysis();
+    if (loop == main_loop) {
+      a.instrumented = false;
+      a.refusal = "main loop: managed by the Flor generator (§5.4)";
+      report.refusals.emplace_back(loop->id(), a.refusal);
+      continue;
+    }
+    if (!a.refusal.empty()) {
+      a.instrumented = false;
+      report.refusals.emplace_back(loop->id(), a.refusal);
+      continue;
+    }
+    a.instrumented = true;
+    ++report.loops_instrumented;
+  }
+  return report;
+}
+
+std::vector<ir::Loop*> SkippableEpochLoops(ir::Program* program) {
+  std::vector<ir::Loop*> out;
+  ir::Loop* main_loop = program->MainLoop();
+  if (!main_loop) return out;
+  for (auto& node : main_loop->body().nodes) {
+    if (node.is_loop() && node.loop->analysis().instrumented)
+      out.push_back(node.loop.get());
+  }
+  return out;
+}
+
+}  // namespace flor

@@ -1,0 +1,41 @@
+// Instrumentation pass (paper §4.2, §5.2): decides which loops get wrapped
+// in SkipBlocks and finalizes their static changesets.
+//
+// Policy, matching the paper:
+//   * The main loop is never wrapped — it is managed by the Flor generator
+//     for hindsight parallelism ("Flor automatically ignores the main loop,
+//     and encloses the nested training loop inside a SkipBlock").
+//   * Any other loop is wrapped iff the side-effect analysis accepted it
+//     (no rule-0/5 refusal anywhere in its body, including nested loops).
+
+#ifndef FLOR_FLOR_INSTRUMENT_H_
+#define FLOR_FLOR_INSTRUMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/program.h"
+
+namespace flor {
+
+/// Summary of an instrumentation pass.
+struct InstrumentReport {
+  int loops_total = 0;
+  int loops_instrumented = 0;
+  /// (loop id, reason) for each refused loop.
+  std::vector<std::pair<int32_t, std::string>> refusals;
+};
+
+/// Analyzes the program and wraps eligible loops. Idempotent. The result is
+/// written into each loop's LoopAnalysis (ir/program.h).
+InstrumentReport InstrumentProgram(ir::Program* program);
+
+/// Instrumented loops that sit directly in the main loop's body — the loops
+/// whose Loop End Checkpoints decouple main-loop iterations (§4.1). Empty
+/// if there is no main loop.
+std::vector<ir::Loop*> SkippableEpochLoops(ir::Program* program);
+
+}  // namespace flor
+
+#endif  // FLOR_FLOR_INSTRUMENT_H_

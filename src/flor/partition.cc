@@ -1,0 +1,191 @@
+#include "flor/partition.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace flor {
+
+const char* InitModeName(InitMode m) {
+  return m == InitMode::kStrong ? "strong" : "weak";
+}
+
+namespace {
+
+/// Balanced contiguous grouping of segment sizes into at most `groups`
+/// parts, minimizing the maximum part sum (classic linear partition; sizes
+/// here are small, so O(n^2 * g) DP is fine).
+std::vector<int> LinearPartition(const std::vector<int64_t>& sizes,
+                                 int groups) {
+  const int n = static_cast<int>(sizes.size());
+  groups = std::min(groups, n);
+  // prefix sums
+  std::vector<int64_t> prefix(static_cast<size_t>(n) + 1, 0);
+  for (int i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + sizes[i];
+  constexpr int64_t kInf = INT64_MAX / 4;
+  // dp[g][i] = min over splits of first i segments into g groups of max sum
+  std::vector<std::vector<int64_t>> dp(
+      static_cast<size_t>(groups) + 1,
+      std::vector<int64_t>(static_cast<size_t>(n) + 1, kInf));
+  std::vector<std::vector<int>> cut(
+      static_cast<size_t>(groups) + 1,
+      std::vector<int>(static_cast<size_t>(n) + 1, 0));
+  dp[0][0] = 0;
+  for (int g = 1; g <= groups; ++g) {
+    for (int i = 1; i <= n; ++i) {
+      for (int j = g - 1; j < i; ++j) {
+        const int64_t candidate =
+            std::max(dp[g - 1][j], prefix[i] - prefix[j]);
+        if (candidate < dp[g][i]) {
+          dp[g][i] = candidate;
+          cut[g][i] = j;
+        }
+      }
+    }
+  }
+  // Pick the smallest group count achieving the optimum (empty groups are
+  // pointless), then recover boundaries.
+  int best_g = groups;
+  for (int g = 1; g <= groups; ++g) {
+    if (dp[g][n] <= dp[best_g][n]) {
+      best_g = g;
+      break;
+    }
+  }
+  // Recover assignment: boundaries[k] = first segment index of group k.
+  std::vector<int> bounds;
+  int i = n;
+  for (int g = best_g; g >= 1; --g) {
+    bounds.push_back(cut[g][i]);
+    i = cut[g][i];
+  }
+  std::reverse(bounds.begin(), bounds.end());
+  // bounds[k] is the start segment of group k; produce per-segment group id
+  std::vector<int> assign(static_cast<size_t>(n), 0);
+  for (int k = 0; k < best_g; ++k) {
+    const int start = bounds[static_cast<size_t>(k)];
+    const int end = (k + 1 < best_g) ? bounds[static_cast<size_t>(k) + 1] : n;
+    for (int s = start; s < end; ++s) assign[static_cast<size_t>(s)] = k;
+  }
+  return assign;
+}
+
+}  // namespace
+
+Result<PartitionPlan> PartitionMainLoop(
+    int64_t epochs, int num_workers, InitMode requested,
+    const std::vector<int64_t>& ckpt_epochs) {
+  if (epochs <= 0) return Status::InvalidArgument("epochs must be positive");
+  if (num_workers <= 0)
+    return Status::InvalidArgument("num_workers must be positive");
+
+  const std::set<int64_t> ckpts(ckpt_epochs.begin(), ckpt_epochs.end());
+
+  // Dense = every epoch that precedes another epoch has a checkpoint.
+  bool dense = true;
+  for (int64_t e = 0; e + 1 < epochs; ++e) {
+    if (!ckpts.count(e)) {
+      dense = false;
+      break;
+    }
+  }
+
+  PartitionPlan plan;
+  plan.mode = requested;
+  if (requested == InitMode::kStrong && !dense) {
+    // Strong initialization needs a checkpoint at every preceding epoch;
+    // sparse workloads fall back to weak (paper §5.4.2: "weak
+    // initialization is necessary when a workload is checkpointed sparsely
+    // or periodically on record, as are RTE & CoLA").
+    plan.mode = InitMode::kWeak;
+  }
+
+  // Candidate segment starts: epoch 0, plus e+1 for each checkpointed e.
+  std::vector<int64_t> starts;
+  starts.push_back(0);
+  for (int64_t e : ckpt_epochs) {
+    if (e + 1 < epochs) starts.push_back(e + 1);
+  }
+  std::sort(starts.begin(), starts.end());
+  starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+
+  // Segment sizes between consecutive starts.
+  std::vector<int64_t> sizes;
+  for (size_t i = 0; i < starts.size(); ++i) {
+    const int64_t end = i + 1 < starts.size() ? starts[i + 1] : epochs;
+    sizes.push_back(end - starts[i]);
+  }
+  plan.segments = static_cast<int64_t>(sizes.size());
+
+  const auto assign = LinearPartition(sizes, num_workers);
+  const int groups = assign.empty() ? 0 : assign.back() + 1;
+
+  for (int g = 0; g < groups; ++g) {
+    WorkerPlan wp;
+    wp.worker_id = g;
+    wp.work_begin = -1;
+    for (size_t s = 0; s < sizes.size(); ++s) {
+      if (assign[s] != g) continue;
+      if (wp.work_begin < 0) wp.work_begin = starts[s];
+      wp.work_end = s + 1 < starts.size() ? starts[s + 1] : epochs;
+    }
+    // Init segment.
+    if (wp.work_begin > 0) {
+      if (plan.mode == InitMode::kStrong) {
+        for (int64_t e = 0; e < wp.work_begin; ++e)
+          wp.iters.push_back({e, exec::IterMode::kInit});
+      } else {
+        const int64_t prev = wp.work_begin - 1;
+        if (!ckpts.count(prev)) {
+          return Status::FailedPrecondition(
+              StrCat("no checkpoint at epoch ", prev,
+                     " for weak initialization of worker ", g));
+        }
+        wp.iters.push_back({prev, exec::IterMode::kInit});
+      }
+    }
+    for (int64_t e = wp.work_begin; e < wp.work_end; ++e)
+      wp.iters.push_back({e, exec::IterMode::kWork});
+    plan.max_worker_epochs =
+        std::max(plan.max_worker_epochs, wp.work_epochs());
+    plan.workers.push_back(std::move(wp));
+  }
+  return plan;
+}
+
+Result<WorkerPlan> PlanSampledEpochs(int64_t epochs,
+                                     const std::vector<int64_t>& sample,
+                                     const std::vector<int64_t>&
+                                         ckpt_epochs) {
+  const std::set<int64_t> ckpts(ckpt_epochs.begin(), ckpt_epochs.end());
+  WorkerPlan wp;
+  wp.worker_id = 0;
+  std::vector<int64_t> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  int64_t last_executed = -2;  // epoch whose end state we currently hold
+  for (int64_t k : sorted) {
+    if (k < 0 || k >= epochs)
+      return Status::OutOfRange(StrCat("sampled epoch ", k, " out of range"));
+    if (k != last_executed + 1) {
+      if (k > 0) {
+        if (!ckpts.count(k - 1)) {
+          return Status::FailedPrecondition(
+              StrCat("no checkpoint at epoch ", k - 1,
+                     " to random-access sampled epoch ", k));
+        }
+        wp.iters.push_back({k - 1, exec::IterMode::kInit});
+      }
+    }
+    wp.iters.push_back({k, exec::IterMode::kWork});
+    last_executed = k;
+  }
+  if (!sorted.empty()) {
+    wp.work_begin = sorted.front();
+    wp.work_end = sorted.back() + 1;
+  }
+  return wp;
+}
+
+}  // namespace flor

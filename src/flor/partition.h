@@ -1,0 +1,76 @@
+// Iterator partitioning for hindsight parallelism (paper §5.4.1).
+//
+// The Flor generator splits the main loop's iterations across G workers.
+// Partition boundaries must fall where a worker can reconstruct its start
+// state: epoch e is a valid start iff e == 0 or epoch e-1 has Loop End
+// Checkpoints for every skippable epoch loop. Densely checkpointed
+// workloads partition anywhere; sparsely checkpointed ones (RTE/CoLA under
+// adaptive checkpointing) are limited to the checkpointed epochs — which is
+// why those workloads bottom out at 2/6 of vanilla replay time on 4 GPUs
+// (Fig. 10).
+//
+// Initialization modes (§5.4.2):
+//   * strong — iterate every epoch before the work segment in init mode,
+//     restoring each from its checkpoint (the default; correctness follows
+//     from loop memoization).
+//   * weak — jump straight to epoch (start-1) and restore only it; required
+//     when checkpointing is sparse.
+
+#ifndef FLOR_FLOR_PARTITION_H_
+#define FLOR_FLOR_PARTITION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "exec/interpreter.h"
+
+namespace flor {
+
+/// Worker start-state reconstruction strategy.
+enum class InitMode : uint8_t { kStrong = 0, kWeak = 1 };
+
+const char* InitModeName(InitMode m);
+
+/// One worker's share of the main loop.
+struct WorkerPlan {
+  int worker_id = 0;
+  int64_t work_begin = 0;  ///< first epoch of the work segment
+  int64_t work_end = 0;    ///< one past the last epoch
+  /// Full planned iteration sequence (init iterations then work).
+  std::vector<exec::PlannedIter> iters;
+
+  int64_t work_epochs() const { return work_end - work_begin; }
+};
+
+/// A full partitioning of the main loop.
+struct PartitionPlan {
+  InitMode mode = InitMode::kStrong;
+  std::vector<WorkerPlan> workers;
+  /// Number of candidate segments (partitioning granularity; equals the
+  /// epoch count when checkpointing is dense).
+  int64_t segments = 0;
+  /// Epochs of the largest work segment (load-balance ceiling: max speedup
+  /// = epochs / max_segment_epochs, the paper's 200/13 example).
+  int64_t max_worker_epochs = 0;
+};
+
+/// Partitions `epochs` main-loop iterations over `num_workers` workers.
+/// `ckpt_epochs` lists epochs whose end state is checkpointed (sorted).
+/// `requested` falls back from kStrong to kWeak when checkpoints are
+/// sparse; the effective mode is in the returned plan.
+Result<PartitionPlan> PartitionMainLoop(int64_t epochs, int num_workers,
+                                        InitMode requested,
+                                        const std::vector<int64_t>&
+                                            ckpt_epochs);
+
+/// Sampling replay (paper §8, "Partial Replay: Search and Approximation"):
+/// plans the execution of an arbitrary sorted set of epochs, weak-
+/// initializing before each non-contiguous jump. Each sampled epoch k with
+/// k-1 not itself sampled-and-just-executed requires a checkpoint at k-1.
+Result<WorkerPlan> PlanSampledEpochs(int64_t epochs,
+                                     const std::vector<int64_t>& sample,
+                                     const std::vector<int64_t>& ckpt_epochs);
+
+}  // namespace flor
+
+#endif  // FLOR_FLOR_PARTITION_H_

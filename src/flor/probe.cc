@@ -1,0 +1,45 @@
+#include "flor/probe.h"
+
+namespace flor {
+
+namespace {
+
+/// Returns true if `block` (or any nested loop body) contains a directly
+/// probed loop; accumulates every enclosing loop id along probed paths.
+bool MarkProbedPaths(const ir::Block& block,
+                     const std::set<int32_t>& direct,
+                     std::set<int32_t>* out) {
+  bool any = false;
+  for (const auto& node : block.nodes) {
+    if (!node.is_loop()) continue;
+    const ir::Loop& loop = *node.loop;
+    bool probed_here = direct.count(loop.id()) > 0;
+    bool probed_below = MarkProbedPaths(loop.body(), direct, out);
+    if (probed_here || probed_below) {
+      out->insert(loop.id());
+      any = true;
+    }
+  }
+  return any;
+}
+
+}  // namespace
+
+std::set<int32_t> TransitivelyProbedLoops(const ir::Program& program,
+                                          const ir::ProbeReport& report) {
+  std::set<int32_t> out;
+  MarkProbedPaths(program.top(), report.probed_loops, &out);
+  return out;
+}
+
+bool OnlyOuterProbes(const ir::Program& program,
+                     const ir::ProbeReport& report) {
+  const auto probed = TransitivelyProbedLoops(program, report);
+  for (const ir::Loop* loop : program.AllLoops()) {
+    if (loop->analysis().instrumented && probed.count(loop->id()))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace flor

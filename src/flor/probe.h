@@ -1,0 +1,30 @@
+// Probe resolution: from a version diff to per-loop skippability.
+//
+// A loop cannot be skipped on replay if *it or any loop nested inside it*
+// was probed — restoring its Loop End Checkpoint would jump over the probed
+// code without producing the requested logs (paper §3.2: "Flor skips
+// memoized code-blocks on replay, unless their internals are probed").
+
+#ifndef FLOR_FLOR_PROBE_H_
+#define FLOR_FLOR_PROBE_H_
+
+#include <set>
+
+#include "ir/diff.h"
+#include "ir/program.h"
+
+namespace flor {
+
+/// Loops (by id) that are probed directly or contain a probed descendant.
+std::set<int32_t> TransitivelyProbedLoops(const ir::Program& program,
+                                          const ir::ProbeReport& report);
+
+/// True if replay of this program can skip every instrumented loop — i.e.
+/// all probes (if any) sit outside instrumented loops. This is the paper's
+/// "outer loop probe" fast path with latencies in minutes (Fig. 12 top).
+bool OnlyOuterProbes(const ir::Program& program,
+                     const ir::ProbeReport& report);
+
+}  // namespace flor
+
+#endif  // FLOR_FLOR_PROBE_H_

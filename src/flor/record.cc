@@ -1,0 +1,136 @@
+#include "flor/record.h"
+
+#include "analysis/augment.h"
+#include "common/strings.h"
+
+namespace flor {
+
+RecordSession::RecordSession(Env* env, RecordOptions options)
+    : env_(env), options_(std::move(options)), paths_(options_.run_prefix),
+      adaptive_(options_.adaptive) {
+  store_ = std::make_unique<CheckpointStore>(env_->fs(),
+                                             paths_.CkptPrefix());
+  materializer_ = std::make_unique<Materializer>(env_, options_.materializer);
+}
+
+Result<RecordResult> RecordSession::Run(ir::Program* program,
+                                        exec::Frame* frame) {
+  RecordResult result;
+  if (options_.checkpointing_enabled) {
+    result.instrument = InstrumentProgram(program);
+  }
+
+  // Save the source before executing — this is the version replay diffs
+  // against ("Flor stores a copy of the code", §3.1).
+  FLOR_RETURN_IF_ERROR(
+      env_->fs()->WriteFile(paths_.Source(), program->RenderSource()));
+
+  manifest_.workload = options_.workload;
+  manifest_.vanilla_runtime_seconds = options_.vanilla_runtime_seconds;
+
+  exec::Interpreter interp(env_, &result.logs,
+                           options_.checkpointing_enabled ? this : nullptr);
+  const double start = env_->clock()->NowSeconds();
+  FLOR_RETURN_IF_ERROR(interp.Run(program, frame));
+  // The end-of-run join with background children counts toward runtime.
+  materializer_->Drain();
+  result.runtime_seconds = env_->clock()->NowSeconds() - start;
+
+  // Persist logs + manifest.
+  for (ir::Loop* loop : program->AllLoops()) {
+    const int64_t ni = adaptive_.executions(loop->id());
+    if (ni > 0) manifest_.loop_executions[loop->id()] = ni;
+  }
+  manifest_.record_runtime_seconds = result.runtime_seconds;
+  manifest_.c_estimate = adaptive_.c();
+  FLOR_RETURN_IF_ERROR(
+      env_->fs()->WriteFile(paths_.Logs(), result.logs.Serialize()));
+  FLOR_RETURN_IF_ERROR(
+      env_->fs()->WriteFile(paths_.Manifest(), manifest_.Serialize()));
+
+  result.skipblocks = stats_;
+  result.manifest = manifest_;
+  result.materialize_main_seconds = materializer_->total_main_thread_seconds();
+  result.materialize_stall_seconds = materializer_->total_stall_seconds();
+  result.adaptive_trace = adaptive_.trace();
+  return result;
+}
+
+Result<exec::LoopAction> RecordSession::OnSkipBlockEnter(
+    ir::Loop*, const std::string&, bool, exec::Frame*) {
+  // Record execution always runs the enclosed loop.
+  return exec::LoopAction::kExecute;
+}
+
+Status RecordSession::OnSkipBlockExit(ir::Loop* loop, const std::string& ctx,
+                                      exec::Frame* frame,
+                                      double compute_seconds) {
+  ++stats_.executed;
+
+  // Joint Invariant test comes first: "loops are tested after executing,
+  // but before materialization" (§5.3.3).
+  const uint64_t nominal = options_.nominal_checkpoint_bytes;
+  double mi_estimate;
+  if (nominal > 0) {
+    mi_estimate = options_.materializer.costs.MaterializeSeconds(nominal);
+  } else {
+    // Estimate from the (cheaply computable) snapshot size of the changeset
+    // variables currently in the frame.
+    uint64_t bytes = 0;
+    for (const auto& name : loop->analysis().changeset) {
+      auto v = frame->Get(name);
+      if (v.ok()) bytes += ir::SnapshotValue(*v).ApproxBytes();
+    }
+    mi_estimate = options_.materializer.costs.MaterializeSeconds(bytes);
+  }
+  if (!adaptive_.ShouldMaterialize(loop->id(), compute_seconds,
+                                   mi_estimate)) {
+    return Status::OK();
+  }
+
+  // Runtime changeset augmentation with library knowledge (§5.2.1): find
+  // optimizers/schedulers in the changeset and pull in their referents.
+  const std::vector<std::string> augmented =
+      analysis::AugmentChangeset(*frame, loop->analysis().changeset);
+
+  // Snapshot on the training thread (the COW copy), then hand off.
+  NamedSnapshots snaps;
+  for (const auto& name : augmented) {
+    auto v = frame->Get(name);
+    if (!v.ok()) {
+      return Status::FailedPrecondition(
+          StrCat("changeset variable '", name,
+                 "' unbound at Loop End Checkpoint of L", loop->id()));
+    }
+    snaps.emplace_back(name, ir::SnapshotValue(*v));
+  }
+
+  CheckpointKey key{loop->id(), ctx};
+  FLOR_ASSIGN_OR_RETURN(
+      MaterializeReceipt receipt,
+      materializer_->Materialize(store_.get(), key, std::move(snaps),
+                                 nominal));
+  ++stats_.materialized;
+
+  CheckpointRecord rec;
+  rec.key = key;
+  rec.epoch = key.EpochIndex();
+  rec.raw_bytes = receipt.raw_bytes;
+  rec.stored_bytes = receipt.stored_bytes;
+  rec.nominal_raw_bytes = nominal;
+  rec.materialize_seconds =
+      receipt.background_seconds > 0
+          ? receipt.background_seconds
+          : options_.materializer.costs.MaterializeSeconds(
+                nominal ? nominal : receipt.raw_bytes);
+  manifest_.records.push_back(std::move(rec));
+  return Status::OK();
+}
+
+Result<std::optional<exec::MainLoopPlan>> RecordSession::PlanMainLoop(
+    ir::Loop*, int64_t, exec::Frame*) {
+  // Record runs the full range; no generator re-planning.
+  return std::optional<exec::MainLoopPlan>();
+}
+
+}  // namespace flor

@@ -1,0 +1,95 @@
+// RecordSession — Flor record (paper §3.1, §5).
+//
+// Running a program under a RecordSession is the C++ analog of executing an
+// `import flor` training script:
+//   1. the program is instrumented (SkipBlocks around eligible loops),
+//   2. the rendered source is saved (the probe-diff baseline),
+//   3. execution proceeds; at every wrapped-loop exit the adaptive
+//      controller tests the Joint Invariant, and accepted checkpoints are
+//      snapshotted on the training thread and materialized in the
+//      background,
+//   4. the log stream and the checkpoint manifest are persisted.
+
+#ifndef FLOR_FLOR_RECORD_H_
+#define FLOR_FLOR_RECORD_H_
+
+#include <memory>
+#include <string>
+
+#include "checkpoint/materializer.h"
+#include "checkpoint/store.h"
+#include "env/env.h"
+#include "exec/interpreter.h"
+#include "flor/adaptive.h"
+#include "flor/instrument.h"
+#include "flor/skipblock.h"
+
+namespace flor {
+
+/// Record configuration.
+struct RecordOptions {
+  /// Filesystem prefix for this run's artifacts.
+  std::string run_prefix = "run";
+  /// Workload name stored in the manifest (informational).
+  std::string workload;
+  /// False disables instrumentation entirely — the "vanilla execution"
+  /// baseline the paper compares against.
+  bool checkpointing_enabled = true;
+  MaterializerOptions materializer;
+  AdaptiveOptions adaptive;
+  /// Nominal (paper-scale) raw bytes per checkpoint for the simulated cost
+  /// model; 0 = use actual snapshot sizes.
+  uint64_t nominal_checkpoint_bytes = 0;
+  /// Optional vanilla runtime of the same program (stored in the manifest
+  /// so benches can report overhead without re-deriving it).
+  double vanilla_runtime_seconds = 0;
+};
+
+/// Outcome of a record run.
+struct RecordResult {
+  double runtime_seconds = 0;
+  SkipBlockStats skipblocks;
+  exec::LogStream logs;
+  Manifest manifest;
+  InstrumentReport instrument;
+  /// Training-thread materialization cost (the record overhead numerator).
+  double materialize_main_seconds = 0;
+  double materialize_stall_seconds = 0;
+  std::vector<AdaptiveDecision> adaptive_trace;
+};
+
+/// Executes one program under Flor record. Single-use.
+class RecordSession : public exec::ExecHooks {
+ public:
+  /// Does not own `env`.
+  RecordSession(Env* env, RecordOptions options);
+
+  /// Instruments, executes, persists. `frame` starts empty; the program's
+  /// preamble populates it.
+  Result<RecordResult> Run(ir::Program* program, exec::Frame* frame);
+
+  // --- ExecHooks (SkipBlock parameterization for record execution) ---
+  Result<exec::LoopAction> OnSkipBlockEnter(ir::Loop* loop,
+                                            const std::string& ctx,
+                                            bool init_mode,
+                                            exec::Frame* frame) override;
+  Status OnSkipBlockExit(ir::Loop* loop, const std::string& ctx,
+                         exec::Frame* frame,
+                         double compute_seconds) override;
+  Result<std::optional<exec::MainLoopPlan>> PlanMainLoop(
+      ir::Loop* loop, int64_t trip_count, exec::Frame* frame) override;
+
+ private:
+  Env* env_;
+  RecordOptions options_;
+  RunPaths paths_;
+  std::unique_ptr<CheckpointStore> store_;
+  std::unique_ptr<Materializer> materializer_;
+  AdaptiveController adaptive_;
+  Manifest manifest_;
+  SkipBlockStats stats_;
+};
+
+}  // namespace flor
+
+#endif  // FLOR_FLOR_RECORD_H_

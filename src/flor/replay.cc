@@ -1,0 +1,218 @@
+#include "flor/replay.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "flor/instrument.h"
+
+namespace flor {
+
+ReplaySession::ReplaySession(Env* env, ReplayOptions options)
+    : env_(env), options_(std::move(options)), paths_(options_.run_prefix) {
+  store_ = std::make_unique<CheckpointStore>(env_->fs(),
+                                             paths_.CkptPrefix());
+}
+
+std::vector<int64_t> ReplaySession::BoundaryEpochs(
+    ir::Program* program) const {
+  // Intersect checkpointed epochs across all skippable epoch-level loops:
+  // a worker can start at epoch e+1 only if *every* such loop restored at
+  // epoch e reconstructs the state.
+  std::vector<ir::Loop*> loops = SkippableEpochLoops(program);
+  std::vector<int64_t> out;
+  bool first = true;
+  for (ir::Loop* loop : loops) {
+    std::vector<int64_t> epochs = manifest_.EpochsWithCheckpoint(loop->id());
+    if (first) {
+      out = epochs;
+      first = false;
+    } else {
+      std::vector<int64_t> merged;
+      std::set_intersection(out.begin(), out.end(), epochs.begin(),
+                            epochs.end(), std::back_inserter(merged));
+      out = std::move(merged);
+    }
+  }
+  return out;
+}
+
+Result<ReplayResult> ReplaySession::Run(ir::Program* current_program,
+                                        exec::Frame* frame) {
+  ReplayResult result;
+  result_ = &result;
+  program_ = current_program;
+
+  // Replay instruments the current version the same way record did; the
+  // analysis only reads surface patterns, and log statements contribute no
+  // side effects, so wrapped loops and changesets match the record run.
+  InstrumentProgram(current_program);
+
+  FLOR_ASSIGN_OR_RETURN(std::string recorded_source,
+                        env_->fs()->ReadFile(paths_.Source()));
+  FLOR_ASSIGN_OR_RETURN(result.probes,
+                        ir::DiffForProbes(recorded_source,
+                                          *current_program));
+  probed_transitive_ =
+      TransitivelyProbedLoops(*current_program, result.probes);
+
+  FLOR_ASSIGN_OR_RETURN(std::string manifest_bytes,
+                        env_->fs()->ReadFile(paths_.Manifest()));
+  FLOR_ASSIGN_OR_RETURN(manifest_, Manifest::Deserialize(manifest_bytes));
+  for (const auto& rec : manifest_.records)
+    records_by_key_[rec.key.ToString()] = &rec;
+
+  FLOR_ASSIGN_OR_RETURN(std::string log_bytes,
+                        env_->fs()->ReadFile(paths_.Logs()));
+  FLOR_ASSIGN_OR_RETURN(record_logs_,
+                        exec::LogStream::Deserialize(log_bytes));
+
+  exec::Interpreter interp(env_, &result.logs, this);
+  const double start = env_->clock()->NowSeconds();
+  FLOR_RETURN_IF_ERROR(interp.Run(current_program, frame));
+  result.runtime_seconds = env_->clock()->NowSeconds() - start;
+
+  result.restore_seconds = result_->restore_seconds;
+  result.observed_c =
+      restore_ratio_count_ > 0
+          ? restore_ratio_sum_ / static_cast<double>(restore_ratio_count_)
+          : 0;
+
+  for (const auto& e : result.logs.WorkEntries()) {
+    if (result.probes.probe_stmt_uids.count(e.stmt_uid))
+      result.probe_entries.push_back(e);
+  }
+
+  if (options_.run_deferred_check) {
+    result.deferred =
+        DeferredCheck(record_logs_.entries(), result.logs.WorkEntries(),
+                      result.probes.probe_stmt_uids);
+  }
+  result_ = nullptr;
+  return result;
+}
+
+Status ReplaySession::RestoreSkipBlock(ir::Loop* loop,
+                                       const CheckpointKey& key,
+                                       exec::Frame* frame) {
+  FLOR_ASSIGN_OR_RETURN(NamedSnapshots snaps, store_->Get(key));
+  for (const auto& [name, snap] : snaps) {
+    if (!frame->Has(name)) {
+      return Status::ReplayAnomaly(
+          StrCat("checkpoint of L", loop->id(), " restores variable '", name,
+                 "' which is unbound on replay"));
+    }
+    FLOR_RETURN_IF_ERROR(RestoreValue(snap, frame->Mutable(name)));
+  }
+
+  // Charge the restore latency (Ri) under a simulated clock and refine c.
+  auto it = records_by_key_.find(key.ToString());
+  if (it != records_by_key_.end()) {
+    const CheckpointRecord& rec = *it->second;
+    const uint64_t bytes =
+        rec.nominal_raw_bytes ? rec.nominal_raw_bytes : rec.raw_bytes;
+    const double ri = options_.costs.RestoreSeconds(bytes);
+    if (env_->clock()->is_simulated())
+      env_->clock()->AdvanceMicros(SecondsToMicros(ri));
+    if (result_) result_->restore_seconds += ri;
+    if (rec.materialize_seconds > 0) {
+      restore_ratio_sum_ += ri / rec.materialize_seconds;
+      ++restore_ratio_count_;
+    }
+  }
+  ++result_->skipblocks.restores;
+  return Status::OK();
+}
+
+Result<exec::LoopAction> ReplaySession::OnSkipBlockEnter(
+    ir::Loop* loop, const std::string& ctx, bool init_mode,
+    exec::Frame* frame) {
+  CheckpointKey key{loop->id(), ctx};
+  const bool have_ckpt = records_by_key_.count(key.ToString()) > 0;
+
+  if (init_mode) {
+    // Replay initialization: SkipBlocks always restore; a missing
+    // checkpoint here means the partition plan was invalid.
+    if (!have_ckpt) {
+      return Status::FailedPrecondition(
+          StrCat("initialization needs checkpoint ", key.ToString(),
+                 " which was not materialized on record"));
+    }
+    FLOR_RETURN_IF_ERROR(RestoreSkipBlock(loop, key, frame));
+    ++result_->skipblocks.skipped;
+    return exec::LoopAction::kSkip;
+  }
+
+  // Replay execution: a probed loop must re-execute to produce the
+  // hindsight logs; an unprobed memoized loop is skipped.
+  if (probed_transitive_.count(loop->id())) {
+    ++result_->skipblocks.executed;
+    return exec::LoopAction::kExecute;
+  }
+  if (have_ckpt) {
+    FLOR_RETURN_IF_ERROR(RestoreSkipBlock(loop, key, frame));
+    ++result_->skipblocks.skipped;
+    return exec::LoopAction::kSkip;
+  }
+  ++result_->skipblocks.executed;
+  return exec::LoopAction::kExecute;
+}
+
+Status ReplaySession::OnSkipBlockExit(ir::Loop*, const std::string&,
+                                      exec::Frame*, double) {
+  // Replay never re-materializes.
+  return Status::OK();
+}
+
+Result<std::optional<exec::MainLoopPlan>> ReplaySession::PlanMainLoop(
+    ir::Loop*, int64_t trip_count, exec::Frame*) {
+  const std::vector<int64_t> boundaries = BoundaryEpochs(program_);
+
+  if (!options_.sample_epochs.empty()) {
+    FLOR_ASSIGN_OR_RETURN(
+        WorkerPlan plan,
+        PlanSampledEpochs(trip_count, options_.sample_epochs, boundaries));
+    result_->effective_init = InitMode::kWeak;
+    result_->partition_segments = static_cast<int64_t>(plan.iters.size());
+    result_->active_workers = 1;
+    result_->work_begin = plan.work_begin;
+    result_->work_end = plan.work_end;
+    exec::MainLoopPlan out;
+    out.covers_final_epoch = plan.work_end == trip_count;
+    out.iters = std::move(plan.iters);
+    return std::optional<exec::MainLoopPlan>(std::move(out));
+  }
+
+  FLOR_ASSIGN_OR_RETURN(PartitionPlan plan,
+                        PartitionMainLoop(trip_count, options_.num_workers,
+                                          options_.init_mode, boundaries));
+  result_->effective_init = plan.mode;
+  result_->partition_segments = plan.segments;
+  result_->active_workers = static_cast<int>(plan.workers.size());
+  if (options_.worker_id >= static_cast<int>(plan.workers.size())) {
+    // More workers than segments: this worker has nothing to do.
+    result_->work_begin = result_->work_end = 0;
+    exec::MainLoopPlan out;
+    out.covers_final_epoch = false;
+    return std::optional<exec::MainLoopPlan>(std::move(out));
+  }
+  const WorkerPlan& wp = plan.workers[static_cast<size_t>(
+      options_.worker_id)];
+  result_->work_begin = wp.work_begin;
+  result_->work_end = wp.work_end;
+  exec::MainLoopPlan out;
+  out.covers_final_epoch = wp.work_end == trip_count;
+  out.iters = wp.iters;
+  return std::optional<exec::MainLoopPlan>(std::move(out));
+}
+
+Result<VanillaRunResult> VanillaRun(Env* env, ir::Program* program,
+                                    exec::Frame* frame) {
+  VanillaRunResult result;
+  exec::Interpreter interp(env, &result.logs, nullptr);
+  const double start = env->clock()->NowSeconds();
+  FLOR_RETURN_IF_ERROR(interp.Run(program, frame));
+  result.runtime_seconds = env->clock()->NowSeconds() - start;
+  return result;
+}
+
+}  // namespace flor

@@ -1,0 +1,93 @@
+#include "flor/search.h"
+
+#include "common/strings.h"
+#include "flor/replay.h"
+
+namespace flor {
+
+namespace {
+
+/// Replays exactly one epoch (sampling replay) and evaluates the predicate
+/// on its work entries.
+Result<bool> ProbeEpoch(Env* env, const ProgramFactory& factory,
+                        const EpochPredicate& predicate, int64_t epoch,
+                        const SearchOptions& options,
+                        SearchResult* result) {
+  FLOR_ASSIGN_OR_RETURN(ProgramInstance instance, factory());
+  ReplayOptions ropts;
+  ropts.run_prefix = options.run_prefix;
+  ropts.sample_epochs = {epoch};
+  ropts.costs = options.costs;
+  ReplaySession session(env, ropts);
+  exec::Frame frame;
+  FLOR_ASSIGN_OR_RETURN(ReplayResult rr,
+                        session.Run(instance.program.get(), &frame));
+  FLOR_RETURN_IF_ERROR(rr.deferred.ToStatus());
+  result->probed_epochs.push_back(epoch);
+  result->total_latency_seconds += rr.runtime_seconds;
+  // Only entries from the sampled epoch's context.
+  std::vector<exec::LogEntry> entries;
+  const std::string prefix = StrCat("e=", epoch);
+  for (const auto& e : rr.logs.WorkEntries()) {
+    if (e.context == prefix ||
+        StartsWith(e.context, prefix + "/")) {
+      entries.push_back(e);
+    }
+  }
+  return predicate(epoch, entries);
+}
+
+}  // namespace
+
+Result<SearchResult> SearchReplay(Env* env, const ProgramFactory& factory,
+                                  const EpochPredicate& predicate,
+                                  const SearchOptions& options) {
+  // Discover the epoch count from the recorded manifest's loop executions.
+  RunPaths paths(options.run_prefix);
+  FLOR_ASSIGN_OR_RETURN(std::string manifest_bytes,
+                        env->fs()->ReadFile(paths.Manifest()));
+  FLOR_ASSIGN_OR_RETURN(Manifest manifest,
+                        Manifest::Deserialize(manifest_bytes));
+  int64_t epochs = 0;
+  for (const auto& [loop_id, ni] : manifest.loop_executions)
+    epochs = std::max(epochs, ni);
+  if (epochs == 0)
+    return Status::FailedPrecondition(
+        "record run has no loop executions to search");
+
+  SearchResult result;
+
+  // Binary search for the false→true frontier. First check the last epoch:
+  // if the condition never holds, report -1 after O(1) probes.
+  FLOR_ASSIGN_OR_RETURN(bool last_holds,
+                        ProbeEpoch(env, factory, predicate, epochs - 1,
+                                   options, &result));
+  if (!last_holds) {
+    result.found_epoch = -1;
+    return result;
+  }
+
+  int64_t lo = 0, hi = epochs - 1;  // invariant: predicate(hi) == true
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    FLOR_ASSIGN_OR_RETURN(bool holds, ProbeEpoch(env, factory, predicate,
+                                                 mid, options, &result));
+    if (holds) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  result.found_epoch = hi;
+
+  // Look forward to confirm the pattern is permanent.
+  for (int64_t e = hi + 1;
+       e < std::min(epochs, hi + 1 + options.confirm_epochs); ++e) {
+    FLOR_ASSIGN_OR_RETURN(bool holds, ProbeEpoch(env, factory, predicate, e,
+                                                 options, &result));
+    if (!holds) result.confirmed = false;
+  }
+  return result;
+}
+
+}  // namespace flor

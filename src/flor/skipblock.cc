@@ -1,0 +1,4 @@
+// Intentionally header-only types; this translation unit exists to give the
+// header a home in the build graph (and a place for future out-of-line
+// SkipBlock logic).
+#include "flor/skipblock.h"

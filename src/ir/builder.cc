@@ -1,0 +1,151 @@
+#include "ir/builder.h"
+
+#include "common/logging.h"
+
+namespace flor {
+namespace ir {
+
+ProgramBuilder::ProgramBuilder() : program_(std::make_unique<Program>()) {}
+
+Block* ProgramBuilder::CurrentBlock() {
+  if (loop_stack_.empty()) return &program_->top();
+  return &loop_stack_.back()->body();
+}
+
+Stmt* ProgramBuilder::Append(Stmt stmt) {
+  stmt.uid = next_stmt_uid_++;
+  Node node;
+  node.stmt = std::make_unique<Stmt>(std::move(stmt));
+  Stmt* raw = node.stmt.get();
+  CurrentBlock()->nodes.push_back(std::move(node));
+  last_stmt_ = raw;
+  return raw;
+}
+
+ProgramBuilder& ProgramBuilder::Assign(std::vector<std::string> targets,
+                                       std::vector<std::string> reads,
+                                       StmtFn fn) {
+  Stmt s;
+  s.pattern = StmtPattern::kAssign;
+  s.targets = std::move(targets);
+  s.reads = std::move(reads);
+  s.fn = std::move(fn);
+  Append(std::move(s));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::CallAssign(std::vector<std::string> targets,
+                                           std::string callee,
+                                           std::vector<std::string> reads,
+                                           StmtFn fn) {
+  Stmt s;
+  s.pattern = StmtPattern::kCallAssign;
+  s.targets = std::move(targets);
+  s.callee = std::move(callee);
+  s.reads = std::move(reads);
+  s.fn = std::move(fn);
+  Append(std::move(s));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::MethodAssign(std::vector<std::string> targets,
+                                             std::string receiver,
+                                             std::string callee,
+                                             std::vector<std::string> reads,
+                                             StmtFn fn) {
+  Stmt s;
+  s.pattern = StmtPattern::kMethodAssign;
+  s.targets = std::move(targets);
+  s.receiver = std::move(receiver);
+  s.callee = std::move(callee);
+  s.reads = std::move(reads);
+  s.fn = std::move(fn);
+  Append(std::move(s));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::MethodCall(std::string receiver,
+                                           std::string callee,
+                                           std::vector<std::string> reads,
+                                           StmtFn fn) {
+  Stmt s;
+  s.pattern = StmtPattern::kMethodCall;
+  s.receiver = std::move(receiver);
+  s.callee = std::move(callee);
+  s.reads = std::move(reads);
+  s.fn = std::move(fn);
+  Append(std::move(s));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::OpaqueCall(std::string callee,
+                                           std::vector<std::string> reads,
+                                           StmtFn fn) {
+  Stmt s;
+  s.pattern = StmtPattern::kOpaqueCall;
+  s.callee = std::move(callee);
+  s.reads = std::move(reads);
+  s.fn = std::move(fn);
+  Append(std::move(s));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::Log(std::string label, LogFn fn,
+                                    std::vector<std::string> reads) {
+  Stmt s;
+  s.pattern = StmtPattern::kLog;
+  s.log_label = std::move(label);
+  s.log_fn = std::move(fn);
+  s.reads = std::move(reads);
+  Append(std::move(s));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::Cost(double seconds) {
+  FLOR_CHECK(last_stmt_ != nullptr) << "Cost() before any statement";
+  last_stmt_->sim_cost_seconds = seconds;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::BeginLoop(std::string var,
+                                          int64_t fixed_count) {
+  LoopIter iter;
+  iter.var = std::move(var);
+  iter.fixed_count = fixed_count;
+  Node node;
+  node.loop = std::make_unique<Loop>(next_loop_id_++, std::move(iter));
+  Loop* raw = node.loop.get();
+  CurrentBlock()->nodes.push_back(std::move(node));
+  loop_stack_.push_back(raw);
+  last_stmt_ = nullptr;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::BeginLoopVar(std::string var,
+                                             std::string count_var) {
+  LoopIter iter;
+  iter.var = std::move(var);
+  iter.count_var = std::move(count_var);
+  Node node;
+  node.loop = std::make_unique<Loop>(next_loop_id_++, std::move(iter));
+  Loop* raw = node.loop.get();
+  CurrentBlock()->nodes.push_back(std::move(node));
+  loop_stack_.push_back(raw);
+  last_stmt_ = nullptr;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::EndLoop() {
+  FLOR_CHECK(!loop_stack_.empty()) << "EndLoop with no open loop";
+  loop_stack_.pop_back();
+  last_stmt_ = nullptr;
+  return *this;
+}
+
+std::unique_ptr<Program> ProgramBuilder::Build() {
+  FLOR_CHECK(loop_stack_.empty()) << "unclosed loop at Build()";
+  return std::move(program_);
+}
+
+}  // namespace ir
+}  // namespace flor

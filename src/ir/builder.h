@@ -1,0 +1,89 @@
+// Fluent construction of training-script programs.
+//
+// Loop ids and statement uids are assigned in construction order, so two
+// builds of the same script (e.g. one per parallel replay worker) produce
+// structurally identical programs — the property version diffing and
+// checkpoint keying rely on.
+
+#ifndef FLOR_IR_BUILDER_H_
+#define FLOR_IR_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace flor {
+namespace ir {
+
+/// Builds a Program. Usage:
+///
+///   ProgramBuilder b;
+///   b.CallAssign({"net"}, "build_model", {}, make_model_fn);
+///   b.BeginLoop("e", num_epochs);
+///     b.BeginLoop("i", "num_batches");
+///       ...
+///     b.EndLoop();
+///     b.Log("train_acc", acc_fn);
+///   b.EndLoop();
+///   auto program = b.Build();
+class ProgramBuilder {
+ public:
+  ProgramBuilder();
+
+  /// Rule 3: targets = reads.
+  ProgramBuilder& Assign(std::vector<std::string> targets,
+                         std::vector<std::string> reads, StmtFn fn);
+
+  /// Rule 2: targets = callee(reads).
+  ProgramBuilder& CallAssign(std::vector<std::string> targets,
+                             std::string callee,
+                             std::vector<std::string> reads, StmtFn fn);
+
+  /// Rule 1: targets = receiver.callee(reads).
+  ProgramBuilder& MethodAssign(std::vector<std::string> targets,
+                               std::string receiver, std::string callee,
+                               std::vector<std::string> reads, StmtFn fn);
+
+  /// Rule 4: receiver.callee(reads).
+  ProgramBuilder& MethodCall(std::string receiver, std::string callee,
+                             std::vector<std::string> reads, StmtFn fn);
+
+  /// Rule 5: callee(reads) — opaque side effects.
+  ProgramBuilder& OpaqueCall(std::string callee,
+                             std::vector<std::string> reads, StmtFn fn);
+
+  /// Probe/log statement: flor.log(label, <expr over reads>).
+  ProgramBuilder& Log(std::string label, LogFn fn,
+                      std::vector<std::string> reads = {});
+
+  /// Sets the simulated cost (seconds) of the most recent statement.
+  ProgramBuilder& Cost(double seconds);
+
+  /// Opens a loop with a literal trip count.
+  ProgramBuilder& BeginLoop(std::string var, int64_t fixed_count);
+
+  /// Opens a loop whose trip count is read from a frame variable.
+  ProgramBuilder& BeginLoopVar(std::string var, std::string count_var);
+
+  ProgramBuilder& EndLoop();
+
+  /// Finalizes the program. Precondition: all loops closed.
+  std::unique_ptr<Program> Build();
+
+ private:
+  Block* CurrentBlock();
+  Stmt* Append(Stmt stmt);
+
+  std::unique_ptr<Program> program_;
+  std::vector<Loop*> loop_stack_;
+  Stmt* last_stmt_ = nullptr;
+  int32_t next_loop_id_ = 1;
+  int32_t next_stmt_uid_ = 1;
+};
+
+}  // namespace ir
+}  // namespace flor
+
+#endif  // FLOR_IR_BUILDER_H_

@@ -1,0 +1,139 @@
+#include "ir/diff.h"
+
+#include "common/strings.h"
+
+namespace flor {
+namespace ir {
+
+namespace {
+
+/// Parsed line tree of a recorded source file.
+struct RecItem {
+  bool is_loop = false;
+  std::string text;     // statement rendering (stmt items)
+  int32_t loop_id = -1; // loop items
+  std::string header;   // loop header text
+  std::vector<RecItem> children;
+};
+
+struct Parser {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+
+  static int IndentOf(const std::string& line) {
+    int spaces = 0;
+    for (char c : line) {
+      if (c == ' ') {
+        ++spaces;
+      } else {
+        break;
+      }
+    }
+    return spaces / 4;
+  }
+
+  /// Parses items at `level` until a line with smaller indent appears.
+  Status ParseBlock(int level, std::vector<RecItem>* out) {
+    while (pos < lines.size()) {
+      const std::string& line = lines[pos];
+      if (line.empty()) {
+        ++pos;
+        continue;
+      }
+      const int indent = IndentOf(line);
+      if (indent < level) return Status::OK();
+      if (indent > level)
+        return Status::Corruption(
+            StrCat("unexpected indent at line ", pos + 1));
+      std::string body = line.substr(static_cast<size_t>(level) * 4);
+      RecItem item;
+      if (StartsWith(body, "for ")) {
+        // "for e in range(...):  # L<id>"
+        const auto marker = body.rfind("# L");
+        if (marker == std::string::npos)
+          return Status::Corruption("loop header missing id marker: " + body);
+        item.is_loop = true;
+        item.header = body;
+        item.loop_id = static_cast<int32_t>(
+            std::strtol(body.c_str() + marker + 3, nullptr, 10));
+        ++pos;
+        FLOR_RETURN_IF_ERROR(ParseBlock(level + 1, &item.children));
+      } else {
+        item.text = body;
+        ++pos;
+      }
+      out->push_back(std::move(item));
+    }
+    return Status::OK();
+  }
+};
+
+/// Recursive alignment of recorded items against the current block.
+Status AlignBlock(const std::vector<RecItem>& rec, const Block& cur,
+                  int32_t enclosing_loop_id, ProbeReport* report) {
+  size_t ri = 0;
+  for (const auto& node : cur.nodes) {
+    if (node.is_stmt()) {
+      const Stmt& stmt = *node.stmt;
+      const std::string rendering = stmt.Render();
+      if (ri < rec.size() && !rec[ri].is_loop && rec[ri].text == rendering) {
+        ++ri;
+        continue;
+      }
+      if (stmt.is_log()) {
+        // Inserted hindsight logging statement.
+        report->probe_stmt_uids.insert(stmt.uid);
+        if (enclosing_loop_id < 0) {
+          report->preamble_probed = true;
+        } else {
+          report->probed_loops.insert(enclosing_loop_id);
+        }
+        continue;
+      }
+      return Status::InvalidArgument(
+          StrCat("replay version modifies non-log code: current has '",
+                 rendering, "', recorded has '",
+                 ri < rec.size() ? (rec[ri].is_loop ? rec[ri].header
+                                                    : rec[ri].text)
+                                 : std::string("<end of block>"),
+                 "'"));
+    }
+    // Current node is a loop.
+    const Loop& loop = *node.loop;
+    if (ri >= rec.size() || !rec[ri].is_loop ||
+        rec[ri].loop_id != loop.id() ||
+        rec[ri].header != loop.RenderHeader()) {
+      return Status::InvalidArgument(
+          StrCat("replay version changes loop structure at L", loop.id()));
+    }
+    FLOR_RETURN_IF_ERROR(
+        AlignBlock(rec[ri].children, loop.body(), loop.id(), report));
+    ++ri;
+  }
+  if (ri < rec.size()) {
+    return Status::InvalidArgument(
+        StrCat("replay version deletes recorded code: '",
+               rec[ri].is_loop ? rec[ri].header : rec[ri].text, "'"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ProbeReport> DiffForProbes(const std::string& recorded_source,
+                                  const Program& current) {
+  Parser parser;
+  parser.lines = StrSplit(recorded_source, '\n');
+  // Skip the "import flor" banner if present.
+  if (!parser.lines.empty() && parser.lines[0] == "import flor")
+    parser.pos = 1;
+  std::vector<RecItem> rec;
+  FLOR_RETURN_IF_ERROR(parser.ParseBlock(0, &rec));
+
+  ProbeReport report;
+  FLOR_RETURN_IF_ERROR(AlignBlock(rec, current.top(), -1, &report));
+  return report;
+}
+
+}  // namespace ir
+}  // namespace flor

@@ -1,0 +1,54 @@
+// Source version diffing — probe detection (paper §3.2, Fig. 1).
+//
+// "On replay, Flor diffs the current version of the source code with the
+//  version saved at record to determine whether block i was probed. Any
+//  differences between the source codes are due to hindsight logging
+//  statements added by the model developer."
+//
+// Record saves Program::RenderSource(); replay parses that text back into a
+// line tree and aligns it against the current program. The only tolerated
+// difference is *insertion of log statements*; any other edit is rejected
+// (replaying modified code against old checkpoints would be unsound).
+
+#ifndef FLOR_IR_DIFF_H_
+#define FLOR_IR_DIFF_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/program.h"
+
+namespace flor {
+namespace ir {
+
+/// Result of diffing recorded source against the current program.
+struct ProbeReport {
+  /// Loops (ids in the current program) whose *direct body* gained one or
+  /// more log statements. A probed loop cannot be skipped on replay.
+  std::set<int32_t> probed_loops;
+
+  /// Statement uids (current program) of the inserted log statements —
+  /// their log output is excluded from the deferred record/replay log
+  /// comparison.
+  std::set<int32_t> probe_stmt_uids;
+
+  /// True if probes were added to the top-level preamble.
+  bool preamble_probed = false;
+
+  bool any() const {
+    return !probe_stmt_uids.empty();
+  }
+};
+
+/// Parses recorded source text and aligns it with `current`. Returns the
+/// probe report, or InvalidArgument if `current` differs from the recorded
+/// version by anything other than inserted log statements.
+Result<ProbeReport> DiffForProbes(const std::string& recorded_source,
+                                  const Program& current);
+
+}  // namespace ir
+}  // namespace flor
+
+#endif  // FLOR_IR_DIFF_H_

@@ -1,0 +1,78 @@
+#include "ir/program.h"
+
+#include "common/strings.h"
+
+namespace flor {
+namespace ir {
+
+namespace {
+
+void CollectLoops(Block* block, std::vector<Loop*>* out) {
+  for (auto& node : block->nodes) {
+    if (node.is_loop()) {
+      out->push_back(node.loop.get());
+      CollectLoops(&node.loop->body(), out);
+    }
+  }
+}
+
+void RenderBlock(const Block& block, int indent, std::string* out) {
+  const std::string pad(static_cast<size_t>(indent) * 4, ' ');
+  for (const auto& node : block.nodes) {
+    if (node.is_stmt()) {
+      *out += pad + node.stmt->Render() + "\n";
+    } else {
+      *out += pad + node.loop->RenderHeader() + "\n";
+      RenderBlock(node.loop->body(), indent + 1, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string Loop::RenderHeader() const {
+  if (iter_.fixed_count >= 0)
+    return StrCat("for ", iter_.var, " in range(", iter_.fixed_count,
+                  "):  # L", id_);
+  return StrCat("for ", iter_.var, " in range(", iter_.count_var, "):  # L",
+                id_);
+}
+
+Loop* Program::MainLoop() {
+  for (auto& node : top_.nodes)
+    if (node.is_loop()) return node.loop.get();
+  return nullptr;
+}
+
+const Loop* Program::MainLoop() const {
+  for (const auto& node : top_.nodes)
+    if (node.is_loop()) return node.loop.get();
+  return nullptr;
+}
+
+std::vector<Loop*> Program::AllLoops() {
+  std::vector<Loop*> out;
+  CollectLoops(&top_, &out);
+  return out;
+}
+
+std::vector<const Loop*> Program::AllLoops() const {
+  std::vector<Loop*> loops;
+  CollectLoops(const_cast<Block*>(&top_), &loops);
+  return {loops.begin(), loops.end()};
+}
+
+Loop* Program::FindLoop(int32_t id) {
+  for (Loop* loop : AllLoops())
+    if (loop->id() == id) return loop;
+  return nullptr;
+}
+
+std::string Program::RenderSource() const {
+  std::string out = "import flor\n";
+  RenderBlock(top_, 0, &out);
+  return out;
+}
+
+}  // namespace ir
+}  // namespace flor

@@ -1,0 +1,123 @@
+// Program structure of the training-script IR: blocks, loops, programs.
+//
+// A Program is the analog of the user's Python training script:
+//   * a top-level block of statements (imports, data loading, model
+//     construction — the "preamble"),
+//   * loops, possibly nested (the main loop over epochs with a nested
+//     training loop over batches is the canonical shape, paper Fig. 2).
+//
+// The *structure* is the source code: it is rendered to text, saved at
+// record time, and diffed at replay time to find hindsight probes. The
+// semantic callbacks are rebuilt per instance by a ProgramFactory (the
+// analog of re-running `python train.py`).
+
+#ifndef FLOR_IR_PROGRAM_H_
+#define FLOR_IR_PROGRAM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace flor {
+namespace ir {
+
+class Loop;
+
+/// One element of a block: either a statement or a nested loop.
+struct Node {
+  /// Exactly one of the two is set.
+  std::unique_ptr<Stmt> stmt;
+  std::unique_ptr<Loop> loop;
+
+  bool is_stmt() const { return stmt != nullptr; }
+  bool is_loop() const { return loop != nullptr; }
+};
+
+/// Ordered list of nodes.
+struct Block {
+  std::vector<Node> nodes;
+};
+
+/// How a loop's trip count is determined at runtime.
+struct LoopIter {
+  /// Loop variable name bound each iteration ("e", "i", ...).
+  std::string var;
+  /// If >= 0, a fixed trip count (range(N) with literal N).
+  int64_t fixed_count = -1;
+  /// Otherwise, the frame variable holding the count (e.g. "num_batches").
+  std::string count_var;
+};
+
+/// Static analysis / instrumentation results attached to a loop.
+/// Populated by flor::InstrumentProgram (analysis module).
+struct LoopAnalysis {
+  /// Whether the loop was wrapped in a SkipBlock (eligible for
+  /// memoization). False when rules 0/5 fired or a nested loop refused.
+  bool instrumented = false;
+  /// Human-readable refusal reason when !instrumented.
+  std::string refusal;
+  /// Final changeset: frame variable names whose state the Loop End
+  /// Checkpoint must capture (before runtime augmentation).
+  std::vector<std::string> changeset;
+  /// Variables filtered out as loop-scoped (for diagnostics/tests).
+  std::vector<std::string> filtered;
+};
+
+/// A loop. Identified by a stable id assigned in builder order, which is the
+/// identity used to match loops across program versions and to key
+/// checkpoints.
+class Loop {
+ public:
+  Loop(int32_t id, LoopIter iter) : id_(id), iter_(std::move(iter)) {}
+
+  int32_t id() const { return id_; }
+  const LoopIter& iter() const { return iter_; }
+  Block& body() { return body_; }
+  const Block& body() const { return body_; }
+
+  LoopAnalysis& analysis() { return analysis_; }
+  const LoopAnalysis& analysis() const { return analysis_; }
+
+  /// "for e in range(200):" — header rendering.
+  std::string RenderHeader() const;
+
+ private:
+  int32_t id_;
+  LoopIter iter_;
+  Block body_;
+  LoopAnalysis analysis_;
+};
+
+/// A whole training script.
+class Program {
+ public:
+  Block& top() { return top_; }
+  const Block& top() const { return top_; }
+
+  /// The main loop is the outermost loop the Flor generator partitions for
+  /// hindsight parallelism (§5.4). By convention (and per the paper's
+  /// observation about training scripts) it is the first top-level loop.
+  Loop* MainLoop();
+  const Loop* MainLoop() const;
+
+  /// All loops in the program, preorder.
+  std::vector<Loop*> AllLoops();
+  std::vector<const Loop*> AllLoops() const;
+
+  /// Loop lookup by id; nullptr if absent.
+  Loop* FindLoop(int32_t id);
+
+  /// Renders the whole program as pseudo-Python source. This is the text
+  /// saved by record and diffed by replay.
+  std::string RenderSource() const;
+
+ private:
+  Block top_;
+};
+
+}  // namespace ir
+}  // namespace flor
+
+#endif  // FLOR_IR_PROGRAM_H_

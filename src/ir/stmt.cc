@@ -1,0 +1,49 @@
+#include "ir/stmt.h"
+
+#include "common/strings.h"
+
+namespace flor {
+namespace ir {
+
+const char* StmtPatternName(StmtPattern p) {
+  switch (p) {
+    case StmtPattern::kMethodAssign:
+      return "method-assign";
+    case StmtPattern::kCallAssign:
+      return "call-assign";
+    case StmtPattern::kAssign:
+      return "assign";
+    case StmtPattern::kMethodCall:
+      return "method-call";
+    case StmtPattern::kOpaqueCall:
+      return "opaque-call";
+    case StmtPattern::kLog:
+      return "log";
+  }
+  return "?";
+}
+
+std::string Stmt::Render() const {
+  const std::string args = StrJoin(reads, ", ");
+  const std::string tgts = StrJoin(targets, ", ");
+  switch (pattern) {
+    case StmtPattern::kMethodAssign:
+      return StrCat(tgts, " = ", receiver, ".", callee, "(", args, ")");
+    case StmtPattern::kCallAssign:
+      return StrCat(tgts, " = ", callee, "(", args, ")");
+    case StmtPattern::kAssign:
+      return StrCat(tgts, " = ", args);
+    case StmtPattern::kMethodCall:
+      return StrCat(receiver, ".", callee, "(", args, ")");
+    case StmtPattern::kOpaqueCall:
+      return StrCat(callee, "(", args, ")");
+    case StmtPattern::kLog:
+      return StrCat("flor.log(\"", log_label, "\", ", args.empty() ? "..."
+                                                                   : args,
+                    ")");
+  }
+  return "?";
+}
+
+}  // namespace ir
+}  // namespace flor

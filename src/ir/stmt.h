@@ -1,0 +1,107 @@
+// Statements of the training-script IR.
+//
+// Each statement carries two things:
+//   1. A *surface pattern* — the syntactic form the paper's Table 1 rules
+//      match against: targets, reads, callee, and pattern kind. This is what
+//      static analysis and version diffing see; it is the analog of the
+//      Python AST node.
+//   2. A *semantic callback* — the effect of executing the statement on the
+//      interpreter frame. This is the analog of the compiled bytecode.
+//
+// The analysis is deliberately blind to the callback (just like Flor cannot
+// see inside C extensions); tests exploit this to model Python's dynamism by
+// giving a statement a callback that mutates more than its pattern admits,
+// then asserting the deferred checks catch the resulting replay anomaly.
+
+#ifndef FLOR_IR_STMT_H_
+#define FLOR_IR_STMT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace flor {
+
+namespace exec {
+class Frame;  // exec/frame.h
+}  // namespace exec
+
+namespace ir {
+
+/// Surface form of a statement — one row of the paper's Table 1.
+enum class StmtPattern : uint8_t {
+  /// Rule 1: v1..vn = obj.method(args). Changeset += {obj, v1..vn}.
+  kMethodAssign = 1,
+  /// Rule 2: v1..vn = func(args). Changeset += {v1..vn}.
+  kCallAssign = 2,
+  /// Rule 3: v1..vn = u1..um. Changeset += {v1..vn}; rule 0 refusal applies
+  /// when a target is already in the changeset.
+  kAssign = 3,
+  /// Rule 4: obj.method(args). Changeset += {obj}.
+  kMethodCall = 4,
+  /// Rule 5: func(args) — side effects beyond analysis; the enclosing loop
+  /// is refused.
+  kOpaqueCall = 5,
+  /// flor.log("label", expr) — side-effect-free probe/logging statement.
+  /// Contributes nothing to the changeset; its output is captured by the
+  /// log stream and is the subject of hindsight logging.
+  kLog = 6,
+};
+
+const char* StmtPatternName(StmtPattern p);
+
+/// Effect of a non-log statement on the frame.
+using StmtFn = std::function<Status(exec::Frame*)>;
+
+/// A log statement's expression: evaluates to the text to record. Must be
+/// side-effect-free (the hindsight-logging contract).
+using LogFn = std::function<Result<std::string>(exec::Frame*)>;
+
+/// One statement. Value type; the Program owns its statements.
+struct Stmt {
+  StmtPattern pattern = StmtPattern::kOpaqueCall;
+
+  /// Assignment targets (v1..vn). Empty for kMethodCall/kOpaqueCall/kLog.
+  std::vector<std::string> targets;
+
+  /// The receiver object for kMethodAssign/kMethodCall ("obj").
+  std::string receiver;
+
+  /// Callee name ("func"/"method") — identification only; semantics live in
+  /// `fn`.
+  std::string callee;
+
+  /// Variables read (args / rhs). Used for rendering and for loop-scoped
+  /// analysis of reads.
+  std::vector<std::string> reads;
+
+  /// Label for log statements (the "name" under which the value is logged).
+  std::string log_label;
+
+  /// Semantic callback (non-log statements).
+  StmtFn fn;
+
+  /// Log expression (kLog statements).
+  LogFn log_fn;
+
+  /// Simulated execution cost charged to the clock when running against a
+  /// SimClock (seconds). Calibrated by workload profiles.
+  double sim_cost_seconds = 0.0;
+
+  /// Stable id unique within a program version; assigned by the builder.
+  int32_t uid = -1;
+
+  bool is_log() const { return pattern == StmtPattern::kLog; }
+
+  /// Pseudo-source rendering, e.g. "preds = net.forward(batch)". Two
+  /// statements with equal renderings are considered the same statement by
+  /// the version diff.
+  std::string Render() const;
+};
+
+}  // namespace ir
+}  // namespace flor
+
+#endif  // FLOR_IR_STMT_H_

@@ -1,0 +1,351 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "tensor/ops.h"
+
+namespace flor {
+namespace nn {
+
+// -------------------------------------------------------------- Linear ---
+
+Linear::Linear(std::string name, int64_t in_features, int64_t out_features,
+               Rng* rng)
+    : Module(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features) {
+  weight_.name = Module::name() + ".weight";
+  weight_.value = Tensor(Shape{out_features, in_features});
+  weight_.grad = Tensor(Shape{out_features, in_features});
+  ops::KaimingInit(&weight_.value, rng, in_features);
+  bias_.name = Module::name() + ".bias";
+  bias_.value = Tensor(Shape{out_features});
+  bias_.grad = Tensor(Shape{out_features});
+}
+
+Result<Tensor> Linear::Forward(const Tensor& input) {
+  if (input.shape().rank() != 2 || input.shape().dim(1) != in_features_) {
+    return Status::InvalidArgument(
+        StrCat(name(), ": expected [batch, ", in_features_, "], got ",
+               input.shape().ToString()));
+  }
+  last_input_ = input;
+  FLOR_ASSIGN_OR_RETURN(Tensor wt, ops::Transpose2D(weight_.value));
+  FLOR_ASSIGN_OR_RETURN(Tensor xw, ops::MatMul(input, wt));
+  return ops::AddRowBias(xw, bias_.value);
+}
+
+Result<Tensor> Linear::Backward(const Tensor& grad_output) {
+  // dW = g^T x, db = sum_rows(g), dx = g W.
+  FLOR_ASSIGN_OR_RETURN(Tensor gt, ops::Transpose2D(grad_output));
+  FLOR_ASSIGN_OR_RETURN(Tensor dw, ops::MatMul(gt, last_input_));
+  FLOR_RETURN_IF_ERROR(ops::Axpy(1.0f, dw, &weight_.grad));
+  const int64_t m = grad_output.shape().dim(0);
+  const float* g = grad_output.f32();
+  float* db = bias_.grad.f32();
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < out_features_; ++j)
+      db[j] += g[i * out_features_ + j];
+  return ops::MatMul(grad_output, weight_.value);
+}
+
+std::vector<Parameter*> Linear::LocalParameters() {
+  return {&weight_, &bias_};
+}
+
+// ---------------------------------------------------------------- ReLU ---
+
+Result<Tensor> ReLU::Forward(const Tensor& input) {
+  last_input_ = input;
+  return ops::Relu(input);
+}
+
+Result<Tensor> ReLU::Backward(const Tensor& grad_output) {
+  return ops::ReluBackward(last_input_, grad_output);
+}
+
+// ------------------------------------------------------------- Flatten ---
+
+Result<Tensor> Flatten::Forward(const Tensor& input) {
+  last_shape_ = input.shape();
+  const int64_t n = input.shape().dim(0);
+  const int64_t rest = input.numel() / n;
+  Tensor out(Shape{n, rest});
+  std::copy(input.f32(), input.f32() + input.numel(), out.f32());
+  return out;
+}
+
+Result<Tensor> Flatten::Backward(const Tensor& grad_output) {
+  Tensor out(last_shape_);
+  std::copy(grad_output.f32(), grad_output.f32() + grad_output.numel(),
+            out.f32());
+  return out;
+}
+
+// ----------------------------------------------------------- Unflatten ---
+
+Unflatten::Unflatten(std::string name, std::vector<int64_t> dims)
+    : Module(std::move(name)), dims_(std::move(dims)) {}
+
+Result<Tensor> Unflatten::Forward(const Tensor& input) {
+  if (input.shape().rank() != 2)
+    return Status::InvalidArgument(StrCat(name(), ": expects rank-2 input"));
+  batch_ = input.shape().dim(0);
+  int64_t prod = 1;
+  for (int64_t d : dims_) prod *= d;
+  if (input.shape().dim(1) != prod)
+    return Status::InvalidArgument(
+        StrCat(name(), ": cannot unflatten ", input.shape().ToString()));
+  std::vector<int64_t> shape{batch_};
+  shape.insert(shape.end(), dims_.begin(), dims_.end());
+  Tensor out(Shape(std::move(shape)));
+  std::copy(input.f32(), input.f32() + input.numel(), out.f32());
+  return out;
+}
+
+Result<Tensor> Unflatten::Backward(const Tensor& grad_output) {
+  Tensor out(Shape{batch_, grad_output.numel() / batch_});
+  std::copy(grad_output.f32(), grad_output.f32() + grad_output.numel(),
+            out.f32());
+  return out;
+}
+
+// -------------------------------------------------------------- Conv2d ---
+
+Conv2d::Conv2d(std::string name, int64_t in_channels, int64_t out_channels,
+               int64_t kernel, int64_t pad, Rng* rng)
+    : Module(std::move(name)), pad_(pad) {
+  kernel_.name = Module::name() + ".kernel";
+  kernel_.value = Tensor(Shape{out_channels, in_channels, kernel, kernel});
+  kernel_.grad = Tensor(Shape{out_channels, in_channels, kernel, kernel});
+  ops::KaimingInit(&kernel_.value, rng, in_channels * kernel * kernel);
+}
+
+Result<Tensor> Conv2d::Forward(const Tensor& input) {
+  last_input_ = input;
+  return ops::Conv2D(input, kernel_.value, pad_);
+}
+
+Result<Tensor> Conv2d::Backward(const Tensor& grad_output) {
+  const Shape& is = last_input_.shape();
+  const Shape& ks = kernel_.value.shape();
+  const int64_t n = is.dim(0), c = is.dim(1), h = is.dim(2), w = is.dim(3);
+  const int64_t oc = ks.dim(0), kh = ks.dim(2), kw = ks.dim(3);
+  const Shape& os = grad_output.shape();
+  const int64_t oh = os.dim(2), ow = os.dim(3);
+
+  Tensor grad_input(is);
+  const float* gi = grad_output.f32();
+  const float* pi = last_input_.f32();
+  const float* pk = kernel_.value.f32();
+  float* dgi = grad_input.f32();
+  float* dk = kernel_.grad.f32();
+
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t o = 0; o < oc; ++o) {
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x) {
+          const float g = gi[((b * oc + o) * oh + y) * ow + x];
+          if (g == 0.0f) continue;
+          for (int64_t ch = 0; ch < c; ++ch) {
+            for (int64_t ky = 0; ky < kh; ++ky) {
+              const int64_t iy = y + ky - pad_;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kx = 0; kx < kw; ++kx) {
+                const int64_t ix = x + kx - pad_;
+                if (ix < 0 || ix >= w) continue;
+                const size_t ii = ((b * c + ch) * h + iy) * w + ix;
+                const size_t kk = ((o * c + ch) * kh + ky) * kw + kx;
+                dk[kk] += g * pi[ii];
+                dgi[ii] += g * pk[kk];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> Conv2d::LocalParameters() { return {&kernel_}; }
+
+// ----------------------------------------------------------- Embedding ---
+
+Embedding::Embedding(std::string name, int64_t vocab, int64_t dim, Rng* rng)
+    : Module(std::move(name)), vocab_(vocab), dim_(dim) {
+  table_.name = Module::name() + ".table";
+  table_.value = Tensor(Shape{vocab, dim});
+  table_.grad = Tensor(Shape{vocab, dim});
+  ops::RandNormal(&table_.value, rng, 0.02f);
+}
+
+Result<Tensor> Embedding::Forward(const Tensor& input) {
+  if (input.dtype() != DType::kI64 || input.shape().rank() != 2)
+    return Status::InvalidArgument(
+        StrCat(name(), ": expected i64 [batch, seq]"));
+  last_input_ = input;
+  const int64_t batch = input.shape().dim(0), seq = input.shape().dim(1);
+  Tensor out(Shape{batch, seq * dim_});
+  float* po = out.f32();
+  const float* tab = table_.value.f32();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t s = 0; s < seq; ++s) {
+      int64_t tok = input.at_i64(b * seq + s);
+      if (tok < 0 || tok >= vocab_)
+        return Status::OutOfRange(StrCat("token id ", tok, " out of range"));
+      std::copy(tab + tok * dim_, tab + (tok + 1) * dim_,
+                po + b * seq * dim_ + s * dim_);
+    }
+  }
+  return out;
+}
+
+Result<Tensor> Embedding::Backward(const Tensor& grad_output) {
+  const int64_t batch = last_input_.shape().dim(0);
+  const int64_t seq = last_input_.shape().dim(1);
+  const float* g = grad_output.f32();
+  float* dt = table_.grad.f32();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t s = 0; s < seq; ++s) {
+      const int64_t tok = last_input_.at_i64(b * seq + s);
+      for (int64_t d = 0; d < dim_; ++d)
+        dt[tok * dim_ + d] += g[b * seq * dim_ + s * dim_ + d];
+    }
+  }
+  // No gradient w.r.t. integer token ids.
+  return Tensor(last_input_.shape(), DType::kF32);
+}
+
+std::vector<Parameter*> Embedding::LocalParameters() { return {&table_}; }
+
+// ----------------------------------------------------------- LayerNorm ---
+
+LayerNorm::LayerNorm(std::string name, int64_t features)
+    : Module(std::move(name)), features_(features) {
+  gain_.name = Module::name() + ".gain";
+  gain_.value = Tensor(Shape{features});
+  gain_.grad = Tensor(Shape{features});
+  ops::Fill(&gain_.value, 1.0f);
+  bias_.name = Module::name() + ".bias";
+  bias_.value = Tensor(Shape{features});
+  bias_.grad = Tensor(Shape{features});
+}
+
+Result<Tensor> LayerNorm::Forward(const Tensor& input) {
+  if (input.shape().rank() != 2 || input.shape().dim(1) != features_)
+    return Status::InvalidArgument(StrCat(name(), ": bad input shape"));
+  last_input_ = input;
+  const int64_t m = input.shape().dim(0);
+  Tensor out(input.shape());
+  last_normed_ = Tensor(input.shape());
+  last_invstd_.assign(static_cast<size_t>(m), 0.0f);
+  const float* p = input.f32();
+  float* pn = last_normed_.f32();
+  float* po = out.f32();
+  const float* gv = gain_.value.f32();
+  const float* bv = bias_.value.f32();
+  for (int64_t i = 0; i < m; ++i) {
+    double mean = 0;
+    for (int64_t j = 0; j < features_; ++j) mean += p[i * features_ + j];
+    mean /= features_;
+    double var = 0;
+    for (int64_t j = 0; j < features_; ++j) {
+      double d = p[i * features_ + j] - mean;
+      var += d * d;
+    }
+    var /= features_;
+    const float invstd = 1.0f / std::sqrt(static_cast<float>(var) + 1e-5f);
+    last_invstd_[static_cast<size_t>(i)] = invstd;
+    for (int64_t j = 0; j < features_; ++j) {
+      const float nj =
+          (p[i * features_ + j] - static_cast<float>(mean)) * invstd;
+      pn[i * features_ + j] = nj;
+      po[i * features_ + j] = nj * gv[j] + bv[j];
+    }
+  }
+  return out;
+}
+
+Result<Tensor> LayerNorm::Backward(const Tensor& grad_output) {
+  const int64_t m = grad_output.shape().dim(0);
+  const int64_t f = features_;
+  Tensor grad_input(grad_output.shape());
+  const float* g = grad_output.f32();
+  const float* pn = last_normed_.f32();
+  const float* gv = gain_.value.f32();
+  float* dg = gain_.grad.f32();
+  float* db = bias_.grad.f32();
+  float* dx = grad_input.f32();
+  for (int64_t i = 0; i < m; ++i) {
+    double sum_gy = 0, sum_gyn = 0;
+    for (int64_t j = 0; j < f; ++j) {
+      const float gy = g[i * f + j] * gv[j];
+      sum_gy += gy;
+      sum_gyn += gy * pn[i * f + j];
+      dg[j] += g[i * f + j] * pn[i * f + j];
+      db[j] += g[i * f + j];
+    }
+    const float invstd = last_invstd_[static_cast<size_t>(i)];
+    for (int64_t j = 0; j < f; ++j) {
+      const float gy = g[i * f + j] * gv[j];
+      dx[i * f + j] =
+          invstd * (gy - static_cast<float>(sum_gy) / f -
+                    pn[i * f + j] * static_cast<float>(sum_gyn) / f);
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> LayerNorm::LocalParameters() {
+  return {&gain_, &bias_};
+}
+
+// ------------------------------------------------------------- Dropout ---
+
+Dropout::Dropout(std::string name, float p, Rng* rng)
+    : Module(std::move(name)), p_(p), rng_(rng) {}
+
+Result<Tensor> Dropout::Forward(const Tensor& input) {
+  if (!training_ || p_ <= 0.0f) {
+    last_mask_ = Tensor();
+    return input;
+  }
+  last_mask_ = Tensor(input.shape());
+  Tensor out(input.shape());
+  const float scale = 1.0f / (1.0f - p_);
+  const float* p = input.f32();
+  float* pm = last_mask_.f32();
+  float* po = out.f32();
+  for (int64_t i = 0; i < input.numel(); ++i) {
+    const float keep = rng_->Bernoulli(p_) ? 0.0f : scale;
+    pm[i] = keep;
+    po[i] = p[i] * keep;
+  }
+  return out;
+}
+
+Result<Tensor> Dropout::Backward(const Tensor& grad_output) {
+  if (last_mask_.numel() <= 1) return grad_output;
+  return ops::Mul(grad_output, last_mask_);
+}
+
+// ------------------------------------------------------------ BuildMlp ---
+
+std::unique_ptr<Sequential> BuildMlp(const std::string& name,
+                                     const std::vector<int64_t>& dims,
+                                     Rng* rng) {
+  FLOR_CHECK_GE(dims.size(), 2u);
+  auto seq = std::make_unique<Sequential>(name);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    seq->Add(std::make_unique<Linear>(StrCat(name, ".fc", i), dims[i],
+                                      dims[i + 1], rng));
+    if (i + 2 < dims.size())
+      seq->Add(std::make_unique<ReLU>(StrCat(name, ".relu", i)));
+  }
+  return seq;
+}
+
+}  // namespace nn
+}  // namespace flor

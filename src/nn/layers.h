@@ -1,0 +1,149 @@
+// Concrete layers: Linear, ReLU, Conv2d, Embedding, LayerNorm, Flatten,
+// Dropout. Each implements explicit forward/backward.
+
+#ifndef FLOR_NN_LAYERS_H_
+#define FLOR_NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/module.h"
+
+namespace flor {
+namespace nn {
+
+/// Fully connected layer: y = x W^T + b. x is [batch, in].
+class Linear : public Module {
+ public:
+  Linear(std::string name, int64_t in_features, int64_t out_features,
+         Rng* rng);
+
+  Result<Tensor> Forward(const Tensor& input) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> LocalParameters() override;
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Parameter weight_;  // [out, in]
+  Parameter bias_;    // [out]
+  Tensor last_input_;
+};
+
+/// Elementwise ReLU.
+class ReLU : public Module {
+ public:
+  explicit ReLU(std::string name) : Module(std::move(name)) {}
+  Result<Tensor> Forward(const Tensor& input) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor last_input_;
+};
+
+/// Flattens [n, ...] to [n, prod(...)].
+class Flatten : public Module {
+ public:
+  explicit Flatten(std::string name) : Module(std::move(name)) {}
+  Result<Tensor> Forward(const Tensor& input) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+
+ private:
+  Shape last_shape_;
+};
+
+/// Reshapes [n, prod(dims)] to [n, dims...] (e.g. flat features back to
+/// NCHW for convolution).
+class Unflatten : public Module {
+ public:
+  Unflatten(std::string name, std::vector<int64_t> dims);
+  Result<Tensor> Forward(const Tensor& input) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+
+ private:
+  std::vector<int64_t> dims_;
+  int64_t batch_ = 0;
+};
+
+/// NCHW convolution, stride 1, padding `pad`. Forward uses ops::Conv2D;
+/// backward computes input/kernel grads naively.
+class Conv2d : public Module {
+ public:
+  Conv2d(std::string name, int64_t in_channels, int64_t out_channels,
+         int64_t kernel, int64_t pad, Rng* rng);
+
+  Result<Tensor> Forward(const Tensor& input) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> LocalParameters() override;
+
+ private:
+  int64_t pad_;
+  Parameter kernel_;  // [oc, ic, k, k]
+  Tensor last_input_;
+};
+
+/// Token embedding lookup: i64 [batch, seq] -> f32 [batch, seq*dim]
+/// (flattened so it can feed Linear layers directly).
+class Embedding : public Module {
+ public:
+  Embedding(std::string name, int64_t vocab, int64_t dim, Rng* rng);
+
+  Result<Tensor> Forward(const Tensor& input) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> LocalParameters() override;
+
+ private:
+  int64_t vocab_;
+  int64_t dim_;
+  Parameter table_;  // [vocab, dim]
+  Tensor last_input_;
+};
+
+/// Row-wise layer normalization with learned gain/bias.
+class LayerNorm : public Module {
+ public:
+  LayerNorm(std::string name, int64_t features);
+
+  Result<Tensor> Forward(const Tensor& input) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> LocalParameters() override;
+
+ private:
+  int64_t features_;
+  Parameter gain_;
+  Parameter bias_;
+  Tensor last_input_;
+  Tensor last_normed_;
+  std::vector<float> last_invstd_;
+};
+
+/// Inverted dropout driven by a deterministic Rng (so record and replay see
+/// the same masks — the reproducibility premise of the paper §7).
+class Dropout : public Module {
+ public:
+  Dropout(std::string name, float p, Rng* rng);
+
+  Result<Tensor> Forward(const Tensor& input) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+
+  void set_training(bool training) { training_ = training; }
+
+ private:
+  float p_;
+  Rng* rng_;
+  bool training_ = true;
+  Tensor last_mask_;
+};
+
+/// Builds a small MLP classifier: Linear-ReLU stacks ending in a Linear.
+std::unique_ptr<Sequential> BuildMlp(const std::string& name,
+                                     const std::vector<int64_t>& dims,
+                                     Rng* rng);
+
+}  // namespace nn
+}  // namespace flor
+
+#endif  // FLOR_NN_LAYERS_H_

@@ -1,0 +1,51 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace flor {
+namespace nn {
+
+Result<LossResult> SoftmaxCrossEntropy(const Tensor& logits,
+                                       const Tensor& labels) {
+  if (logits.shape().rank() != 2)
+    return Status::InvalidArgument("logits must be rank-2");
+  if (labels.dtype() != DType::kI64)
+    return Status::InvalidArgument("labels must be i64");
+  const int64_t m = logits.shape().dim(0), n = logits.shape().dim(1);
+  if (labels.numel() != m)
+    return Status::InvalidArgument("label count mismatch");
+
+  FLOR_ASSIGN_OR_RETURN(Tensor probs, ops::SoftmaxRows(logits));
+  FLOR_ASSIGN_OR_RETURN(float loss, ops::NllLoss(probs, labels));
+
+  LossResult out;
+  out.loss = loss;
+  out.grad_logits = probs.Clone();
+  float* g = out.grad_logits.f32();
+  const float inv_m = 1.0f / static_cast<float>(m);
+  for (int64_t i = 0; i < m; ++i) {
+    g[i * n + labels.at_i64(i)] -= 1.0f;
+    for (int64_t j = 0; j < n; ++j) g[i * n + j] *= inv_m;
+  }
+  return out;
+}
+
+Result<LossResult> MseLoss(const Tensor& prediction, const Tensor& target) {
+  if (prediction.shape() != target.shape())
+    return Status::InvalidArgument("MSE shape mismatch");
+  FLOR_ASSIGN_OR_RETURN(Tensor diff, ops::Sub(prediction, target));
+  const float inv_n = 1.0f / static_cast<float>(diff.numel());
+  LossResult out;
+  double acc = 0;
+  const float* d = diff.f32();
+  for (int64_t i = 0; i < diff.numel(); ++i)
+    acc += static_cast<double>(d[i]) * d[i];
+  out.loss = static_cast<float>(acc * inv_n);
+  out.grad_logits = ops::Scaled(diff, 2.0f * inv_n);
+  return out;
+}
+
+}  // namespace nn
+}  // namespace flor

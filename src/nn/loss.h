@@ -1,0 +1,29 @@
+// Loss functions with analytic gradients.
+
+#ifndef FLOR_NN_LOSS_H_
+#define FLOR_NN_LOSS_H_
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace flor {
+namespace nn {
+
+/// Loss value plus the gradient w.r.t. the logits, ready for Backward().
+struct LossResult {
+  float loss = 0.0f;
+  Tensor grad_logits;
+};
+
+/// Softmax cross-entropy over rank-2 logits [batch, classes] and i64
+/// labels [batch]. Gradient is (softmax - onehot) / batch.
+Result<LossResult> SoftmaxCrossEntropy(const Tensor& logits,
+                                       const Tensor& labels);
+
+/// Mean squared error against targets of the same shape.
+Result<LossResult> MseLoss(const Tensor& prediction, const Tensor& target);
+
+}  // namespace nn
+}  // namespace flor
+
+#endif  // FLOR_NN_LOSS_H_

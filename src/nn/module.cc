@@ -1,0 +1,80 @@
+#include "nn/module.h"
+
+#include "tensor/ops.h"
+
+namespace flor {
+namespace nn {
+
+std::vector<Parameter*> Module::Parameters() {
+  std::vector<Parameter*> out;
+  for (Parameter* p : LocalParameters()) out.push_back(p);
+  for (Module* child : Children()) {
+    auto sub = child->Parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (Parameter* p : Parameters()) ops::Fill(&p->grad, 0.0f);
+}
+
+int Module::FreezeMatching(const std::string& substr, bool frozen) {
+  int count = 0;
+  for (Parameter* p : Parameters()) {
+    if (p->name.find(substr) != std::string::npos) {
+      p->frozen = frozen;
+      ++count;
+    }
+  }
+  return count;
+}
+
+uint64_t Module::ParameterBytes() {
+  uint64_t total = 0;
+  for (Parameter* p : Parameters()) total += p->value.byte_size();
+  return total;
+}
+
+int64_t Module::ParameterCount() {
+  int64_t total = 0;
+  for (Parameter* p : Parameters()) total += p->value.numel();
+  return total;
+}
+
+uint64_t Module::StateFingerprint() {
+  uint64_t h = 0x10b5;
+  for (Parameter* p : Parameters()) h = Mix64(h ^ p->value.Fingerprint());
+  return h;
+}
+
+Module* Sequential::Add(std::unique_ptr<Module> child) {
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+Result<Tensor> Sequential::Forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& child : children_) {
+    FLOR_ASSIGN_OR_RETURN(x, child->Forward(x));
+  }
+  return x;
+}
+
+Result<Tensor> Sequential::Backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+    FLOR_ASSIGN_OR_RETURN(g, (*it)->Backward(g));
+  }
+  return g;
+}
+
+std::vector<Module*> Sequential::Children() {
+  std::vector<Module*> out;
+  out.reserve(children_.size());
+  for (auto& c : children_) out.push_back(c.get());
+  return out;
+}
+
+}  // namespace nn
+}  // namespace flor

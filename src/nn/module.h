@@ -1,0 +1,108 @@
+// Neural-network module tree — the PyTorch stand-in.
+//
+// Flor's side-effect analysis (paper §5.2.1) leans on the fact that a
+// training library mutates the user program through a narrow interface:
+//   (1) assignments and encapsulated state updates from method calls,
+//   (2) the optimizer mutates the model (optimizer.step()),
+//   (3) the LR scheduler mutates the optimizer (scheduler.step()).
+// This module tree reproduces that interface: parameters live in named
+// slots, an optimizer holds a reference to the parameters it updates, and a
+// scheduler holds a reference to the optimizer. The runtime changeset
+// augmentation in analysis/augment.cc walks exactly these links.
+//
+// Gradients are computed layer-wise (explicit forward/backward), which is
+// all the evaluation workloads need.
+
+#ifndef FLOR_NN_MODULE_H_
+#define FLOR_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace flor {
+namespace nn {
+
+/// One learnable tensor with its gradient and a freeze flag (fine-tuning
+/// workloads freeze most parameters; see workloads/profiles.cc).
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  bool frozen = false;
+
+  uint64_t byte_size() const { return value.byte_size() + grad.byte_size(); }
+};
+
+/// Base class for layers and containers.
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Forward pass; caches whatever backward needs.
+  virtual Result<Tensor> Forward(const Tensor& input) = 0;
+
+  /// Backward pass: takes dLoss/dOutput, accumulates parameter grads,
+  /// returns dLoss/dInput.
+  virtual Result<Tensor> Backward(const Tensor& grad_output) = 0;
+
+  /// Direct parameters of this module (not descendants).
+  virtual std::vector<Parameter*> LocalParameters() { return {}; }
+
+  /// Child modules.
+  virtual std::vector<Module*> Children() { return {}; }
+
+  /// All parameters in the subtree, pre-order.
+  std::vector<Parameter*> Parameters();
+
+  /// Zeroes all gradients in the subtree.
+  void ZeroGrad();
+
+  /// Sets `frozen` on every parameter whose name contains `substr`.
+  /// Returns the number of parameters affected.
+  int FreezeMatching(const std::string& substr, bool frozen = true);
+
+  /// Total parameter bytes (values only; grads excluded), for checkpoint
+  /// size estimation.
+  uint64_t ParameterBytes();
+
+  /// Number of scalar parameters in the subtree.
+  int64_t ParameterCount();
+
+  /// Order-sensitive content hash of all parameter values.
+  uint64_t StateFingerprint();
+
+ private:
+  std::string name_;
+};
+
+/// Container applying children in order.
+class Sequential : public Module {
+ public:
+  explicit Sequential(std::string name) : Module(std::move(name)) {}
+
+  /// Appends a child; returns a raw observer pointer.
+  Module* Add(std::unique_ptr<Module> child);
+
+  Result<Tensor> Forward(const Tensor& input) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+  std::vector<Module*> Children() override;
+
+ private:
+  std::vector<std::unique_ptr<Module>> children_;
+};
+
+}  // namespace nn
+}  // namespace flor
+
+#endif  // FLOR_NN_MODULE_H_

@@ -1,0 +1,116 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "tensor/ops.h"
+
+namespace flor {
+namespace nn {
+
+uint64_t Optimizer::StateFingerprint() {
+  uint64_t h = Mix64(static_cast<uint64_t>(step_count_) ^ 0x0a71);
+  uint32_t lr_bits;
+  static_assert(sizeof(lr_bits) == sizeof(lr_));
+  std::memcpy(&lr_bits, &lr_, sizeof(lr_bits));
+  h = Mix64(h ^ lr_bits);
+  for (Tensor* t : StateTensors()) h = Mix64(h ^ t->Fingerprint());
+  return h;
+}
+
+// ------------------------------------------------------------------ SGD ---
+
+Sgd::Sgd(Module* model, float lr, float momentum, float weight_decay)
+    : Optimizer(model, lr), momentum_(momentum), weight_decay_(weight_decay) {
+  for (Parameter* p : model->Parameters())
+    velocity_.push_back(Tensor(p->value.shape()));
+}
+
+Status Sgd::Step() {
+  auto params = model_->Parameters();
+  if (params.size() != velocity_.size())
+    return Status::FailedPrecondition("model structure changed under SGD");
+  for (size_t i = 0; i < params.size(); ++i) {
+    Parameter* p = params[i];
+    if (p->frozen) continue;
+    Tensor grad = p->grad;
+    if (weight_decay_ != 0.0f) {
+      grad = grad.Clone();
+      FLOR_RETURN_IF_ERROR(ops::Axpy(weight_decay_, p->value, &grad));
+    }
+    if (momentum_ != 0.0f) {
+      ops::Scale(&velocity_[i], momentum_);
+      FLOR_RETURN_IF_ERROR(ops::Axpy(1.0f, grad, &velocity_[i]));
+      FLOR_RETURN_IF_ERROR(ops::Axpy(-lr_, velocity_[i], &p->value));
+    } else {
+      FLOR_RETURN_IF_ERROR(ops::Axpy(-lr_, grad, &p->value));
+    }
+  }
+  ++step_count_;
+  return Status::OK();
+}
+
+std::vector<Tensor*> Sgd::StateTensors() {
+  std::vector<Tensor*> out;
+  out.reserve(velocity_.size());
+  for (auto& t : velocity_) out.push_back(&t);
+  return out;
+}
+
+// ----------------------------------------------------------------- Adam ---
+
+Adam::Adam(Module* model, float lr, float beta1, float beta2, float eps,
+           float weight_decay, bool adamw)
+    : Optimizer(model, lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay),
+      adamw_(adamw) {
+  for (Parameter* p : model->Parameters()) {
+    m_.push_back(Tensor(p->value.shape()));
+    v_.push_back(Tensor(p->value.shape()));
+  }
+}
+
+Status Adam::Step() {
+  auto params = model_->Parameters();
+  if (params.size() != m_.size())
+    return Status::FailedPrecondition("model structure changed under Adam");
+  ++step_count_;
+  const float t = static_cast<float>(step_count_);
+  const float bc1 = 1.0f - std::pow(beta1_, t);
+  const float bc2 = 1.0f - std::pow(beta2_, t);
+  for (size_t i = 0; i < params.size(); ++i) {
+    Parameter* p = params[i];
+    if (p->frozen) continue;
+    const int64_t n = p->value.numel();
+    const float* g = p->grad.f32();
+    float* pm = m_[i].f32();
+    float* pv = v_[i].f32();
+    float* w = p->value.f32();
+    for (int64_t j = 0; j < n; ++j) {
+      float gj = g[j];
+      if (!adamw_ && weight_decay_ != 0.0f) gj += weight_decay_ * w[j];
+      pm[j] = beta1_ * pm[j] + (1.0f - beta1_) * gj;
+      pv[j] = beta2_ * pv[j] + (1.0f - beta2_) * gj * gj;
+      const float mhat = pm[j] / bc1;
+      const float vhat = pv[j] / bc2;
+      float update = mhat / (std::sqrt(vhat) + eps_);
+      if (adamw_ && weight_decay_ != 0.0f) update += weight_decay_ * w[j];
+      w[j] -= lr_ * update;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<Tensor*> Adam::StateTensors() {
+  std::vector<Tensor*> out;
+  out.reserve(m_.size() + v_.size());
+  for (auto& t : m_) out.push_back(&t);
+  for (auto& t : v_) out.push_back(&t);
+  return out;
+}
+
+}  // namespace nn
+}  // namespace flor

@@ -1,0 +1,55 @@
+#include "nn/scheduler.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/random.h"
+
+namespace flor {
+namespace nn {
+
+uint64_t LrScheduler::StateFingerprint() const {
+  uint64_t h = Mix64(static_cast<uint64_t>(epoch_) ^ 0x5c4ed);
+  const float lr = optimizer_->lr();
+  uint32_t bits;
+  std::memcpy(&bits, &lr, sizeof(bits));
+  return Mix64(h ^ bits);
+}
+
+StepLr::StepLr(Optimizer* optimizer, int64_t step_size, float gamma)
+    : LrScheduler(optimizer), step_size_(step_size), gamma_(gamma) {}
+
+void StepLr::Step() {
+  ++epoch_;
+  const auto decays = epoch_ / step_size_;
+  optimizer_->set_lr(base_lr_ *
+                     std::pow(gamma_, static_cast<float>(decays)));
+}
+
+CosineLr::CosineLr(Optimizer* optimizer, int64_t t_max, float min_lr)
+    : LrScheduler(optimizer), t_max_(t_max), min_lr_(min_lr) {}
+
+void CosineLr::Step() {
+  ++epoch_;
+  const double frac =
+      static_cast<double>(epoch_ % (t_max_ + 1)) / static_cast<double>(t_max_);
+  optimizer_->set_lr(
+      min_lr_ + 0.5f * (base_lr_ - min_lr_) *
+                    (1.0f + static_cast<float>(std::cos(M_PI * frac))));
+}
+
+CyclicLr::CyclicLr(Optimizer* optimizer, float max_lr, int64_t cycle_len)
+    : LrScheduler(optimizer), max_lr_(max_lr), cycle_len_(cycle_len) {}
+
+void CyclicLr::Step() {
+  ++epoch_;
+  // Triangular wave between base_lr and max_lr with period cycle_len.
+  const int64_t pos = epoch_ % cycle_len_;
+  const double frac = static_cast<double>(pos) / cycle_len_;
+  const double tri = frac < 0.5 ? 2 * frac : 2 * (1 - frac);
+  optimizer_->set_lr(base_lr_ +
+                     static_cast<float>(tri) * (max_lr_ - base_lr_));
+}
+
+}  // namespace nn
+}  // namespace flor

@@ -1,0 +1,88 @@
+// Learning-rate schedulers — library-knowledge fact (b) from paper §5.2.1:
+// "the optimizer may be updated via the learning rate schedule". A scheduler
+// holds a reference to its optimizer and mutates it via Step(); the runtime
+// changeset augmentation follows that link.
+
+#ifndef FLOR_NN_SCHEDULER_H_
+#define FLOR_NN_SCHEDULER_H_
+
+#include <string>
+
+#include "nn/optimizer.h"
+
+namespace flor {
+namespace nn {
+
+/// Base LR scheduler.
+class LrScheduler {
+ public:
+  /// Does not own `optimizer`.
+  explicit LrScheduler(Optimizer* optimizer)
+      : optimizer_(optimizer), base_lr_(optimizer->lr()) {}
+  virtual ~LrScheduler() = default;
+
+  LrScheduler(const LrScheduler&) = delete;
+  LrScheduler& operator=(const LrScheduler&) = delete;
+
+  /// Advances one epoch and writes the new LR into the optimizer.
+  virtual void Step() = 0;
+
+  virtual std::string Kind() const = 0;
+
+  /// The optimizer this scheduler mutates — the augmentation hook.
+  Optimizer* optimizer() const { return optimizer_; }
+
+  int64_t epoch() const { return epoch_; }
+  void set_epoch(int64_t e) { epoch_ = e; }
+  float base_lr() const { return base_lr_; }
+
+  uint64_t StateFingerprint() const;
+
+ protected:
+  Optimizer* optimizer_;
+  float base_lr_;
+  int64_t epoch_ = 0;
+};
+
+/// Multiplies LR by `gamma` every `step_size` epochs.
+class StepLr : public LrScheduler {
+ public:
+  StepLr(Optimizer* optimizer, int64_t step_size, float gamma);
+  void Step() override;
+  std::string Kind() const override { return "step"; }
+
+ private:
+  int64_t step_size_;
+  float gamma_;
+};
+
+/// Cosine annealing from base LR to `min_lr` over `t_max` epochs.
+class CosineLr : public LrScheduler {
+ public:
+  CosineLr(Optimizer* optimizer, int64_t t_max, float min_lr = 0.0f);
+  void Step() override;
+  std::string Kind() const override { return "cosine"; }
+
+ private:
+  int64_t t_max_;
+  float min_lr_;
+};
+
+/// Cyclical LR used by stochastic weight averaging recipes — the schedule
+/// in the paper's Alice scenario (§2.1) whose "higher than usual learning
+/// rate bounds" inflate gradient magnitudes.
+class CyclicLr : public LrScheduler {
+ public:
+  CyclicLr(Optimizer* optimizer, float max_lr, int64_t cycle_len);
+  void Step() override;
+  std::string Kind() const override { return "cyclic"; }
+
+ private:
+  float max_lr_;
+  int64_t cycle_len_;
+};
+
+}  // namespace nn
+}  // namespace flor
+
+#endif  // FLOR_NN_SCHEDULER_H_

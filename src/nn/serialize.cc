@@ -1,0 +1,98 @@
+#include "nn/serialize.h"
+
+#include "common/strings.h"
+#include "tensor/serialize.h"
+
+namespace flor {
+namespace nn {
+
+void EncodeModuleState(std::string* dst, Module* module) {
+  auto params = module->Parameters();
+  PutVarint64(dst, params.size());
+  for (Parameter* p : params) {
+    PutLengthPrefixed(dst, p->name);
+    EncodeTensor(dst, p->value);
+  }
+}
+
+Status DecodeModuleState(Decoder* dec, Module* module) {
+  uint64_t n;
+  FLOR_RETURN_IF_ERROR(dec->GetVarint64(&n));
+  auto params = module->Parameters();
+  if (n != params.size()) {
+    return Status::Corruption(
+        StrCat("parameter count mismatch: checkpoint has ", n,
+               ", module has ", params.size()));
+  }
+  for (Parameter* p : params) {
+    std::string name;
+    FLOR_RETURN_IF_ERROR(dec->GetLengthPrefixed(&name));
+    if (name != p->name) {
+      return Status::Corruption(
+          StrCat("parameter name mismatch: checkpoint '", name,
+                 "' vs module '", p->name, "'"));
+    }
+    FLOR_ASSIGN_OR_RETURN(Tensor t, DecodeTensor(dec));
+    if (t.shape() != p->value.shape() || t.dtype() != p->value.dtype()) {
+      return Status::Corruption(
+          StrCat("parameter shape mismatch for '", name, "'"));
+    }
+    p->value = std::move(t);
+  }
+  return Status::OK();
+}
+
+void EncodeOptimizerState(std::string* dst, Optimizer* optimizer) {
+  PutLengthPrefixed(dst, optimizer->Kind());
+  PutFloat(dst, optimizer->lr());
+  PutVarint64(dst, static_cast<uint64_t>(optimizer->step_count()));
+  auto tensors = optimizer->StateTensors();
+  PutVarint64(dst, tensors.size());
+  for (Tensor* t : tensors) EncodeTensor(dst, *t);
+}
+
+Status DecodeOptimizerState(Decoder* dec, Optimizer* optimizer) {
+  std::string kind;
+  FLOR_RETURN_IF_ERROR(dec->GetLengthPrefixed(&kind));
+  if (kind != optimizer->Kind()) {
+    return Status::Corruption(StrCat("optimizer kind mismatch: '", kind,
+                                     "' vs '", optimizer->Kind(), "'"));
+  }
+  float lr;
+  FLOR_RETURN_IF_ERROR(dec->GetFloat(&lr));
+  uint64_t steps;
+  FLOR_RETURN_IF_ERROR(dec->GetVarint64(&steps));
+  uint64_t n;
+  FLOR_RETURN_IF_ERROR(dec->GetVarint64(&n));
+  auto tensors = optimizer->StateTensors();
+  if (n != tensors.size())
+    return Status::Corruption("optimizer state tensor count mismatch");
+  for (Tensor* t : tensors) {
+    FLOR_ASSIGN_OR_RETURN(Tensor loaded, DecodeTensor(dec));
+    if (loaded.shape() != t->shape())
+      return Status::Corruption("optimizer state tensor shape mismatch");
+    *t = std::move(loaded);
+  }
+  optimizer->set_lr(lr);
+  optimizer->set_step_count(static_cast<int64_t>(steps));
+  return Status::OK();
+}
+
+void EncodeSchedulerState(std::string* dst, LrScheduler* scheduler) {
+  PutLengthPrefixed(dst, scheduler->Kind());
+  PutVarint64(dst, static_cast<uint64_t>(scheduler->epoch()));
+}
+
+Status DecodeSchedulerState(Decoder* dec, LrScheduler* scheduler) {
+  std::string kind;
+  FLOR_RETURN_IF_ERROR(dec->GetLengthPrefixed(&kind));
+  if (kind != scheduler->Kind())
+    return Status::Corruption("scheduler kind mismatch");
+  uint64_t epoch;
+  FLOR_RETURN_IF_ERROR(dec->GetVarint64(&epoch));
+  scheduler->set_epoch(static_cast<int64_t>(epoch));
+  return Status::OK();
+}
+
+}  // namespace nn
+}  // namespace flor

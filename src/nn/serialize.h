@@ -1,0 +1,43 @@
+// Model / optimizer / scheduler state (de)serialization.
+//
+// A Loop End Checkpoint stores the *changeset* of a loop, which for training
+// loops is typically {optimizer, model} (paper §5.2.1 example). These
+// helpers flatten that state into bytes and restore it in place — restoring
+// into existing objects is exactly SkipBlock side-effect restoration.
+
+#ifndef FLOR_NN_SERIALIZE_H_
+#define FLOR_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/scheduler.h"
+#include "serialize/coding.h"
+
+namespace flor {
+namespace nn {
+
+/// Encodes all parameter values (not grads) with their names.
+void EncodeModuleState(std::string* dst, Module* module);
+
+/// Restores parameter values in place. Fails if names/shapes mismatch.
+Status DecodeModuleState(Decoder* dec, Module* module);
+
+/// Encodes lr, step count, and internal state tensors.
+void EncodeOptimizerState(std::string* dst, Optimizer* optimizer);
+
+/// Restores optimizer state in place.
+Status DecodeOptimizerState(Decoder* dec, Optimizer* optimizer);
+
+/// Encodes scheduler epoch counter (its only mutable state besides the LR
+/// it writes into the optimizer).
+void EncodeSchedulerState(std::string* dst, LrScheduler* scheduler);
+
+Status DecodeSchedulerState(Decoder* dec, LrScheduler* scheduler);
+
+}  // namespace nn
+}  // namespace flor
+
+#endif  // FLOR_NN_SERIALIZE_H_

@@ -1,0 +1,65 @@
+// Primitive (de)coding: fixed-width little-endian integers, LEB128 varints,
+// zigzag, floats, and length-prefixed strings. All checkpoint bytes go
+// through these helpers so the on-disk format is platform-independent.
+
+#ifndef FLOR_SERIALIZE_CODING_H_
+#define FLOR_SERIALIZE_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/status.h"
+
+namespace flor {
+
+// ----------------------------------------------------------- encoding ---
+
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+void PutVarint32(std::string* dst, uint32_t v);
+
+/// Zigzag-encoded signed varint.
+void PutSignedVarint64(std::string* dst, int64_t v);
+
+void PutFloat(std::string* dst, float v);
+void PutDouble(std::string* dst, double v);
+
+/// Varint length prefix followed by raw bytes.
+void PutLengthPrefixed(std::string* dst, const std::string& s);
+
+// ----------------------------------------------------------- decoding ---
+
+/// Cursor over an immutable byte string. All Get* methods return an error
+/// Status on underflow or malformed input and leave the cursor unchanged on
+/// failure.
+class Decoder {
+ public:
+  explicit Decoder(const std::string& data)
+      : p_(data.data()), end_(data.data() + data.size()) {}
+  Decoder(const char* p, size_t n) : p_(p), end_(p + n) {}
+
+  Status GetFixed32(uint32_t* v);
+  Status GetFixed64(uint64_t* v);
+  Status GetVarint64(uint64_t* v);
+  Status GetVarint32(uint32_t* v);
+  Status GetSignedVarint64(int64_t* v);
+  Status GetFloat(float* v);
+  Status GetDouble(double* v);
+  Status GetLengthPrefixed(std::string* s);
+
+  /// Copies `n` raw bytes.
+  Status GetRaw(void* out, size_t n);
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  bool done() const { return p_ == end_; }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace flor
+
+#endif  // FLOR_SERIALIZE_CODING_H_

@@ -1,0 +1,41 @@
+// Block compression for checkpoints.
+//
+// The paper gzip-compresses checkpoints before spooling them to S3 (Table 4).
+// Offline, we implement two from-scratch codecs:
+//   * kRle  — byte-level run-length encoding; near-free, wins on the large
+//             zero/constant regions common in freshly-initialized or frozen
+//             model state.
+//   * kLz   — LZSS-style Lempel-Ziv with a 64 KiB window and a chained hash
+//             table; the gzip stand-in used for Table 4 sizes.
+// The codec byte is stored with the block, so readers self-describe.
+
+#ifndef FLOR_SERIALIZE_COMPRESS_H_
+#define FLOR_SERIALIZE_COMPRESS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace flor {
+
+enum class Codec : uint8_t {
+  kNone = 0,
+  kRle = 1,
+  kLz = 2,
+};
+
+/// Compresses `input`, prepending a 1-byte codec tag and a varint of the
+/// uncompressed size. If compression does not help, stores raw with kNone.
+std::string Compress(const std::string& input, Codec codec);
+
+/// Inverse of Compress. Fails with Corruption on malformed input.
+Result<std::string> Decompress(const std::string& input);
+
+/// Codec actually used for a compressed blob (after the fallback-to-raw
+/// heuristic).
+Result<Codec> PeekCodec(const std::string& input);
+
+}  // namespace flor
+
+#endif  // FLOR_SERIALIZE_COMPRESS_H_

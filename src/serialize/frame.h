@@ -1,0 +1,43 @@
+// Checksummed frames — the unit of checkpoint storage.
+//
+// A frame is [fixed32 crc][varint payload_len][payload]. The crc covers the
+// payload only. Checkpoint files are a concatenation of frames; corruption
+// of any byte is detected on read (property-tested via
+// MemFileSystem::CorruptByte).
+
+#ifndef FLOR_SERIALIZE_FRAME_H_
+#define FLOR_SERIALIZE_FRAME_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace flor {
+
+/// Appends one frame wrapping `payload` to `dst`.
+void AppendFrame(std::string* dst, const std::string& payload);
+
+/// Reads all frames from `data`; fails with Corruption on any checksum or
+/// structural error.
+Result<std::vector<std::string>> ReadFrames(const std::string& data);
+
+/// Cursor-style reader for streaming consumption.
+class FrameReader {
+ public:
+  explicit FrameReader(const std::string& data) : data_(data) {}
+
+  /// Reads the next frame payload into `out`. Returns NotFound at EOF,
+  /// Corruption on checksum mismatch.
+  Status Next(std::string* out);
+
+  bool done() const { return pos_ >= data_.size(); }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace flor
+
+#endif  // FLOR_SERIALIZE_FRAME_H_

@@ -1,0 +1,35 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+
+namespace flor {
+namespace sim {
+
+std::vector<MachineUsage> PriceCluster(
+    const Cluster& cluster, const std::vector<double>& worker_seconds) {
+  std::vector<MachineUsage> usage;
+  const int per_machine = cluster.instance.gpus;
+  for (int m = 0; m < cluster.num_machines; ++m) {
+    MachineUsage mu;
+    mu.machine_id = m;
+    const size_t begin = static_cast<size_t>(m) * per_machine;
+    for (size_t w = begin;
+         w < begin + static_cast<size_t>(per_machine) &&
+         w < worker_seconds.size();
+         ++w) {
+      mu.busy_seconds = std::max(mu.busy_seconds, worker_seconds[w]);
+    }
+    mu.cost_dollars = InstanceCost(cluster.instance, mu.busy_seconds);
+    if (mu.busy_seconds > 0) usage.push_back(mu);
+  }
+  return usage;
+}
+
+double TotalClusterCost(const std::vector<MachineUsage>& usage) {
+  double total = 0;
+  for (const auto& mu : usage) total += mu.cost_dollars;
+  return total;
+}
+
+}  // namespace sim
+}  // namespace flor

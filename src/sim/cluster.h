@@ -1,0 +1,41 @@
+// Cluster description for parallel replay experiments.
+
+#ifndef FLOR_SIM_CLUSTER_H_
+#define FLOR_SIM_CLUSTER_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.h"
+
+namespace flor {
+namespace sim {
+
+/// A homogeneous pool of GPU machines.
+struct Cluster {
+  Ec2Instance instance = kP3_8xLarge;
+  int num_machines = 1;
+
+  int total_gpus() const { return instance.gpus * num_machines; }
+};
+
+/// Per-machine accounting after a parallel replay.
+struct MachineUsage {
+  int machine_id = 0;
+  double busy_seconds = 0;  ///< wall time = max over its workers
+  double cost_dollars = 0;
+};
+
+/// Assigns worker wall-times to machines (workers fill machines in order)
+/// and prices each machine for its busy span.
+std::vector<MachineUsage> PriceCluster(const Cluster& cluster,
+                                       const std::vector<double>&
+                                           worker_seconds);
+
+/// Total dollars across machines.
+double TotalClusterCost(const std::vector<MachineUsage>& usage);
+
+}  // namespace sim
+}  // namespace flor
+
+#endif  // FLOR_SIM_CLUSTER_H_

@@ -1,0 +1,67 @@
+// Deterministic parallel-replay engine (paper §5.4.3, §5.4.4).
+//
+// Launches one ReplaySession per GPU worker. Workers are fully independent
+// — no coordination or communication, exactly as in the paper — so on this
+// single-core host they execute sequentially while each accrues time on its
+// own simulated clock. Replay latency is the max over workers (plus
+// nothing: there is no merge barrier in Flor; log partitions are
+// concatenated by key order).
+//
+// The merged work-segment logs are deferred-checked against the record
+// logs, so partitioned replay correctness is verified for real on every
+// engine run.
+
+#ifndef FLOR_SIM_PARALLEL_REPLAY_H_
+#define FLOR_SIM_PARALLEL_REPLAY_H_
+
+#include <string>
+#include <vector>
+
+#include "env/filesystem.h"
+#include "flor/replay.h"
+#include "sim/cluster.h"
+
+namespace flor {
+namespace sim {
+
+/// Engine configuration.
+struct ClusterReplayOptions {
+  std::string run_prefix = "run";
+  Cluster cluster;
+  InitMode init_mode = InitMode::kStrong;
+  MaterializerCosts costs;
+  /// Optional iteration sampling (single worker) instead of partitioning.
+  std::vector<int64_t> sample_epochs;
+};
+
+/// Aggregate outcome of a cluster replay.
+struct ClusterReplayResult {
+  /// Wall-clock latency: max over worker runtimes.
+  double latency_seconds = 0;
+  std::vector<double> worker_seconds;
+  int workers_used = 0;
+  int64_t partition_segments = 0;
+  InitMode effective_init = InitMode::kStrong;
+  /// Work-segment log entries of all workers, in partition order.
+  exec::LogStream merged_logs;
+  std::vector<exec::LogEntry> probe_entries;
+  DeferredCheckReport deferred;
+  /// Aggregate SkipBlock counters.
+  SkipBlockStats skipblocks;
+  /// Machine billing.
+  std::vector<MachineUsage> machine_usage;
+  double total_cost_dollars = 0;
+};
+
+/// Runs a parallel replay of the record run at `run_prefix` (stored on
+/// `shared_fs`). `factory` rebuilds the *current* (possibly probed) program
+/// for each worker.
+Result<ClusterReplayResult> ClusterReplay(const ProgramFactory& factory,
+                                          FileSystem* shared_fs,
+                                          const ClusterReplayOptions&
+                                              options);
+
+}  // namespace sim
+}  // namespace flor
+
+#endif  // FLOR_SIM_PARALLEL_REPLAY_H_

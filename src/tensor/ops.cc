@@ -1,0 +1,322 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace flor {
+namespace ops {
+
+namespace {
+Status CheckSameShapeF32(const Tensor& a, const Tensor& b) {
+  if (a.dtype() != DType::kF32 || b.dtype() != DType::kF32)
+    return Status::InvalidArgument("op requires f32 tensors");
+  if (a.shape() != b.shape()) {
+    return Status::InvalidArgument(
+        StrCat("shape mismatch: ", a.shape().ToString(), " vs ",
+               b.shape().ToString()));
+  }
+  return Status::OK();
+}
+}  // namespace
+
+void Fill(Tensor* t, float v) {
+  float* p = t->f32();
+  std::fill(p, p + t->numel(), v);
+}
+
+void RandUniform(Tensor* t, Rng* rng, float lo, float hi) {
+  float* p = t->f32();
+  for (int64_t i = 0; i < t->numel(); ++i) p[i] = rng->UniformFloat(lo, hi);
+}
+
+void RandNormal(Tensor* t, Rng* rng, float stddev) {
+  float* p = t->f32();
+  for (int64_t i = 0; i < t->numel(); ++i)
+    p[i] = static_cast<float>(rng->NextGaussian()) * stddev;
+}
+
+void KaimingInit(Tensor* t, Rng* rng, int64_t fan_in) {
+  RandNormal(t, rng, std::sqrt(2.0f / static_cast<float>(fan_in)));
+}
+
+Tensor ArangeI64(int64_t n) {
+  std::vector<int64_t> v(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) v[static_cast<size_t>(i)] = i;
+  return Tensor(Shape{n}, std::move(v));
+}
+
+Result<Tensor> Add(const Tensor& a, const Tensor& b) {
+  FLOR_RETURN_IF_ERROR(CheckSameShapeF32(a, b));
+  Tensor out(a.shape());
+  const float* pa = a.f32();
+  const float* pb = b.f32();
+  float* po = out.f32();
+  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] + pb[i];
+  return out;
+}
+
+Result<Tensor> Sub(const Tensor& a, const Tensor& b) {
+  FLOR_RETURN_IF_ERROR(CheckSameShapeF32(a, b));
+  Tensor out(a.shape());
+  const float* pa = a.f32();
+  const float* pb = b.f32();
+  float* po = out.f32();
+  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] - pb[i];
+  return out;
+}
+
+Result<Tensor> Mul(const Tensor& a, const Tensor& b) {
+  FLOR_RETURN_IF_ERROR(CheckSameShapeF32(a, b));
+  Tensor out(a.shape());
+  const float* pa = a.f32();
+  const float* pb = b.f32();
+  float* po = out.f32();
+  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] * pb[i];
+  return out;
+}
+
+Status Axpy(float alpha, const Tensor& x, Tensor* y) {
+  FLOR_RETURN_IF_ERROR(CheckSameShapeF32(x, *y));
+  const float* px = x.f32();
+  float* py = y->f32();
+  for (int64_t i = 0; i < x.numel(); ++i) py[i] += alpha * px[i];
+  return Status::OK();
+}
+
+void Scale(Tensor* t, float alpha) {
+  float* p = t->f32();
+  for (int64_t i = 0; i < t->numel(); ++i) p[i] *= alpha;
+}
+
+Tensor Scaled(const Tensor& t, float alpha) {
+  Tensor out = t.Clone();
+  Scale(&out, alpha);
+  return out;
+}
+
+Tensor Relu(const Tensor& t) {
+  Tensor out(t.shape());
+  const float* p = t.f32();
+  float* po = out.f32();
+  for (int64_t i = 0; i < t.numel(); ++i) po[i] = p[i] > 0 ? p[i] : 0.0f;
+  return out;
+}
+
+Tensor ReluBackward(const Tensor& pre_activation, const Tensor& grad_out) {
+  FLOR_CHECK(pre_activation.shape() == grad_out.shape());
+  Tensor out(grad_out.shape());
+  const float* pre = pre_activation.f32();
+  const float* g = grad_out.f32();
+  float* po = out.f32();
+  for (int64_t i = 0; i < grad_out.numel(); ++i)
+    po[i] = pre[i] > 0 ? g[i] : 0.0f;
+  return out;
+}
+
+Tensor Tanh(const Tensor& t) {
+  Tensor out(t.shape());
+  const float* p = t.f32();
+  float* po = out.f32();
+  for (int64_t i = 0; i < t.numel(); ++i) po[i] = std::tanh(p[i]);
+  return out;
+}
+
+Tensor Sigmoid(const Tensor& t) {
+  Tensor out(t.shape());
+  const float* p = t.f32();
+  float* po = out.f32();
+  for (int64_t i = 0; i < t.numel(); ++i)
+    po[i] = 1.0f / (1.0f + std::exp(-p[i]));
+  return out;
+}
+
+Result<Tensor> MatMul(const Tensor& a, const Tensor& b) {
+  if (a.dtype() != DType::kF32 || b.dtype() != DType::kF32)
+    return Status::InvalidArgument("matmul requires f32");
+  if (a.shape().rank() != 2 || b.shape().rank() != 2)
+    return Status::InvalidArgument("matmul requires rank-2 tensors");
+  const int64_t m = a.shape().dim(0), k = a.shape().dim(1);
+  const int64_t k2 = b.shape().dim(0), n = b.shape().dim(1);
+  if (k != k2) {
+    return Status::InvalidArgument(
+        StrCat("matmul inner dim mismatch: ", a.shape().ToString(), " x ",
+               b.shape().ToString()));
+  }
+  Tensor out(Shape{m, n});
+  const float* pa = a.f32();
+  const float* pb = b.f32();
+  float* po = out.f32();
+  // ikj order for cache-friendly access to b.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* orow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Result<Tensor> Transpose2D(const Tensor& t) {
+  if (t.shape().rank() != 2)
+    return Status::InvalidArgument("transpose2d requires rank-2");
+  const int64_t m = t.shape().dim(0), n = t.shape().dim(1);
+  Tensor out(Shape{n, m});
+  const float* p = t.f32();
+  float* po = out.f32();
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) po[j * m + i] = p[i * n + j];
+  return out;
+}
+
+Result<Tensor> AddRowBias(const Tensor& t, const Tensor& bias) {
+  if (t.shape().rank() != 2 || bias.shape().rank() != 1)
+    return Status::InvalidArgument("AddRowBias expects [m,n] and [n]");
+  const int64_t m = t.shape().dim(0), n = t.shape().dim(1);
+  if (bias.shape().dim(0) != n)
+    return Status::InvalidArgument("bias length mismatch");
+  Tensor out(t.shape());
+  const float* p = t.f32();
+  const float* pb = bias.f32();
+  float* po = out.f32();
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) po[i * n + j] = p[i * n + j] + pb[j];
+  return out;
+}
+
+Result<Tensor> Conv2D(const Tensor& input, const Tensor& kernel, int64_t pad) {
+  if (input.shape().rank() != 4 || kernel.shape().rank() != 4)
+    return Status::InvalidArgument("conv2d expects rank-4 input and kernel");
+  const int64_t n = input.shape().dim(0), c = input.shape().dim(1);
+  const int64_t h = input.shape().dim(2), w = input.shape().dim(3);
+  const int64_t oc = kernel.shape().dim(0), kc = kernel.shape().dim(1);
+  const int64_t kh = kernel.shape().dim(2), kw = kernel.shape().dim(3);
+  if (kc != c) return Status::InvalidArgument("conv2d channel mismatch");
+  const int64_t oh = h + 2 * pad - kh + 1;
+  const int64_t ow = w + 2 * pad - kw + 1;
+  if (oh <= 0 || ow <= 0)
+    return Status::InvalidArgument("conv2d output would be empty");
+  Tensor out(Shape{n, oc, oh, ow});
+  const float* pi = input.f32();
+  const float* pk = kernel.f32();
+  float* po = out.f32();
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t o = 0; o < oc; ++o) {
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x) {
+          float acc = 0.0f;
+          for (int64_t ch = 0; ch < c; ++ch) {
+            for (int64_t ky = 0; ky < kh; ++ky) {
+              const int64_t iy = y + ky - pad;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kx = 0; kx < kw; ++kx) {
+                const int64_t ix = x + kx - pad;
+                if (ix < 0 || ix >= w) continue;
+                acc += pi[((b * c + ch) * h + iy) * w + ix] *
+                       pk[((o * c + ch) * kh + ky) * kw + kx];
+              }
+            }
+          }
+          po[((b * oc + o) * oh + y) * ow + x] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+float Sum(const Tensor& t) {
+  double acc = 0;
+  const float* p = t.f32();
+  for (int64_t i = 0; i < t.numel(); ++i) acc += p[i];
+  return static_cast<float>(acc);
+}
+
+float Mean(const Tensor& t) {
+  return t.numel() == 0 ? 0.0f : Sum(t) / static_cast<float>(t.numel());
+}
+
+float Max(const Tensor& t) {
+  FLOR_CHECK_GT(t.numel(), 0);
+  const float* p = t.f32();
+  float m = p[0];
+  for (int64_t i = 1; i < t.numel(); ++i) m = std::max(m, p[i]);
+  return m;
+}
+
+float L2Norm(const Tensor& t) {
+  double acc = 0;
+  const float* p = t.f32();
+  for (int64_t i = 0; i < t.numel(); ++i)
+    acc += static_cast<double>(p[i]) * p[i];
+  return static_cast<float>(std::sqrt(acc));
+}
+
+Result<Tensor> ArgmaxRows(const Tensor& t) {
+  if (t.shape().rank() != 2)
+    return Status::InvalidArgument("ArgmaxRows requires rank-2");
+  const int64_t m = t.shape().dim(0), n = t.shape().dim(1);
+  std::vector<int64_t> out(static_cast<size_t>(m));
+  const float* p = t.f32();
+  for (int64_t i = 0; i < m; ++i) {
+    int64_t best = 0;
+    for (int64_t j = 1; j < n; ++j)
+      if (p[i * n + j] > p[i * n + best]) best = j;
+    out[static_cast<size_t>(i)] = best;
+  }
+  return Tensor(Shape{m}, std::move(out));
+}
+
+Result<Tensor> SoftmaxRows(const Tensor& t) {
+  if (t.shape().rank() != 2)
+    return Status::InvalidArgument("SoftmaxRows requires rank-2");
+  const int64_t m = t.shape().dim(0), n = t.shape().dim(1);
+  Tensor out(t.shape());
+  const float* p = t.f32();
+  float* po = out.f32();
+  for (int64_t i = 0; i < m; ++i) {
+    float mx = p[i * n];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, p[i * n + j]);
+    double sum = 0;
+    for (int64_t j = 0; j < n; ++j) {
+      po[i * n + j] = std::exp(p[i * n + j] - mx);
+      sum += po[i * n + j];
+    }
+    for (int64_t j = 0; j < n; ++j)
+      po[i * n + j] = static_cast<float>(po[i * n + j] / sum);
+  }
+  return out;
+}
+
+Result<float> NllLoss(const Tensor& probs, const Tensor& labels) {
+  if (probs.shape().rank() != 2 || labels.dtype() != DType::kI64)
+    return Status::InvalidArgument("NllLoss expects [m,n] probs, i64 labels");
+  const int64_t m = probs.shape().dim(0), n = probs.shape().dim(1);
+  if (labels.numel() != m)
+    return Status::InvalidArgument("label count mismatch");
+  double acc = 0;
+  const float* p = probs.f32();
+  for (int64_t i = 0; i < m; ++i) {
+    int64_t y = labels.at_i64(i);
+    if (y < 0 || y >= n) return Status::OutOfRange("label out of range");
+    acc += -std::log(std::max(p[i * n + y], 1e-12f));
+  }
+  return static_cast<float>(acc / static_cast<double>(m));
+}
+
+Result<float> Accuracy(const Tensor& logits, const Tensor& labels) {
+  FLOR_ASSIGN_OR_RETURN(Tensor pred, ArgmaxRows(logits));
+  if (labels.numel() != pred.numel())
+    return Status::InvalidArgument("label count mismatch");
+  int64_t hits = 0;
+  for (int64_t i = 0; i < pred.numel(); ++i)
+    if (pred.at_i64(i) == labels.at_i64(i)) ++hits;
+  return static_cast<float>(hits) / static_cast<float>(pred.numel());
+}
+
+}  // namespace ops
+}  // namespace flor

@@ -1,0 +1,99 @@
+// Tensor operations. Shape-checked, Status-returning where failure is a user
+// error; internal kernels use FLOR_CHECK for programmer errors.
+//
+// The op set is the minimum a real training loop needs: initialization,
+// elementwise arithmetic, matmul, conv2d, reductions, activations, softmax /
+// cross-entropy building blocks, and norms (the "gradient magnitude" probes
+// of the paper's Alice scenario, §2.1).
+
+#ifndef FLOR_TENSOR_OPS_H_
+#define FLOR_TENSOR_OPS_H_
+
+#include "common/random.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace flor {
+namespace ops {
+
+// -------------------------------------------------------- initializers ---
+
+/// Constant fill (in place).
+void Fill(Tensor* t, float v);
+
+/// Uniform [lo, hi) fill from `rng` (in place, f32 only).
+void RandUniform(Tensor* t, Rng* rng, float lo = 0.0f, float hi = 1.0f);
+
+/// N(0, stddev) fill from `rng`.
+void RandNormal(Tensor* t, Rng* rng, float stddev = 1.0f);
+
+/// Kaiming-style init: N(0, sqrt(2 / fan_in)).
+void KaimingInit(Tensor* t, Rng* rng, int64_t fan_in);
+
+/// [0, 1, ..., n-1] as i64.
+Tensor ArangeI64(int64_t n);
+
+// -------------------------------------------------------- elementwise ----
+
+/// out = a + b (same shape, f32).
+Result<Tensor> Add(const Tensor& a, const Tensor& b);
+/// out = a - b.
+Result<Tensor> Sub(const Tensor& a, const Tensor& b);
+/// out = a * b (elementwise).
+Result<Tensor> Mul(const Tensor& a, const Tensor& b);
+
+/// In-place axpy: y += alpha * x. Shapes must match.
+Status Axpy(float alpha, const Tensor& x, Tensor* y);
+
+/// In-place scale: t *= alpha.
+void Scale(Tensor* t, float alpha);
+
+/// out = t * alpha (new tensor).
+Tensor Scaled(const Tensor& t, float alpha);
+
+/// ReLU / derivative mask.
+Tensor Relu(const Tensor& t);
+Tensor ReluBackward(const Tensor& pre_activation, const Tensor& grad_out);
+
+Tensor Tanh(const Tensor& t);
+Tensor Sigmoid(const Tensor& t);
+
+// ------------------------------------------------------------- linalg ----
+
+/// [m,k] x [k,n] -> [m,n].
+Result<Tensor> MatMul(const Tensor& a, const Tensor& b);
+
+/// Transpose of a rank-2 tensor.
+Result<Tensor> Transpose2D(const Tensor& t);
+
+/// Adds a rank-1 bias [n] to every row of a rank-2 [m,n] tensor.
+Result<Tensor> AddRowBias(const Tensor& t, const Tensor& bias);
+
+/// Naive NCHW conv2d, stride 1, zero padding `pad`.
+/// input [n,c,h,w], kernel [oc,c,kh,kw] -> [n,oc,h',w'].
+Result<Tensor> Conv2D(const Tensor& input, const Tensor& kernel, int64_t pad);
+
+// ---------------------------------------------------------- reductions ---
+
+float Sum(const Tensor& t);
+float Mean(const Tensor& t);
+float Max(const Tensor& t);
+/// L2 norm of all elements — the "magnitude" probes in the Alice scenario.
+float L2Norm(const Tensor& t);
+
+/// Row-wise argmax of a rank-2 tensor -> i64 [rows].
+Result<Tensor> ArgmaxRows(const Tensor& t);
+
+/// Row-wise softmax of a rank-2 tensor.
+Result<Tensor> SoftmaxRows(const Tensor& t);
+
+/// Mean negative log-likelihood of rows of `probs` at i64 `labels`.
+Result<float> NllLoss(const Tensor& probs, const Tensor& labels);
+
+/// Fraction of rows whose argmax equals the label.
+Result<float> Accuracy(const Tensor& logits, const Tensor& labels);
+
+}  // namespace ops
+}  // namespace flor
+
+#endif  // FLOR_TENSOR_OPS_H_

@@ -1,0 +1,27 @@
+// Tensor (de)serialization into the checkpoint byte format.
+// Layout: [u8 dtype][varint rank][varint dims...][raw data LE].
+
+#ifndef FLOR_TENSOR_SERIALIZE_H_
+#define FLOR_TENSOR_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "serialize/coding.h"
+#include "tensor/tensor.h"
+
+namespace flor {
+
+/// Appends the encoded tensor to `dst`.
+void EncodeTensor(std::string* dst, const Tensor& t);
+
+/// Decodes one tensor from the cursor.
+Result<Tensor> DecodeTensor(Decoder* dec);
+
+/// One-shot helpers.
+std::string TensorToBytes(const Tensor& t);
+Result<Tensor> TensorFromBytes(const std::string& bytes);
+
+}  // namespace flor
+
+#endif  // FLOR_TENSOR_SERIALIZE_H_

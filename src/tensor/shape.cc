@@ -1,0 +1,32 @@
+#include "tensor/shape.h"
+
+#include "common/strings.h"
+
+namespace flor {
+
+int64_t Shape::numel() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) n *= d;
+  return n;
+}
+
+std::vector<int64_t> Shape::Strides() const {
+  std::vector<int64_t> strides(dims_.size(), 1);
+  for (int64_t i = rank() - 2; i >= 0; --i) {
+    strides[static_cast<size_t>(i)] =
+        strides[static_cast<size_t>(i + 1)] * dims_[static_cast<size_t>(i + 1)];
+  }
+  return strides;
+}
+
+std::string Shape::ToString() const {
+  std::string s = "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i) s += ", ";
+    s += StrCat(dims_[i]);
+  }
+  s += "]";
+  return s;
+}
+
+}  // namespace flor

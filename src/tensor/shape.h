@@ -1,0 +1,42 @@
+// Tensor shapes: a small value type over dimension extents.
+
+#ifndef FLOR_TENSOR_SHAPE_H_
+#define FLOR_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace flor {
+
+/// Dimension extents of a tensor. Rank 0 denotes a scalar.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  int64_t rank() const { return static_cast<int64_t>(dims_.size()); }
+  int64_t dim(int64_t i) const { return dims_[static_cast<size_t>(i)]; }
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// Total element count (1 for scalars).
+  int64_t numel() const;
+
+  /// Row-major strides.
+  std::vector<int64_t> Strides() const;
+
+  /// "[2, 3, 4]"
+  std::string ToString() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace flor
+
+#endif  // FLOR_TENSOR_SHAPE_H_

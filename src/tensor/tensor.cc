@@ -1,0 +1,170 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/random.h"
+#include "common/strings.h"
+
+namespace flor {
+
+const char* DTypeName(DType t) {
+  switch (t) {
+    case DType::kF32:
+      return "f32";
+    case DType::kI64:
+      return "i64";
+  }
+  return "?";
+}
+
+size_t DTypeSize(DType t) {
+  switch (t) {
+    case DType::kF32:
+      return 4;
+    case DType::kI64:
+      return 8;
+  }
+  return 0;
+}
+
+Tensor::Tensor() : Tensor(Shape{}, DType::kF32) {}
+
+Tensor::Tensor(Shape shape, DType dtype)
+    : shape_(std::move(shape)), dtype_(dtype),
+      storage_(std::make_shared<Storage>()) {
+  const size_t n = static_cast<size_t>(shape_.numel());
+  if (dtype_ == DType::kF32) {
+    storage_->f32.assign(n, 0.0f);
+  } else {
+    storage_->i64.assign(n, 0);
+  }
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), dtype_(DType::kF32),
+      storage_(std::make_shared<Storage>()) {
+  FLOR_CHECK_EQ(static_cast<size_t>(shape_.numel()), values.size())
+      << "shape " << shape_.ToString() << " vs " << values.size()
+      << " values";
+  storage_->f32 = std::move(values);
+}
+
+Tensor::Tensor(Shape shape, std::vector<int64_t> values)
+    : shape_(std::move(shape)), dtype_(DType::kI64),
+      storage_(std::make_shared<Storage>()) {
+  FLOR_CHECK_EQ(static_cast<size_t>(shape_.numel()), values.size());
+  storage_->i64 = std::move(values);
+}
+
+Tensor Tensor::Scalar(float v) { return Tensor(Shape{}, std::vector<float>{v}); }
+
+Tensor Tensor::ScalarI64(int64_t v) {
+  return Tensor(Shape{}, std::vector<int64_t>{v});
+}
+
+float* Tensor::f32() {
+  FLOR_CHECK(dtype_ == DType::kF32);
+  return storage_->f32.data();
+}
+const float* Tensor::f32() const {
+  FLOR_CHECK(dtype_ == DType::kF32);
+  return storage_->f32.data();
+}
+int64_t* Tensor::i64() {
+  FLOR_CHECK(dtype_ == DType::kI64);
+  return storage_->i64.data();
+}
+const int64_t* Tensor::i64() const {
+  FLOR_CHECK(dtype_ == DType::kI64);
+  return storage_->i64.data();
+}
+
+float Tensor::at(int64_t i) const {
+  FLOR_CHECK(dtype_ == DType::kF32);
+  FLOR_CHECK(i >= 0 && i < numel());
+  return storage_->f32[static_cast<size_t>(i)];
+}
+
+int64_t Tensor::at_i64(int64_t i) const {
+  FLOR_CHECK(dtype_ == DType::kI64);
+  FLOR_CHECK(i >= 0 && i < numel());
+  return storage_->i64[static_cast<size_t>(i)];
+}
+
+float Tensor::item() const {
+  FLOR_CHECK_EQ(numel(), 1) << "item() on non-scalar " << shape_.ToString();
+  return dtype_ == DType::kF32 ? storage_->f32[0]
+                               : static_cast<float>(storage_->i64[0]);
+}
+
+Tensor Tensor::Clone() const {
+  Tensor out(shape_, dtype_);
+  out.storage_->f32 = storage_->f32;
+  out.storage_->i64 = storage_->i64;
+  return out;
+}
+
+bool Tensor::SharesStorageWith(const Tensor& other) const {
+  return storage_ == other.storage_;
+}
+
+uint64_t Tensor::Fingerprint() const {
+  uint64_t h = Mix64(static_cast<uint64_t>(dtype_) + 0x9e37);
+  for (int64_t d : shape_.dims()) h = Mix64(h ^ static_cast<uint64_t>(d));
+  const void* data;
+  size_t bytes;
+  if (dtype_ == DType::kF32) {
+    data = storage_->f32.data();
+    bytes = storage_->f32.size() * sizeof(float);
+  } else {
+    data = storage_->i64.data();
+    bytes = storage_->i64.size() * sizeof(int64_t);
+  }
+  const auto* p = static_cast<const uint8_t*>(data);
+  size_t i = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = Mix64(h ^ w);
+  }
+  uint64_t tail = 0;
+  for (size_t k = 0; i < bytes; ++i, ++k) tail |= uint64_t{p[i]} << (8 * k);
+  return Mix64(h ^ tail);
+}
+
+bool Tensor::Equals(const Tensor& other) const {
+  if (dtype_ != other.dtype_ || shape_ != other.shape_) return false;
+  if (dtype_ == DType::kF32) {
+    return std::memcmp(storage_->f32.data(), other.storage_->f32.data(),
+                       storage_->f32.size() * sizeof(float)) == 0;
+  }
+  return storage_->i64 == other.storage_->i64;
+}
+
+bool Tensor::AllClose(const Tensor& other, float tol) const {
+  if (dtype_ != DType::kF32 || other.dtype_ != DType::kF32) {
+    return Equals(other);
+  }
+  if (shape_ != other.shape_) return false;
+  for (size_t i = 0; i < storage_->f32.size(); ++i) {
+    if (std::fabs(storage_->f32[i] - other.storage_->f32[i]) > tol)
+      return false;
+  }
+  return true;
+}
+
+std::string Tensor::ToString(int64_t max_elems) const {
+  std::string s = StrCat(DTypeName(dtype_), shape_.ToString(), " {");
+  const int64_t n = std::min<int64_t>(numel(), max_elems);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) s += ", ";
+    s += dtype_ == DType::kF32 ? StrFormat("%g", at(i))
+                               : StrCat(at_i64(i));
+  }
+  if (numel() > max_elems) s += ", ...";
+  s += "}";
+  return s;
+}
+
+}  // namespace flor

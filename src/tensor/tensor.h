@@ -1,0 +1,96 @@
+// Dense tensors — the data substrate standing in for PyTorch tensors.
+//
+// Semantics mirror torch where it matters to Flor:
+//   * copying a Tensor is shallow (shares storage), like Python references;
+//   * `Clone()` deep-copies — this is what a checkpoint snapshot uses (the
+//     analog of fork()'s copy-on-write page copy);
+//   * `Fingerprint()` gives a cheap content hash used by the deferred
+//     correctness checks and by tests asserting replay ≡ record.
+// Two dtypes: float32 (weights, activations) and int64 (token ids, labels).
+
+#ifndef FLOR_TENSOR_TENSOR_H_
+#define FLOR_TENSOR_TENSOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "tensor/shape.h"
+
+namespace flor {
+
+enum class DType : uint8_t { kF32 = 0, kI64 = 1 };
+
+const char* DTypeName(DType t);
+size_t DTypeSize(DType t);
+
+/// Reference-counted dense tensor.
+class Tensor {
+ public:
+  /// Empty scalar f32 tensor.
+  Tensor();
+
+  /// Uninitialized (zeroed) tensor of the given shape/dtype.
+  explicit Tensor(Shape shape, DType dtype = DType::kF32);
+
+  /// f32 tensor initialized from values. Precondition: sizes match.
+  Tensor(Shape shape, std::vector<float> values);
+  /// i64 tensor initialized from values. Precondition: sizes match.
+  Tensor(Shape shape, std::vector<int64_t> values);
+
+  static Tensor Scalar(float v);
+  static Tensor ScalarI64(int64_t v);
+
+  const Shape& shape() const { return shape_; }
+  DType dtype() const { return dtype_; }
+  int64_t numel() const { return shape_.numel(); }
+  uint64_t byte_size() const {
+    return static_cast<uint64_t>(numel()) * DTypeSize(dtype_);
+  }
+
+  /// Raw element access. Preconditions: correct dtype, index in range.
+  float* f32();
+  const float* f32() const;
+  int64_t* i64();
+  const int64_t* i64() const;
+
+  float at(int64_t i) const;
+  int64_t at_i64(int64_t i) const;
+
+  /// Scalar value of a 1-element tensor (any rank).
+  float item() const;
+
+  /// Deep copy (fresh storage).
+  Tensor Clone() const;
+
+  /// True if the two tensors share storage.
+  bool SharesStorageWith(const Tensor& other) const;
+
+  /// Content hash over dtype, shape, and data bytes.
+  uint64_t Fingerprint() const;
+
+  /// Bitwise equality of dtype, shape and contents.
+  bool Equals(const Tensor& other) const;
+
+  /// Approximate equality for f32 tensors (elementwise |a-b| <= tol).
+  bool AllClose(const Tensor& other, float tol = 1e-5f) const;
+
+  /// Short debug form: "f32[2, 3] {0.1, 0.2, ...}".
+  std::string ToString(int64_t max_elems = 8) const;
+
+ private:
+  struct Storage {
+    std::vector<float> f32;
+    std::vector<int64_t> i64;
+  };
+
+  Shape shape_;
+  DType dtype_;
+  std::shared_ptr<Storage> storage_;
+};
+
+}  // namespace flor
+
+#endif  // FLOR_TENSOR_TENSOR_H_

@@ -1,0 +1,71 @@
+#include "workloads/models.h"
+
+#include "common/strings.h"
+
+namespace flor {
+namespace workloads {
+
+std::unique_ptr<nn::Module> BuildModel(const WorkloadProfile& profile,
+                                       Rng* rng) {
+  const std::string name = profile.name + "_net";
+  if (profile.task_kind == data::Task::kText) {
+    constexpr int64_t kEmbedDim = 8;
+    auto seq = std::make_unique<nn::Sequential>(name);
+    seq->Add(std::make_unique<nn::Embedding>(name + ".embed",
+                                             profile.real_vocab, kEmbedDim,
+                                             rng));
+    const int64_t flat = profile.real_feature_dim * kEmbedDim;
+    seq->Add(std::make_unique<nn::Linear>(name + ".fc0", flat,
+                                          profile.real_hidden, rng));
+    seq->Add(std::make_unique<nn::ReLU>(name + ".relu0"));
+    seq->Add(std::make_unique<nn::Linear>(name + ".head",
+                                          profile.real_hidden,
+                                          profile.real_classes, rng));
+    return seq;
+  }
+  if (profile.use_conv) {
+    // 3x8x8 images -> conv -> classifier.
+    auto seq = std::make_unique<nn::Sequential>(name);
+    seq->Add(std::make_unique<nn::Unflatten>(name + ".unflatten",
+                                             std::vector<int64_t>{3, 8, 8}));
+    seq->Add(std::make_unique<nn::Conv2d>(name + ".conv0", 3, 8, 3, 1, rng));
+    seq->Add(std::make_unique<nn::ReLU>(name + ".relu0"));
+    seq->Add(std::make_unique<nn::Flatten>(name + ".flatten"));
+    seq->Add(std::make_unique<nn::Linear>(name + ".head", 8 * 8 * 8,
+                                          profile.real_classes, rng));
+    return seq;
+  }
+  return nn::BuildMlp(name,
+                      {profile.real_feature_dim, profile.real_hidden,
+                       profile.real_hidden, profile.real_classes},
+                      rng);
+}
+
+int FreezeBackbone(nn::Module* net) {
+  int frozen = net->FreezeMatching(".embed");
+  frozen += net->FreezeMatching(".fc0");
+  return frozen;
+}
+
+std::unique_ptr<nn::Optimizer> BuildOptimizer(const WorkloadProfile& profile,
+                                              nn::Module* net) {
+  if (profile.fine_tune) {
+    return std::make_unique<nn::Adam>(net, /*lr=*/1e-3f, 0.9f, 0.999f,
+                                      1e-8f, /*weight_decay=*/0.01f,
+                                      /*adamw=*/true);
+  }
+  return std::make_unique<nn::Sgd>(net, /*lr=*/0.05f, /*momentum=*/0.9f,
+                                   /*weight_decay=*/5e-4f);
+}
+
+std::unique_ptr<nn::LrScheduler> BuildScheduler(
+    const WorkloadProfile& profile, nn::Optimizer* optimizer) {
+  if (profile.fine_tune) {
+    return std::make_unique<nn::StepLr>(
+        optimizer, std::max<int64_t>(1, profile.epochs / 3), 0.5f);
+  }
+  return std::make_unique<nn::CosineLr>(optimizer, profile.epochs);
+}
+
+}  // namespace workloads
+}  // namespace flor

@@ -1,0 +1,37 @@
+// Tiny real models for the evaluation workloads.
+
+#ifndef FLOR_WORKLOADS_MODELS_H_
+#define FLOR_WORKLOADS_MODELS_H_
+
+#include <memory>
+
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/scheduler.h"
+#include "workloads/profiles.h"
+
+namespace flor {
+namespace workloads {
+
+/// Builds the tiny stand-in model for a workload: an embedding classifier
+/// for text, a conv stack when `use_conv`, an MLP otherwise.
+std::unique_ptr<nn::Module> BuildModel(const WorkloadProfile& profile,
+                                       Rng* rng);
+
+/// Freezes the backbone for fine-tuning workloads (embedding table + first
+/// projection), mirroring "the vast majority of weights are frozen in model
+/// fine-tuning" (§5.3.4). Returns the number of frozen parameters.
+int FreezeBackbone(nn::Module* net);
+
+/// AdamW for fine-tuning, SGD+momentum for training from scratch.
+std::unique_ptr<nn::Optimizer> BuildOptimizer(const WorkloadProfile& profile,
+                                              nn::Module* net);
+
+/// StepLR for fine-tuning, cosine annealing for training.
+std::unique_ptr<nn::LrScheduler> BuildScheduler(
+    const WorkloadProfile& profile, nn::Optimizer* optimizer);
+
+}  // namespace workloads
+}  // namespace flor
+
+#endif  // FLOR_WORKLOADS_MODELS_H_

@@ -1,0 +1,227 @@
+#include "workloads/profiles.h"
+
+namespace flor {
+namespace workloads {
+
+namespace {
+
+constexpr uint64_t kMB = 1024ull * 1024ull;
+
+std::vector<WorkloadProfile> BuildAll() {
+  std::vector<WorkloadProfile> all;
+
+  // --- RTE: GLUE fine-tuning, RoBERTa. Short epochs, enormous (Adam-
+  // bearing) checkpoints: the adaptive-checkpointing stress case. With
+  // Mi/Ci ≈ 2.2 the Joint Invariant admits a checkpoint roughly every 33
+  // epochs → 6 checkpoints over 200 epochs (paper: 6 epoch-partitions).
+  {
+    WorkloadProfile p;
+    p.name = "RTE";
+    p.benchmark = "GLUE";
+    p.task = "Recognizing Textual Entailment";
+    p.model = "RoBERTa";
+    p.dataset = "RTE";
+    p.fine_tune = true;
+    p.epochs = 200;
+    p.sim_epoch_seconds = 11.1;
+    p.sim_outer_seconds = 1.5;
+    p.sim_preamble_seconds = 30;
+    p.sim_ckpt_raw_bytes = 3853 * kMB;  // ~3.8 GB raw → ~2.3 GB stored
+    p.task_kind = data::Task::kText;
+    p.real_samples = 64;
+    p.real_batch = 16;
+    p.real_feature_dim = 12;  // sequence length
+    p.real_classes = 2;
+    p.real_hidden = 24;
+    p.real_vocab = 96;
+    p.seed = 1001;
+    all.push_back(p);
+  }
+
+  // --- CoLA: GLUE fine-tuning, longer epochs than RTE but still
+  // checkpoint-dominated (Mi/Ci ≈ 1.4 → sparse checkpoints).
+  {
+    WorkloadProfile p;
+    p.name = "CoLA";
+    p.benchmark = "GLUE";
+    p.task = "Language Acceptability";
+    p.model = "RoBERTa";
+    p.dataset = "CoLA";
+    p.fine_tune = true;
+    p.epochs = 80;
+    p.sim_epoch_seconds = 18.5;
+    p.sim_outer_seconds = 1.0;
+    p.sim_preamble_seconds = 30;
+    p.sim_ckpt_raw_bytes = 4129 * kMB;
+    p.task_kind = data::Task::kText;
+    p.real_samples = 64;
+    p.real_batch = 16;
+    p.real_feature_dim = 10;
+    p.real_classes = 2;
+    p.real_hidden = 24;
+    p.real_vocab = 96;
+    p.seed = 1002;
+    all.push_back(p);
+  }
+
+  // --- Cifr: SqueezeNet on Cifar100 from scratch. Small checkpoints,
+  // memoized every epoch.
+  {
+    WorkloadProfile p;
+    p.name = "Cifr";
+    p.benchmark = "Classic CV";
+    p.task = "Image Classification";
+    p.model = "Squeezenet";
+    p.dataset = "Cifar100";
+    p.epochs = 200;
+    p.sim_epoch_seconds = 25;
+    p.sim_outer_seconds = 2;
+    p.sim_preamble_seconds = 20;
+    p.sim_ckpt_raw_bytes = static_cast<uint64_t>(5.6 * 1024) * 1024;
+    p.task_kind = data::Task::kVision;
+    p.real_samples = 96;
+    p.real_batch = 16;
+    p.real_feature_dim = 48;
+    p.real_classes = 6;
+    p.real_hidden = 32;
+    p.seed = 1003;
+    all.push_back(p);
+  }
+
+  // --- RsNt: ResNet-152 on Cifar100. The Fig. 13 scale-out workload
+  // (200 epochs to parallelize).
+  {
+    WorkloadProfile p;
+    p.name = "RsNt";
+    p.benchmark = "Classic CV";
+    p.task = "Image Classification";
+    p.model = "ResNet-152";
+    p.dataset = "Cifar100";
+    p.epochs = 200;
+    p.sim_epoch_seconds = 170;
+    p.sim_outer_seconds = 5;
+    p.sim_preamble_seconds = 30;
+    p.sim_ckpt_raw_bytes = 320 * kMB;
+    p.task_kind = data::Task::kVision;
+    p.real_samples = 96;
+    p.real_batch = 16;
+    p.real_feature_dim = 48;
+    p.real_classes = 6;
+    p.real_hidden = 40;
+    p.seed = 1004;
+    all.push_back(p);
+  }
+
+  // --- Wiki: RoBERTa language-model pretraining.
+  {
+    WorkloadProfile p;
+    p.name = "Wiki";
+    p.benchmark = "GLUE";
+    p.task = "Language Modeling";
+    p.model = "RoBERTa";
+    p.dataset = "Wiki";
+    p.epochs = 12;
+    p.sim_epoch_seconds = 4700;
+    p.sim_outer_seconds = 10;
+    p.sim_preamble_seconds = 300;
+    p.sim_ckpt_raw_bytes = 1930 * kMB;
+    p.task_kind = data::Task::kText;
+    p.real_samples = 64;
+    p.real_batch = 16;
+    p.real_feature_dim = 16;
+    p.real_classes = 8;
+    p.real_hidden = 32;
+    p.real_vocab = 128;
+    p.seed = 1005;
+    all.push_back(p);
+  }
+
+  // --- Jasp: Jasper speech recognition (MLPerf).
+  {
+    WorkloadProfile p;
+    p.name = "Jasp";
+    p.benchmark = "MLPerf";
+    p.task = "Speech Recognition";
+    p.model = "Jasper";
+    p.dataset = "LibriSpeech";
+    p.epochs = 4;
+    p.sim_epoch_seconds = 12500;
+    p.sim_outer_seconds = 120;
+    p.sim_preamble_seconds = 400;
+    p.sim_ckpt_raw_bytes = 826 * kMB;
+    p.task_kind = data::Task::kAudio;
+    p.real_samples = 64;
+    p.real_batch = 16;
+    p.real_feature_dim = 40;
+    p.real_classes = 6;
+    p.real_hidden = 32;
+    p.seed = 1006;
+    all.push_back(p);
+  }
+
+  // --- ImgN: SqueezeNet on ImageNet (conv stack in the tiny model).
+  {
+    WorkloadProfile p;
+    p.name = "ImgN";
+    p.benchmark = "Classic CV";
+    p.task = "Image Classification";
+    p.model = "Squeezenet";
+    p.dataset = "ImageNet";
+    p.epochs = 8;
+    p.sim_epoch_seconds = 5300;
+    p.sim_outer_seconds = 180;
+    p.sim_preamble_seconds = 600;
+    p.sim_ckpt_raw_bytes = static_cast<uint64_t>(10.3 * 1024) * 1024;
+    p.task_kind = data::Task::kVision;
+    p.real_samples = 64;
+    p.real_batch = 16;
+    p.real_feature_dim = 3 * 8 * 8;  // unflattened to 3x8x8 for conv
+    p.real_classes = 6;
+    p.real_hidden = 32;
+    p.use_conv = true;
+    p.seed = 1007;
+    all.push_back(p);
+  }
+
+  // --- RnnT: RNN with attention, WMT16 translation (MLPerf).
+  {
+    WorkloadProfile p;
+    p.name = "RnnT";
+    p.benchmark = "MLPerf";
+    p.task = "Language Translation";
+    p.model = "RNN w/ Attention";
+    p.dataset = "WMT16";
+    p.epochs = 8;
+    p.sim_epoch_seconds = 7800;
+    p.sim_outer_seconds = 90;
+    p.sim_preamble_seconds = 400;
+    p.sim_ckpt_raw_bytes = 5987 * kMB;
+    p.task_kind = data::Task::kText;
+    p.real_samples = 64;
+    p.real_batch = 16;
+    p.real_feature_dim = 14;
+    p.real_classes = 8;
+    p.real_hidden = 32;
+    p.real_vocab = 128;
+    p.seed = 1008;
+    all.push_back(p);
+  }
+
+  return all;
+}
+
+}  // namespace
+
+const std::vector<WorkloadProfile>& AllWorkloads() {
+  static const std::vector<WorkloadProfile> all = BuildAll();
+  return all;
+}
+
+Result<WorkloadProfile> WorkloadByName(const std::string& name) {
+  for (const auto& p : AllWorkloads())
+    if (p.name == name) return p;
+  return Status::NotFound("no such workload: " + name);
+}
+
+}  // namespace workloads
+}  // namespace flor

@@ -1,0 +1,85 @@
+// Canonical training-script factories for the evaluation workloads.
+//
+// Every workload shares the paper's script shape (Fig. 2/6):
+//
+//   trainloader = make_loader()              # preamble
+//   num_batches = len(trainloader)
+//   net = build_model()
+//   freeze_encoder(net)                      # fine-tune workloads only
+//   optimizer = make_optimizer(net)
+//   scheduler = make_scheduler(optimizer)
+//   for e in range(EPOCHS):                  # main loop (Flor generator)
+//       for i in range(num_batches):         # training loop (SkipBlock)
+//           optimizer.zero_grad()
+//           batch, labels = fetch_batch(trainloader, e, i)
+//           preds = forward(net, batch)
+//           loss, grad = criterion(preds, labels)
+//           grad.backward(net)
+//           optimizer.step()
+//           flor.log("loss", loss)
+//           [kProbeInner: flor.log("grad_norm", ...)]
+//       scheduler.step()
+//       test_acc = evaluate(net, e)
+//       flor.log("test_acc", test_acc)
+//       save_checkpoint(net)                 # rule-5: refuses the main loop
+//       [kProbeOuter: flor.log("weight_norm", ...)]
+//   flor.log("final_weight_norm", ...)
+//
+// The static analysis yields changeset {optimizer} for the training loop
+// (batch/labels/preds/loss/grad are loop-scoped), and runtime augmentation
+// adds net — exactly the worked example of paper §5.2.1.
+
+#ifndef FLOR_WORKLOADS_PROGRAMS_H_
+#define FLOR_WORKLOADS_PROGRAMS_H_
+
+#include <cstdint>
+
+#include "flor/record.h"
+#include "flor/skipblock.h"
+#include "workloads/models.h"
+
+namespace flor {
+namespace workloads {
+
+/// Hindsight-probe placements for the benchmark harnesses.
+enum ProbeFlags : uint32_t {
+  kProbeNone = 0,
+  /// Probe in the main-loop body (outside the training loop) — the
+  /// partial-replay fast path (Fig. 12 top).
+  kProbeOuter = 1u << 0,
+  /// Probe inside the training loop — forces full re-execution of the
+  /// training loops on replay (Fig. 12 bottom).
+  kProbeInner = 1u << 1,
+};
+
+/// Everything the semantic callbacks touch; owned by the ProgramInstance
+/// context so replay workers rebuild it from scratch in the preamble.
+struct WorkloadRuntime {
+  WorkloadProfile profile;
+  Rng rng;
+  std::unique_ptr<data::SyntheticDataset> dataset;
+  std::unique_ptr<data::DataLoader> loader;
+  std::unique_ptr<data::SyntheticDataset> eval_dataset;
+  std::unique_ptr<nn::Module> net;
+  std::unique_ptr<nn::Optimizer> optimizer;
+  std::unique_ptr<nn::LrScheduler> scheduler;
+
+  explicit WorkloadRuntime(WorkloadProfile p)
+      : profile(std::move(p)), rng(profile.seed) {}
+};
+
+/// Builds a factory producing fresh instances of the workload's training
+/// script, with the requested probes inserted.
+ProgramFactory MakeWorkloadFactory(const WorkloadProfile& profile,
+                                   uint32_t probes);
+
+/// Record options preconfigured for a workload on the paper's platform:
+/// Fork materialization, adaptive checkpointing at ε = 6.67%, and the
+/// profile's nominal checkpoint size for simulated costs.
+RecordOptions DefaultRecordOptions(const WorkloadProfile& profile,
+                                   const std::string& run_prefix);
+
+}  // namespace workloads
+}  // namespace flor
+
+#endif  // FLOR_WORKLOADS_PROGRAMS_H_

@@ -1,0 +1,150 @@
+// Unit tests: the adaptive checkpointing controller and its invariants
+// (paper §5.3, Eqs. 1-4).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flor/adaptive.h"
+
+namespace flor {
+namespace {
+
+constexpr double kEps = 1.0 / 15.0;
+
+AdaptiveOptions DefaultOpts() {
+  AdaptiveOptions opts;
+  opts.enabled = true;
+  opts.epsilon = kEps;
+  opts.initial_c = 1.0;
+  return opts;
+}
+
+TEST(Adaptive, CheapCheckpointsMaterializeEveryTime) {
+  AdaptiveController ctrl(DefaultOpts());
+  // Mi/Ci = 0.001 << eps: dense checkpointing (the Cifr/RsNt regime).
+  for (int i = 0; i < 50; ++i)
+    EXPECT_TRUE(ctrl.ShouldMaterialize(1, 10.0, 0.01));
+  EXPECT_EQ(ctrl.checkpoints(1), 50);
+  EXPECT_EQ(ctrl.executions(1), 50);
+}
+
+TEST(Adaptive, ExpensiveCheckpointsBecomePeriodic) {
+  AdaptiveController ctrl(DefaultOpts());
+  // Mi/Ci = 2.2: the RTE regime. Expect ~ n*eps/2.2 checkpoints.
+  int materialized = 0;
+  for (int i = 0; i < 200; ++i)
+    if (ctrl.ShouldMaterialize(2, 11.1, 24.4)) ++materialized;
+  EXPECT_EQ(materialized, ctrl.checkpoints(2));
+  EXPECT_GE(materialized, 5);
+  EXPECT_LE(materialized, 7);  // paper: 6 checkpoints for RTE
+}
+
+TEST(Adaptive, DisabledAlwaysMaterializes) {
+  AdaptiveOptions opts = DefaultOpts();
+  opts.enabled = false;
+  AdaptiveController ctrl(opts);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_TRUE(ctrl.ShouldMaterialize(1, 1.0, 100.0));
+  EXPECT_EQ(ctrl.checkpoints(1), 20);
+}
+
+TEST(Adaptive, ZeroComputeNeverMaterializes) {
+  AdaptiveController ctrl(DefaultOpts());
+  EXPECT_FALSE(ctrl.ShouldMaterialize(1, 0.0, 1.0));
+}
+
+TEST(Adaptive, RecordOverheadInvariantHolds) {
+  // Eq. 1: ki * Mi < ni * eps * Ci for every decision trace prefix.
+  AdaptiveController ctrl(DefaultOpts());
+  const double ci = 10.0, mi = 9.0;  // ratio 0.9, far above eps
+  for (int i = 0; i < 500; ++i) ctrl.ShouldMaterialize(1, ci, mi);
+  const double ki = static_cast<double>(ctrl.checkpoints(1));
+  const double ni = static_cast<double>(ctrl.executions(1));
+  EXPECT_LT(ki * mi, ni * kEps * ci + mi + 1e-9)
+      << "Record Overhead invariant violated";
+}
+
+TEST(Adaptive, ReplayLatencyInvariantHolds) {
+  // Eq. 3: Mi + Ri < (ni/ki) Ci with Ri = c*Mi, whenever ki > 0.
+  AdaptiveController ctrl(DefaultOpts());
+  const double ci = 10.0, mi = 22.0, c = 1.0;
+  for (int i = 0; i < 300; ++i) ctrl.ShouldMaterialize(1, ci, mi);
+  const double ki = static_cast<double>(ctrl.checkpoints(1));
+  ASSERT_GT(ki, 0);
+  const double ni = static_cast<double>(ctrl.executions(1));
+  EXPECT_LT(mi + c * mi, ni / ki * ci) << "Replay Latency invariant violated";
+}
+
+TEST(Adaptive, TraceRecordsDecisions) {
+  AdaptiveController ctrl(DefaultOpts());
+  ctrl.ShouldMaterialize(3, 5.0, 0.01);
+  ctrl.ShouldMaterialize(3, 5.0, 100.0);
+  ASSERT_EQ(ctrl.trace().size(), 2u);
+  EXPECT_TRUE(ctrl.trace()[0].materialize);
+  EXPECT_FALSE(ctrl.trace()[1].materialize);
+  EXPECT_EQ(ctrl.trace()[1].ni, 2);
+  EXPECT_EQ(ctrl.trace()[1].ki, 1);
+  EXPECT_NEAR(ctrl.trace()[1].ratio, 20.0, 1e-9);
+}
+
+TEST(Adaptive, CRefinement) {
+  AdaptiveController ctrl(DefaultOpts());
+  EXPECT_DOUBLE_EQ(ctrl.c(), 1.0);  // initial
+  ctrl.ObserveRestore(13.8, 10.0);
+  ctrl.ObserveRestore(27.6, 20.0);
+  EXPECT_NEAR(ctrl.c(), 1.38, 1e-9);
+  ctrl.ObserveRestore(5.0, 0.0);  // ignored: bad denominator
+  EXPECT_NEAR(ctrl.c(), 1.38, 1e-9);
+}
+
+TEST(Adaptive, LargerCBindsTighterThanEpsilon) {
+  // With c large, 1/(1+c) < eps takes over as the binding threshold.
+  AdaptiveOptions opts = DefaultOpts();
+  opts.initial_c = 30.0;  // 1/(1+c) = 1/31 < 1/15
+  AdaptiveController tight(opts);
+  AdaptiveController loose(DefaultOpts());
+  // Ratio just under eps: loose materializes at ni=1, tight does not.
+  EXPECT_TRUE(loose.ShouldMaterialize(1, 100.0, 6.0));   // 0.06 < 1/15
+  EXPECT_FALSE(tight.ShouldMaterialize(1, 100.0, 6.0));  // 0.06 > 1/31
+}
+
+TEST(Adaptive, IndependentPerLoopState) {
+  AdaptiveController ctrl(DefaultOpts());
+  ctrl.ShouldMaterialize(1, 10.0, 0.01);
+  ctrl.ShouldMaterialize(2, 10.0, 100.0);
+  EXPECT_EQ(ctrl.checkpoints(1), 1);
+  EXPECT_EQ(ctrl.checkpoints(2), 0);
+  EXPECT_EQ(ctrl.executions(1), 1);
+  EXPECT_EQ(ctrl.executions(2), 1);
+  EXPECT_EQ(ctrl.executions(3), 0);
+}
+
+/// Property sweep: for any (Mi/Ci) ratio and epoch count, both invariants
+/// hold over the whole decision trace.
+class AdaptiveInvariantSweep
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(AdaptiveInvariantSweep, JointInvariantImpliesBothBounds) {
+  auto [ratio, epochs] = GetParam();
+  AdaptiveController ctrl(DefaultOpts());
+  const double ci = 10.0;
+  const double mi = ratio * ci;
+  for (int i = 0; i < epochs; ++i) ctrl.ShouldMaterialize(1, ci, mi);
+  const double ki = static_cast<double>(ctrl.checkpoints(1));
+  const double ni = static_cast<double>(ctrl.executions(1));
+  // Eq. 1 (allow the one-decision slack inherent in testing post-hoc).
+  EXPECT_LE(ki * mi, ni * kEps * ci + mi + 1e-9);
+  if (ki > 0) {
+    // Eq. 3 with c = 1.
+    EXPECT_LT(mi + 1.0 * mi, ni / ki * ci + mi + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatiosAndLengths, AdaptiveInvariantSweep,
+    ::testing::Combine(::testing::Values(0.001, 0.05, 0.5, 1.0, 2.2, 10.0),
+                       ::testing::Values(10, 80, 200, 1000)));
+
+}  // namespace
+}  // namespace flor

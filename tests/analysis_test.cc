@@ -1,0 +1,283 @@
+// Unit tests: Table-1 rule matching, loop side-effect analysis with
+// loop-scoped filtering, instrumentation policy, runtime augmentation.
+
+#include <gtest/gtest.h>
+
+#include "analysis/augment.h"
+#include "analysis/changeset.h"
+#include "analysis/side_effect.h"
+#include "flor/instrument.h"
+#include "ir/builder.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/scheduler.h"
+
+namespace flor {
+namespace analysis {
+namespace {
+
+ir::Stmt MakeStmt(ir::StmtPattern pattern,
+                  std::vector<std::string> targets = {},
+                  std::string receiver = "", std::string callee = "f",
+                  std::vector<std::string> reads = {}) {
+  ir::Stmt s;
+  s.pattern = pattern;
+  s.targets = std::move(targets);
+  s.receiver = std::move(receiver);
+  s.callee = std::move(callee);
+  s.reads = std::move(reads);
+  return s;
+}
+
+TEST(Rules, Rule1MethodAssignAddsReceiverAndTargets) {
+  auto s = MakeStmt(ir::StmtPattern::kMethodAssign, {"a", "b"}, "obj",
+                    "method");
+  auto out = ApplyRules(s, {});
+  EXPECT_EQ(out.rule, 1);
+  EXPECT_FALSE(out.refuse);
+  EXPECT_EQ(out.delta, (std::vector<std::string>{"obj", "a", "b"}));
+}
+
+TEST(Rules, Rule2CallAssignAddsTargets) {
+  auto s = MakeStmt(ir::StmtPattern::kCallAssign, {"v"});
+  auto out = ApplyRules(s, {});
+  EXPECT_EQ(out.rule, 2);
+  EXPECT_EQ(out.delta, (std::vector<std::string>{"v"}));
+}
+
+TEST(Rules, Rule3AssignAddsTargets) {
+  auto s = MakeStmt(ir::StmtPattern::kAssign, {"x", "y"});
+  auto out = ApplyRules(s, {});
+  EXPECT_EQ(out.rule, 3);
+  EXPECT_EQ(out.delta, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(Rules, Rule4MethodCallAddsReceiver) {
+  auto s = MakeStmt(ir::StmtPattern::kMethodCall, {}, "optimizer", "step");
+  auto out = ApplyRules(s, {});
+  EXPECT_EQ(out.rule, 4);
+  EXPECT_EQ(out.delta, (std::vector<std::string>{"optimizer"}));
+}
+
+TEST(Rules, Rule5OpaqueCallRefuses) {
+  auto s = MakeStmt(ir::StmtPattern::kOpaqueCall);
+  auto out = ApplyRules(s, {});
+  EXPECT_EQ(out.rule, 5);
+  EXPECT_TRUE(out.refuse);
+}
+
+TEST(Rules, Rule0PrecedesWhenTargetAlreadyModified) {
+  // Any assignment form whose target is already in the changeset refuses.
+  for (auto pattern :
+       {ir::StmtPattern::kAssign, ir::StmtPattern::kCallAssign,
+        ir::StmtPattern::kMethodAssign}) {
+    auto s = MakeStmt(pattern, {"x"}, "obj", "m");
+    auto out = ApplyRules(s, {"x"});
+    EXPECT_EQ(out.rule, 0) << ir::StmtPatternName(pattern);
+    EXPECT_TRUE(out.refuse);
+  }
+}
+
+TEST(Rules, LogActivatesNoRule) {
+  ir::Stmt s;
+  s.pattern = ir::StmtPattern::kLog;
+  s.log_label = "loss";
+  auto out = ApplyRules(s, {"loss"});
+  EXPECT_EQ(out.rule, -1);
+  EXPECT_FALSE(out.refuse);
+  EXPECT_TRUE(out.delta.empty());
+}
+
+/// The paper's Fig. 6 training loop, as close as the IR allows.
+std::unique_ptr<ir::Program> PaperExampleProgram() {
+  ir::ProgramBuilder b;
+  b.CallAssign({"trainloader"}, "make_loader", {}, nullptr);
+  b.CallAssign({"num_batches"}, "len", {"trainloader"}, nullptr);
+  b.CallAssign({"net"}, "build_model", {}, nullptr);
+  b.CallAssign({"optimizer"}, "make_optimizer", {"net"}, nullptr);
+  b.CallAssign({"scheduler"}, "make_scheduler", {"optimizer"}, nullptr);
+  b.BeginLoop("e", 10);  // main loop (L1)
+  {
+    b.BeginLoopVar("i", "num_batches");  // training loop (L2)
+    {
+      b.MethodCall("optimizer", "zero_grad", {}, nullptr);
+      b.CallAssign({"batch", "labels"}, "fetch_batch",
+                   {"trainloader", "e", "i"}, nullptr);
+      b.CallAssign({"preds"}, "forward", {"net", "batch"}, nullptr);
+      b.CallAssign({"loss", "grad"}, "criterion", {"preds", "labels"},
+                   nullptr);
+      b.MethodCall("grad", "backward", {"net"}, nullptr);
+      b.MethodCall("optimizer", "step", {}, nullptr);
+      b.Log("loss", nullptr, {"loss"});
+    }
+    b.EndLoop();
+    b.MethodCall("scheduler", "step", {}, nullptr);
+    b.CallAssign({"test_acc"}, "evaluate", {"net", "e"}, nullptr);
+    b.OpaqueCall("save_checkpoint", {"net"}, nullptr);  // rule 5
+  }
+  b.EndLoop();
+  return b.Build();
+}
+
+TEST(SideEffect, PaperExampleChangesets) {
+  auto program = PaperExampleProgram();
+  AnalyzeProgram(program.get());
+
+  ir::Loop* main_loop = program->FindLoop(1);
+  ir::Loop* train_loop = program->FindLoop(2);
+  ASSERT_NE(main_loop, nullptr);
+  ASSERT_NE(train_loop, nullptr);
+
+  // Training loop: eligible; changeset is exactly {optimizer} after the
+  // loop-scoped filter drops batch/labels/preds/loss/grad (paper §5.2.1).
+  EXPECT_TRUE(train_loop->analysis().refusal.empty());
+  EXPECT_EQ(train_loop->analysis().changeset,
+            (std::vector<std::string>{"optimizer"}));
+  EXPECT_EQ(train_loop->analysis().filtered,
+            (std::vector<std::string>{"batch", "grad", "labels", "loss",
+                                      "preds"}));
+
+  // Main loop: refused due to the rule-5 save_checkpoint call.
+  EXPECT_FALSE(main_loop->analysis().refusal.empty());
+  EXPECT_NE(main_loop->analysis().refusal.find("rule 5"),
+            std::string::npos);
+}
+
+TEST(SideEffect, Rule0RefusesLoop) {
+  ir::ProgramBuilder b;
+  b.CallAssign({"acc"}, "init", {}, nullptr);
+  b.BeginLoop("i", 5);
+  b.CallAssign({"acc"}, "f", {"acc"}, nullptr);   // acc enters changeset
+  b.Assign({"acc"}, {"acc"}, nullptr);            // reassign: rule 0
+  b.EndLoop();
+  auto program = b.Build();
+  AnalyzeProgram(program.get());
+  auto* loop = program->FindLoop(1);
+  EXPECT_NE(loop->analysis().refusal.find("rule 0"), std::string::npos);
+}
+
+TEST(SideEffect, NestedRefusalPropagates) {
+  ir::ProgramBuilder b;
+  b.BeginLoop("e", 3);
+  b.BeginLoop("i", 3);
+  b.OpaqueCall("mystery", {}, nullptr);
+  b.EndLoop();
+  b.EndLoop();
+  auto program = b.Build();
+  AnalyzeProgram(program.get());
+  EXPECT_NE(program->FindLoop(1)->analysis().refusal.find("nested loop"),
+            std::string::npos);
+  EXPECT_NE(program->FindLoop(2)->analysis().refusal.find("rule 5"),
+            std::string::npos);
+}
+
+TEST(SideEffect, NestedChangesetMergesIntoParent) {
+  ir::ProgramBuilder b;
+  b.CallAssign({"model"}, "build", {}, nullptr);
+  b.BeginLoop("e", 3);
+  b.BeginLoop("i", 3);
+  b.MethodCall("model", "update", {}, nullptr);
+  b.EndLoop();
+  b.EndLoop();
+  auto program = b.Build();
+  AnalyzeProgram(program.get());
+  // Outer loop's changeset includes the nested loop's effect on model.
+  EXPECT_EQ(program->FindLoop(1)->analysis().changeset,
+            (std::vector<std::string>{"model"}));
+  // The nested iteration variable does not leak.
+  for (const auto& v : program->FindLoop(1)->analysis().changeset)
+    EXPECT_NE(v, "i");
+}
+
+TEST(SideEffect, LoopScopedReceiverFiltered) {
+  ir::ProgramBuilder b;
+  b.BeginLoop("i", 3);
+  b.CallAssign({"tmp_obj"}, "make", {}, nullptr);
+  b.MethodCall("tmp_obj", "mutate", {}, nullptr);
+  b.EndLoop();
+  auto program = b.Build();
+  AnalyzeProgram(program.get());
+  auto& a = program->FindLoop(1)->analysis();
+  EXPECT_TRUE(a.changeset.empty());
+  EXPECT_EQ(a.filtered, (std::vector<std::string>{"tmp_obj"}));
+}
+
+TEST(Instrument, PolicyWrapsTrainingLoopOnly) {
+  auto program = PaperExampleProgram();
+  InstrumentReport report = InstrumentProgram(program.get());
+  EXPECT_EQ(report.loops_total, 2);
+  EXPECT_EQ(report.loops_instrumented, 1);
+  EXPECT_FALSE(program->FindLoop(1)->analysis().instrumented);  // main
+  EXPECT_TRUE(program->FindLoop(2)->analysis().instrumented);   // training
+  // Main-loop refusal reason mentions the generator.
+  bool main_refused = false;
+  for (const auto& [id, reason] : report.refusals)
+    if (id == 1) main_refused = true;
+  EXPECT_TRUE(main_refused);
+}
+
+TEST(Instrument, SkippableEpochLoops) {
+  auto program = PaperExampleProgram();
+  InstrumentProgram(program.get());
+  auto loops = SkippableEpochLoops(program.get());
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0]->id(), 2);
+}
+
+TEST(Augment, OptimizerPullsModelAndScheduler) {
+  Rng rng(1);
+  nn::Linear net("net", 2, 2, &rng);
+  nn::Sgd opt(&net, 0.1f);
+  nn::StepLr sched(&opt, 2, 0.5f);
+
+  exec::Frame frame;
+  frame.Set("net", ir::Value::ModuleRef(&net));
+  frame.Set("optimizer", ir::Value::OptimizerRef(&opt));
+  frame.Set("scheduler", ir::Value::SchedulerRef(&sched));
+  frame.Set("unrelated", ir::Value::Int(3));
+
+  auto augmented = AugmentChangeset(frame, {"optimizer"});
+  EXPECT_EQ(augmented, (std::vector<std::string>{"net", "optimizer",
+                                                 "scheduler"}));
+}
+
+TEST(Augment, SchedulerPullsOptimizerTransitively) {
+  Rng rng(2);
+  nn::Linear net("net", 2, 2, &rng);
+  nn::Adam opt(&net, 0.1f);
+  nn::CosineLr sched(&opt, 10);
+
+  exec::Frame frame;
+  frame.Set("model", ir::Value::ModuleRef(&net));
+  frame.Set("opt", ir::Value::OptimizerRef(&opt));
+  frame.Set("sched", ir::Value::SchedulerRef(&sched));
+
+  auto augmented = AugmentChangeset(frame, {"sched"});
+  // sched -> opt -> model (fixpoint).
+  EXPECT_EQ(augmented,
+            (std::vector<std::string>{"model", "opt", "sched"}));
+}
+
+TEST(Augment, AliasesAllIncluded) {
+  Rng rng(3);
+  nn::Linear net("net", 2, 2, &rng);
+  nn::Sgd opt(&net, 0.1f);
+  exec::Frame frame;
+  frame.Set("net", ir::Value::ModuleRef(&net));
+  frame.Set("model_alias", ir::Value::ModuleRef(&net));
+  frame.Set("optimizer", ir::Value::OptimizerRef(&opt));
+  auto augmented = AugmentChangeset(frame, {"optimizer"});
+  EXPECT_EQ(augmented, (std::vector<std::string>{"model_alias", "net",
+                                                 "optimizer"}));
+}
+
+TEST(Augment, NonReferenceChangesetUnchanged) {
+  exec::Frame frame;
+  frame.Set("x", ir::Value::Int(1));
+  auto augmented = AugmentChangeset(frame, {"x", "unbound"});
+  EXPECT_EQ(augmented, (std::vector<std::string>{"unbound", "x"}));
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace flor

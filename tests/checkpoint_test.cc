@@ -1,0 +1,259 @@
+// Unit tests: checkpoint format, store + manifest, materializer strategies,
+// spooler, with corruption-injection coverage.
+
+#include <gtest/gtest.h>
+
+#include "checkpoint/materializer.h"
+#include "checkpoint/spool.h"
+#include "common/strings.h"
+#include "checkpoint/store.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "sim/cost_model.h"
+#include "tensor/ops.h"
+
+namespace flor {
+namespace {
+
+TEST(CheckpointKey, ToStringAndEpoch) {
+  CheckpointKey key{2, "e=17"};
+  EXPECT_EQ(key.ToString(), "L2@e=17");
+  EXPECT_EQ(key.EpochIndex(), 17);
+  CheckpointKey nested{3, "e=4/i=2"};
+  EXPECT_EQ(nested.ToString(), "L3@e=4.i=2");
+  EXPECT_EQ(nested.EpochIndex(), 4);
+  CheckpointKey top{1, ""};
+  EXPECT_EQ(top.EpochIndex(), -1);
+}
+
+NamedSnapshots SampleSnapshots() {
+  NamedSnapshots snaps;
+  snaps.emplace_back("count", ir::SnapshotValue(ir::Value::Int(42)));
+  Tensor t(Shape{16});
+  Rng rng(3);
+  ops::RandNormal(&t, &rng);
+  snaps.emplace_back("weights",
+                     ir::SnapshotValue(ir::Value::FromTensor(t)));
+  snaps.emplace_back("name", ir::SnapshotValue(ir::Value::Str("flor")));
+  return snaps;
+}
+
+TEST(Checkpoint, EncodeDecodeRoundTrip) {
+  NamedSnapshots snaps = SampleSnapshots();
+  std::string bytes = EncodeCheckpoint(snaps);
+  auto back = DecodeCheckpoint(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), 3u);
+  EXPECT_EQ((*back)[0].first, "count");
+  EXPECT_EQ((*back)[0].second.int_v, 42);
+  EXPECT_TRUE((*back)[1].second.tensor_v.Equals(snaps[1].second.tensor_v));
+  EXPECT_EQ((*back)[2].second.str_v, "flor");
+}
+
+TEST(Checkpoint, ModuleAndOptimizerSnapshotsRoundTrip) {
+  Rng rng(4);
+  nn::Linear fc("fc", 4, 4, &rng);
+  nn::Adam adam(&fc, 0.01f);
+  ops::Fill(&fc.weight().grad, 0.1f);
+  ASSERT_TRUE(adam.Step().ok());
+
+  NamedSnapshots snaps;
+  snaps.emplace_back("net", ir::SnapshotValue(ir::Value::ModuleRef(&fc)));
+  snaps.emplace_back("opt",
+                     ir::SnapshotValue(ir::Value::OptimizerRef(&adam)));
+  auto back = DecodeCheckpoint(EncodeCheckpoint(snaps));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)[0].second.params.size(), 2u);  // weight + bias
+  EXPECT_EQ((*back)[1].second.opt_kind, "adam");
+  EXPECT_EQ((*back)[1].second.opt_steps, 1);
+}
+
+TEST(Checkpoint, AnyByteCorruptionDetected) {
+  std::string bytes = EncodeCheckpoint(SampleSnapshots());
+  // Sample positions across the frame (every 7th byte for speed).
+  for (size_t i = 0; i < bytes.size(); i += 7) {
+    std::string corrupted = bytes;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ 0x40);
+    EXPECT_FALSE(DecodeCheckpoint(corrupted).ok())
+        << "undetected corruption at byte " << i;
+  }
+}
+
+TEST(Checkpoint, RawBytesAccounting) {
+  NamedSnapshots snaps = SampleSnapshots();
+  const uint64_t raw = SnapshotsRawBytes(snaps);
+  EXPECT_GT(raw, 16u * 4u);  // at least the tensor payload
+}
+
+TEST(Store, PutGetExistsAndTotals) {
+  MemFileSystem fs;
+  CheckpointStore store(&fs, "run/ckpt");
+  CheckpointKey key{2, "e=0"};
+  EXPECT_FALSE(store.Exists(key));
+  std::string bytes = EncodeCheckpoint(SampleSnapshots());
+  ASSERT_TRUE(store.PutBytes(key, bytes).ok());
+  EXPECT_TRUE(store.Exists(key));
+  auto back = store.Get(key);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 3u);
+  EXPECT_EQ(store.TotalBytes(), bytes.size());
+  EXPECT_TRUE(store.Get(CheckpointKey{2, "e=1"}).status().IsNotFound());
+}
+
+TEST(Store, CorruptionSurfacesOnRead) {
+  MemFileSystem fs;
+  CheckpointStore store(&fs, "ck");
+  CheckpointKey key{1, "e=3"};
+  ASSERT_TRUE(store.PutBytes(key, EncodeCheckpoint(SampleSnapshots())).ok());
+  ASSERT_TRUE(fs.CorruptByte("ck/L1@e=3.ckpt", 10).ok());
+  EXPECT_TRUE(store.Get(key).status().IsCorruption());
+}
+
+TEST(Manifest, SerializeRoundTrip) {
+  Manifest m;
+  m.workload = "RTE";
+  m.record_runtime_seconds = 123.5;
+  m.vanilla_runtime_seconds = 120.0;
+  m.c_estimate = 1.38;
+  m.loop_executions[2] = 200;
+  for (int64_t e : {33, 66, 99}) {
+    CheckpointRecord rec;
+    rec.key = {2, StrCat("e=", e)};
+    rec.epoch = e;
+    rec.raw_bytes = 1000;
+    rec.stored_bytes = 600;
+    rec.nominal_raw_bytes = 4ull << 30;
+    rec.materialize_seconds = 24.5;
+    m.records.push_back(rec);
+  }
+  auto back = Manifest::Deserialize(m.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->workload, "RTE");
+  EXPECT_DOUBLE_EQ(back->c_estimate, 1.38);
+  EXPECT_EQ(back->loop_executions.at(2), 200);
+  ASSERT_EQ(back->records.size(), 3u);
+  EXPECT_EQ(back->records[1].epoch, 66);
+  EXPECT_EQ(back->records[1].nominal_raw_bytes, 4ull << 30);
+  EXPECT_EQ(back->EpochsWithCheckpoint(2),
+            (std::vector<int64_t>{33, 66, 99}));
+  EXPECT_TRUE(back->EpochsWithCheckpoint(7).empty());
+  EXPECT_EQ(back->TotalStoredBytes(), 1800u);
+  EXPECT_EQ(back->TotalNominalBytes(), 3ull * (4ull << 30));
+}
+
+TEST(Manifest, MalformedLineRejected) {
+  EXPECT_FALSE(Manifest::Deserialize("garbage line\n").ok());
+}
+
+TEST(Materializer, SimStrategiesOrderedAsFig5) {
+  // Main-thread cost: Baseline > IPC-Queue > IPC-Plasma >= Fork.
+  const uint64_t bytes = 1100ull * 1000 * 1000;
+  double main_cost[4];
+  int i = 0;
+  for (auto strategy :
+       {MaterializeStrategy::kBaseline, MaterializeStrategy::kIpcQueue,
+        MaterializeStrategy::kIpcPlasma, MaterializeStrategy::kFork}) {
+    auto env = Env::NewSimEnv();
+    MaterializerOptions opts;
+    opts.strategy = strategy;
+    opts.costs = sim::PaperPlatformCosts();
+    Materializer mat(env.get(), opts);
+    CheckpointStore store(env->fs(), "ck");
+    auto receipt = mat.Materialize(&store, CheckpointKey{1, "e=0"},
+                                   SampleSnapshots(), bytes);
+    ASSERT_TRUE(receipt.ok());
+    main_cost[i++] = receipt->main_thread_seconds;
+  }
+  EXPECT_GT(main_cost[0], main_cost[1]);
+  EXPECT_GT(main_cost[1], main_cost[2]);
+  EXPECT_GE(main_cost[2], main_cost[3]);  // Fork slightly ahead of Plasma
+}
+
+TEST(Materializer, BackpressureStallsWhenBufferFull) {
+  auto env = Env::NewSimEnv();
+  MaterializerOptions opts;
+  opts.strategy = MaterializeStrategy::kFork;
+  opts.costs = sim::PaperPlatformCosts();
+  opts.max_in_flight = 2;
+  Materializer mat(env.get(), opts);
+  CheckpointStore store(env->fs(), "ck");
+  const uint64_t huge = 4ull << 30;  // ~25s of background work each
+  for (int e = 0; e < 4; ++e) {
+    auto receipt = mat.Materialize(&store, CheckpointKey{1, StrCat("e=", e)},
+                                   SampleSnapshots(), huge);
+    ASSERT_TRUE(receipt.ok());
+    if (e < 2) {
+      EXPECT_DOUBLE_EQ(receipt->stall_seconds, 0.0);
+    } else {
+      EXPECT_GT(receipt->stall_seconds, 1.0);  // buffer full: stall
+    }
+  }
+  EXPECT_GT(mat.total_stall_seconds(), 0.0);
+}
+
+TEST(Materializer, DrainAdvancesToLastCompletion) {
+  auto env = Env::NewSimEnv();
+  MaterializerOptions opts;
+  opts.strategy = MaterializeStrategy::kFork;
+  opts.costs = sim::PaperPlatformCosts();
+  Materializer mat(env.get(), opts);
+  CheckpointStore store(env->fs(), "ck");
+  auto receipt = mat.Materialize(&store, CheckpointKey{1, "e=0"},
+                                 SampleSnapshots(), 1ull << 30);
+  ASSERT_TRUE(receipt.ok());
+  const double before = env->clock()->NowSeconds();
+  mat.Drain();
+  EXPECT_GT(env->clock()->NowSeconds(), before);  // joined the children
+}
+
+TEST(Materializer, WallModeWritesForReal) {
+  auto env = Env::NewPosixEnv(
+      (std::string(::testing::TempDir()) + "/flor_mat_test"));
+  MaterializerOptions opts;
+  opts.strategy = MaterializeStrategy::kFork;
+  Materializer mat(env.get(), opts);
+  CheckpointStore store(env->fs(), "ck");
+  CheckpointKey key{1, "e=0"};
+  auto receipt = mat.Materialize(&store, key, SampleSnapshots(), 0);
+  ASSERT_TRUE(receipt.ok());
+  mat.Drain();
+  auto back = store.Get(key);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->size(), 3u);
+}
+
+TEST(Materializer, CostModelHelpers) {
+  MaterializerCosts costs = sim::PaperPlatformCosts();
+  const uint64_t gb = 1ull << 30;
+  // serialization ~4.3x I/O (paper §5.1).
+  const double ser = static_cast<double>(gb) / costs.serialize_bps;
+  const double io = static_cast<double>(gb) / costs.io_bps;
+  EXPECT_NEAR(ser / io, 4.3, 0.01);
+  EXPECT_NEAR(costs.RestoreSeconds(gb) / costs.MaterializeSeconds(gb), 1.38,
+              1e-9);
+}
+
+TEST(Spool, CopiesAndPrices) {
+  MemFileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("run/ckpt/a", std::string(1024, 'x')).ok());
+  ASSERT_TRUE(fs.WriteFile("run/ckpt/b", std::string(2048, 'y')).ok());
+  auto report = SpoolToS3(&fs, "run/ckpt/", "s3/ckpt/");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->objects, 2);
+  EXPECT_EQ(report->bytes, 3072u);
+  EXPECT_TRUE(fs.Exists("s3/ckpt/a"));
+  EXPECT_TRUE(fs.Exists("s3/ckpt/b"));
+  EXPECT_DOUBLE_EQ(report->monthly_cost_dollars, S3MonthlyCost(3072));
+}
+
+TEST(Spool, S3PricingMatchesPaperBallpark) {
+  // 14 GB (RTE's Table 4 footprint) should cost ~ $0.32/month.
+  EXPECT_NEAR(S3MonthlyCost(14ull << 30), 0.322, 0.01);
+  // "we can store 130 GB for a month, at the same cost as running a
+  // single-GPU instance for an hour" — P3.2xLarge is $3.06/h.
+  EXPECT_NEAR(S3MonthlyCost(130ull << 30), sim::kP3_2xLarge.dollars_per_hour,
+              0.2);
+}
+
+}  // namespace
+}  // namespace flor

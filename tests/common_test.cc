@@ -1,0 +1,208 @@
+// Unit tests: Status/Result, Rng, strings, crc32, logging plumbing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/crc32.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace flor {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kAborted); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(Status, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::IOError("x"), Status::IOError("x"));
+  EXPECT_FALSE(Status::IOError("x") == Status::IOError("y"));
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::Corruption("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+Result<int> Half(int v) {
+  if (v % 2) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> Quarter(int v) {
+  FLOR_ASSIGN_OR_RETURN(int h, Half(v));
+  FLOR_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  auto r = Quarter(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3, odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.Next() == b.Next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Uniform(17), 17u);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, StateRoundTrip) {
+  Rng a(17);
+  a.Next();
+  a.Next();
+  uint64_t st[4];
+  a.GetState(st);
+  Rng b(0);
+  b.SetState(st);
+  EXPECT_TRUE(a == b);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Mix64, Distinct) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 1000; ++i) seen.insert(Mix64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Strings, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+}
+
+TEST(Strings, SplitJoin) {
+  auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(StrJoin(parts, ","), "a,b,,c");
+  EXPECT_EQ(StrSplit("", ',').size(), 1u);
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("run/ckpt/x", "run/"));
+  EXPECT_FALSE(StartsWith("ru", "run"));
+  EXPECT_TRUE(EndsWith("file.ckpt", ".ckpt"));
+  EXPECT_FALSE(EndsWith("ckpt", ".ckpt"));
+}
+
+TEST(Strings, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(51ull * 1024 * 1024), "51 MB");
+  EXPECT_EQ(HumanBytes(14ull * 1024 * 1024 * 1024), "14.0 GB");
+}
+
+TEST(Strings, HumanSeconds) {
+  EXPECT_EQ(HumanSeconds(0.25), "250 ms");
+  EXPECT_EQ(HumanSeconds(12.5), "12.5 s");
+  EXPECT_EQ(HumanSeconds(90), "1.5 min");
+  EXPECT_EQ(HumanSeconds(3600), "1.00 h");
+}
+
+TEST(Strings, HumanDollars) {
+  EXPECT_EQ(HumanDollars(0.33), "$ 0.33");
+  EXPECT_EQ(HumanDollars(0.001), "$ 0.001");
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC32C("123456789") = 0xE3069283 (Castagnoli reference value).
+  const char* data = "123456789";
+  EXPECT_EQ(Crc32c(data, 9), 0xE3069283u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(Crc32c("", 0), 0u); }
+
+TEST(Crc32, Incremental) {
+  const std::string s = "hello, checkpoint world";
+  uint32_t whole = Crc32c(s.data(), s.size());
+  // CRC is order-sensitive but our helper restarts; verify sensitivity.
+  std::string swapped = s;
+  std::swap(swapped[0], swapped[1]);
+  EXPECT_NE(Crc32c(swapped.data(), swapped.size()), whole);
+}
+
+}  // namespace
+}  // namespace flor

@@ -1,0 +1,274 @@
+// End-to-end record/replay integration tests on a miniature workload.
+
+#include <gtest/gtest.h>
+
+#include "flor/record.h"
+#include "flor/replay.h"
+#include "sim/cost_model.h"
+#include "workloads/programs.h"
+
+namespace flor {
+namespace {
+
+using workloads::kProbeInner;
+using workloads::kProbeNone;
+using workloads::kProbeOuter;
+using workloads::MakeWorkloadFactory;
+using workloads::WorkloadProfile;
+using workloads::WorkloadRuntime;
+
+WorkloadProfile TinyProfile() {
+  WorkloadProfile p;
+  p.name = "Tiny";
+  p.benchmark = "test";
+  p.task = "classification";
+  p.model = "MLP";
+  p.dataset = "synthetic";
+  p.epochs = 6;
+  p.sim_epoch_seconds = 10;
+  p.sim_outer_seconds = 1;
+  p.sim_preamble_seconds = 2;
+  p.sim_ckpt_raw_bytes = 1 << 20;  // 1 MB: cheap, so checkpointing is dense
+  p.task_kind = data::Task::kVision;
+  p.real_samples = 32;
+  p.real_batch = 8;
+  p.real_feature_dim = 16;
+  p.real_classes = 3;
+  p.real_hidden = 16;
+  p.seed = 77;
+  return p;
+}
+
+/// Runs record for the tiny workload into `env` under "run"; returns the
+/// record result and (via out-param) the final model fingerprint.
+RecordResult RecordTiny(Env* env, uint64_t* final_fingerprint,
+                        bool adaptive_enabled = true) {
+  auto factory = MakeWorkloadFactory(TinyProfile(), kProbeNone);
+  auto instance = factory();
+  EXPECT_TRUE(instance.ok()) << instance.status().ToString();
+
+  RecordOptions opts = workloads::DefaultRecordOptions(TinyProfile(), "run");
+  opts.adaptive.enabled = adaptive_enabled;
+  RecordSession session(env, opts);
+  exec::Frame frame;
+  auto result = session.Run(instance->program.get(), &frame);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  auto* rt = static_cast<WorkloadRuntime*>(instance->context.get());
+  if (final_fingerprint) *final_fingerprint = rt->net->StateFingerprint();
+  return std::move(result).value();
+}
+
+TEST(Record, MaterializesDenseCheckpoints) {
+  auto env = Env::NewSimEnv();
+  uint64_t fp = 0;
+  RecordResult rec = RecordTiny(env.get(), &fp);
+
+  // The training loop ran once per epoch and (cheap checkpoints) was
+  // memoized every time.
+  EXPECT_EQ(rec.skipblocks.executed, 6);
+  EXPECT_EQ(rec.skipblocks.materialized, 6);
+  EXPECT_EQ(rec.manifest.records.size(), 6u);
+  // Epoch indices parsed from contexts.
+  auto epochs = rec.manifest.EpochsWithCheckpoint(2);
+  ASSERT_EQ(epochs.size(), 6u);
+  EXPECT_EQ(epochs.front(), 0);
+  EXPECT_EQ(epochs.back(), 5);
+  // Artifacts persisted.
+  EXPECT_TRUE(env->fs()->Exists("run/source.py"));
+  EXPECT_TRUE(env->fs()->Exists("run/logs.tsv"));
+  EXPECT_TRUE(env->fs()->Exists("run/manifest.tsv"));
+  // Per-batch loss + per-epoch test_acc + final norm.
+  EXPECT_EQ(rec.logs.size(), 6u * 4u + 6u + 1u);
+}
+
+TEST(Record, RuntimeMatchesSimulatedCosts) {
+  auto env = Env::NewSimEnv();
+  RecordResult rec = RecordTiny(env.get(), nullptr);
+  const double vanilla = TinyProfile().VanillaSeconds();  // 2 + 6*11 = 68
+  EXPECT_GE(rec.runtime_seconds, vanilla);
+  // Overhead is bounded by the tolerance for this cheap-checkpoint case.
+  EXPECT_LE(rec.runtime_seconds, vanilla * 1.067);
+}
+
+TEST(Replay, NoProbesSkipsEverythingAndMatchesState) {
+  auto env = Env::NewSimEnv();
+  uint64_t recorded_fp = 0;
+  RecordResult rec = RecordTiny(env.get(), &recorded_fp);
+
+  auto factory = MakeWorkloadFactory(TinyProfile(), kProbeNone);
+  auto instance = factory();
+  ASSERT_TRUE(instance.ok());
+
+  ReplayOptions ropts;
+  ropts.run_prefix = "run";
+  ReplaySession session(env.get(), ropts);
+  exec::Frame frame;
+  auto result = session.Run(instance->program.get(), &frame);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_FALSE(result->probes.any());
+  EXPECT_EQ(result->skipblocks.skipped, 6);
+  EXPECT_EQ(result->skipblocks.executed, 0);
+  EXPECT_TRUE(result->deferred.ok)
+      << (result->deferred.anomalies.empty()
+              ? ""
+              : result->deferred.anomalies[0]);
+
+  // Restoring the memoized loops reproduces the recorded final model state
+  // bit-exactly.
+  auto* rt = static_cast<WorkloadRuntime*>(instance->context.get());
+  EXPECT_EQ(rt->net->StateFingerprint(), recorded_fp);
+
+  // Partial replay is much faster than the record run on simulated time.
+  EXPECT_LT(result->runtime_seconds, rec.runtime_seconds / 4);
+}
+
+TEST(Replay, OuterProbeProducesHindsightLogsWithoutReexecution) {
+  auto env = Env::NewSimEnv();
+  RecordTiny(env.get(), nullptr);
+
+  auto instance = MakeWorkloadFactory(TinyProfile(), kProbeOuter)();
+  ASSERT_TRUE(instance.ok());
+
+  ReplayOptions ropts;
+  ropts.run_prefix = "run";
+  ReplaySession session(env.get(), ropts);
+  exec::Frame frame;
+  auto result = session.Run(instance->program.get(), &frame);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_TRUE(result->probes.any());
+  // The probe is outside the training loop, so all loops still skip.
+  EXPECT_EQ(result->skipblocks.skipped, 6);
+  EXPECT_EQ(result->skipblocks.executed, 0);
+  // One hindsight entry per epoch.
+  ASSERT_EQ(result->probe_entries.size(), 6u);
+  EXPECT_EQ(result->probe_entries[0].label, "weight_norm");
+  EXPECT_TRUE(result->deferred.ok);
+}
+
+TEST(Replay, InnerProbeForcesReexecutionAndMatchesRecordLogs) {
+  auto env = Env::NewSimEnv();
+  RecordResult rec = RecordTiny(env.get(), nullptr);
+
+  auto instance = MakeWorkloadFactory(TinyProfile(), kProbeInner)();
+  ASSERT_TRUE(instance.ok());
+
+  ReplayOptions ropts;
+  ropts.run_prefix = "run";
+  ReplaySession session(env.get(), ropts);
+  exec::Frame frame;
+  auto result = session.Run(instance->program.get(), &frame);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Probed training loops must re-execute.
+  EXPECT_EQ(result->skipblocks.executed, 6);
+  EXPECT_EQ(result->skipblocks.skipped, 0);
+  // grad_norm per batch per epoch.
+  EXPECT_EQ(result->probe_entries.size(), 6u * 4u);
+  // Re-executed training reproduces the recorded loss values bit-exactly —
+  // this is the deferred correctness check passing with real content.
+  EXPECT_TRUE(result->deferred.ok)
+      << (result->deferred.anomalies.empty()
+              ? ""
+              : result->deferred.anomalies[0]);
+  EXPECT_GT(result->deferred.entries_compared, 0);
+  // Full re-execution costs about as much as training did.
+  EXPECT_GT(result->runtime_seconds, rec.runtime_seconds * 0.8);
+}
+
+TEST(Replay, NonLogEditIsRejected) {
+  auto env = Env::NewSimEnv();
+  RecordTiny(env.get(), nullptr);
+
+  // Build a variant whose (non-log) structure differs: different epochs.
+  WorkloadProfile altered = TinyProfile();
+  altered.epochs = 7;
+  auto instance = MakeWorkloadFactory(altered, kProbeNone)();
+  ASSERT_TRUE(instance.ok());
+
+  ReplayOptions ropts;
+  ropts.run_prefix = "run";
+  ReplaySession session(env.get(), ropts);
+  exec::Frame frame;
+  auto result = session.Run(instance->program.get(), &frame);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Replay, WorkerSegmentReplaysItsPartitionOnly) {
+  auto env = Env::NewSimEnv();
+  RecordTiny(env.get(), nullptr);
+
+  auto instance = MakeWorkloadFactory(TinyProfile(), kProbeInner)();
+  ASSERT_TRUE(instance.ok());
+
+  ReplayOptions ropts;
+  ropts.run_prefix = "run";
+  ropts.worker_id = 1;
+  ropts.num_workers = 3;
+  ReplaySession session(env.get(), ropts);
+  exec::Frame frame;
+  auto result = session.Run(instance->program.get(), &frame);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(result->active_workers, 3);
+  EXPECT_EQ(result->work_begin, 2);
+  EXPECT_EQ(result->work_end, 4);
+  // Work entries only cover epochs 2..3.
+  for (const auto& e : result->logs.WorkEntries()) {
+    if (e.context.empty()) continue;
+    EXPECT_TRUE(e.context.find("e=2") == 0 || e.context.find("e=3") == 0)
+        << e.context;
+  }
+  EXPECT_TRUE(result->deferred.ok);
+}
+
+TEST(Replay, SamplingReplayRandomAccessesEpochs) {
+  auto env = Env::NewSimEnv();
+  RecordTiny(env.get(), nullptr);
+
+  auto instance = MakeWorkloadFactory(TinyProfile(), kProbeInner)();
+  ASSERT_TRUE(instance.ok());
+
+  ReplayOptions ropts;
+  ropts.run_prefix = "run";
+  ropts.sample_epochs = {1, 4};
+  ReplaySession session(env.get(), ropts);
+  exec::Frame frame;
+  auto result = session.Run(instance->program.get(), &frame);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Two sampled epochs re-executed, two init restores (epochs 0 and 3).
+  EXPECT_EQ(result->skipblocks.executed, 2);
+  EXPECT_EQ(result->skipblocks.skipped, 2);
+  EXPECT_TRUE(result->deferred.ok)
+      << (result->deferred.anomalies.empty()
+              ? ""
+              : result->deferred.anomalies[0]);
+  std::set<std::string> contexts;
+  for (const auto& e : result->logs.WorkEntries())
+    if (!e.context.empty())
+      contexts.insert(e.context.substr(0, e.context.find('/')));
+  EXPECT_EQ(contexts, (std::set<std::string>{"e=1", "e=4"}));
+}
+
+TEST(Replay, ObservedCMatchesCostModel) {
+  auto env = Env::NewSimEnv();
+  RecordTiny(env.get(), nullptr);
+
+  auto instance = MakeWorkloadFactory(TinyProfile(), kProbeNone)();
+  ASSERT_TRUE(instance.ok());
+  ReplayOptions ropts;
+  ropts.run_prefix = "run";
+  ropts.costs = sim::PaperPlatformCosts();
+  ReplaySession session(env.get(), ropts);
+  exec::Frame frame;
+  auto result = session.Run(instance->program.get(), &frame);
+  ASSERT_TRUE(result.ok());
+  // restore = c * materialize with the paper's platform model.
+  EXPECT_NEAR(result->observed_c, 1.38, 0.05);
+}
+
+}  // namespace
+}  // namespace flor

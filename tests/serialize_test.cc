@@ -1,0 +1,205 @@
+// Unit + property tests: coding primitives, compression codecs, frames.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "serialize/coding.h"
+#include "serialize/compress.h"
+#include "serialize/frame.h"
+
+namespace flor {
+namespace {
+
+TEST(Coding, FixedRoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed64(&buf, 0x0123456789abcdefULL);
+  Decoder dec(buf);
+  uint32_t a;
+  uint64_t b;
+  ASSERT_TRUE(dec.GetFixed32(&a).ok());
+  ASSERT_TRUE(dec.GetFixed64(&b).ok());
+  EXPECT_EQ(a, 0xdeadbeefu);
+  EXPECT_EQ(b, 0x0123456789abcdefULL);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Coding, VarintRoundTripBoundaries) {
+  std::string buf;
+  const uint64_t values[] = {0, 1, 127, 128, 16383, 16384,
+                             UINT32_MAX, UINT64_MAX};
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  Decoder dec(buf);
+  for (uint64_t v : values) {
+    uint64_t out;
+    ASSERT_TRUE(dec.GetVarint64(&out).ok());
+    EXPECT_EQ(out, v);
+  }
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Coding, SignedVarintZigzag) {
+  std::string buf;
+  const int64_t values[] = {0, -1, 1, -64, 63, INT64_MIN, INT64_MAX};
+  for (int64_t v : values) PutSignedVarint64(&buf, v);
+  Decoder dec(buf);
+  for (int64_t v : values) {
+    int64_t out;
+    ASSERT_TRUE(dec.GetSignedVarint64(&out).ok());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(Coding, FloatsBitExact) {
+  std::string buf;
+  PutFloat(&buf, 3.14159f);
+  PutDouble(&buf, -2.718281828459045);
+  Decoder dec(buf);
+  float f;
+  double d;
+  ASSERT_TRUE(dec.GetFloat(&f).ok());
+  ASSERT_TRUE(dec.GetDouble(&d).ok());
+  EXPECT_EQ(f, 3.14159f);
+  EXPECT_EQ(d, -2.718281828459045);
+}
+
+TEST(Coding, LengthPrefixed) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string("bin\0ary", 7));
+  Decoder dec(buf);
+  std::string a, b;
+  ASSERT_TRUE(dec.GetLengthPrefixed(&a).ok());
+  ASSERT_TRUE(dec.GetLengthPrefixed(&b).ok());
+  EXPECT_EQ(a, "");
+  EXPECT_EQ(b, std::string("bin\0ary", 7));
+}
+
+TEST(Coding, UnderflowDetected) {
+  std::string buf;
+  PutFixed32(&buf, 7);
+  Decoder dec(buf);
+  uint64_t v64;
+  EXPECT_TRUE(dec.GetFixed64(&v64).IsCorruption());
+  uint32_t v32;
+  EXPECT_TRUE(dec.GetFixed32(&v32).ok());  // cursor unchanged on failure
+}
+
+TEST(Coding, TruncatedVarintDetected) {
+  std::string buf;
+  buf.push_back(static_cast<char>(0x80));  // continuation with no next byte
+  Decoder dec(buf);
+  uint64_t v;
+  EXPECT_TRUE(dec.GetVarint64(&v).IsCorruption());
+}
+
+TEST(Coding, TruncatedStringDetected) {
+  std::string buf;
+  PutVarint64(&buf, 100);  // claims 100 bytes, provides none
+  Decoder dec(buf);
+  std::string s;
+  EXPECT_TRUE(dec.GetLengthPrefixed(&s).IsCorruption());
+}
+
+std::string RandomBytes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::string out(n, 0);
+  for (auto& c : out) c = static_cast<char>(rng.Uniform(256));
+  return out;
+}
+
+std::string CompressibleBytes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::string out;
+  while (out.size() < n) {
+    const char c = static_cast<char>(rng.Uniform(4));
+    out.append(16 + rng.Uniform(64), c);
+  }
+  out.resize(n);
+  return out;
+}
+
+class CompressRoundTrip
+    : public ::testing::TestWithParam<std::tuple<Codec, size_t, bool>> {};
+
+TEST_P(CompressRoundTrip, Lossless) {
+  auto [codec, size, compressible] = GetParam();
+  const std::string input = compressible ? CompressibleBytes(size, size)
+                                         : RandomBytes(size, size);
+  std::string packed = Compress(input, codec);
+  auto out = Decompress(packed);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecsAndSizes, CompressRoundTrip,
+    ::testing::Combine(::testing::Values(Codec::kNone, Codec::kRle,
+                                         Codec::kLz),
+                       ::testing::Values(size_t{0}, size_t{1}, size_t{7},
+                                         size_t{255}, size_t{4096},
+                                         size_t{1} << 17),
+                       ::testing::Bool()));
+
+TEST(Compress, CompressibleShrinks) {
+  const std::string input = CompressibleBytes(1 << 16, 3);
+  EXPECT_LT(Compress(input, Codec::kRle).size(), input.size() / 2);
+  EXPECT_LT(Compress(input, Codec::kLz).size(), input.size() / 2);
+}
+
+TEST(Compress, IncompressibleFallsBackToRaw) {
+  const std::string input = RandomBytes(1 << 14, 5);
+  std::string packed = Compress(input, Codec::kLz);
+  auto codec = PeekCodec(packed);
+  ASSERT_TRUE(codec.ok());
+  EXPECT_EQ(*codec, Codec::kNone);  // stored raw, never inflated
+  EXPECT_LE(packed.size(), input.size() + 16);
+}
+
+TEST(Compress, MalformedInputRejected) {
+  EXPECT_TRUE(Decompress("").status().IsCorruption());
+  std::string bogus;
+  bogus.push_back(9);  // unknown codec byte
+  EXPECT_TRUE(Decompress(bogus).status().IsCorruption());
+}
+
+TEST(Compress, SizeMismatchDetected) {
+  std::string packed = Compress("hello world, hello world", Codec::kRle);
+  packed.pop_back();  // truncate body
+  EXPECT_FALSE(Decompress(packed).ok());
+}
+
+TEST(Frame, RoundTripMultiple) {
+  std::string file;
+  AppendFrame(&file, "first");
+  AppendFrame(&file, "");
+  AppendFrame(&file, RandomBytes(1000, 1));
+  auto frames = ReadFrames(file);
+  ASSERT_TRUE(frames.ok());
+  ASSERT_EQ(frames->size(), 3u);
+  EXPECT_EQ((*frames)[0], "first");
+  EXPECT_EQ((*frames)[1], "");
+}
+
+TEST(Frame, EveryByteCorruptionDetected) {
+  std::string file;
+  AppendFrame(&file, "checkpoint payload bytes");
+  for (size_t i = 0; i < file.size(); ++i) {
+    std::string corrupted = file;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ 0x01);
+    auto frames = ReadFrames(corrupted);
+    EXPECT_FALSE(frames.ok()) << "corruption at byte " << i << " undetected";
+  }
+}
+
+TEST(Frame, ReaderReportsEofAsNotFound) {
+  std::string file;
+  AppendFrame(&file, "x");
+  FrameReader reader(file);
+  std::string payload;
+  ASSERT_TRUE(reader.Next(&payload).ok());
+  EXPECT_TRUE(reader.Next(&payload).IsNotFound());
+}
+
+}  // namespace
+}  // namespace flor
