@@ -24,7 +24,9 @@ int main() {
               "ckpts", "parts", "4-GPU replay");
   bench::Hr();
 
-  for (const char* name : {"RTE", "CoLA"}) {
+  std::vector<const char*> names = {"RTE", "CoLA"};
+  if (bench::SmokeMode()) names.resize(1);
+  for (const char* name : names) {
     auto profile_or = workloads::WorkloadByName(name);
     FLOR_CHECK(profile_or.ok());
     const auto& profile = *profile_or;

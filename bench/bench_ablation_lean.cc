@@ -28,7 +28,7 @@ int main() {
               "ratio", "filtered-out variables");
   bench::Hr();
 
-  for (const auto& profile : workloads::AllWorkloads()) {
+  for (const auto& profile : bench::BenchWorkloads()) {
     // Run one epoch for real so the frame holds genuine tensors.
     workloads::WorkloadProfile p = profile;
     p.epochs = 1;

@@ -16,10 +16,11 @@ int main() {
   using namespace flor;
   using bench::Pct;
 
+  const auto profiles = bench::BenchWorkloads();
   std::printf("Ablation: record overhead by materialization strategy "
               "(adaptive checkpointing ON).\n\n");
   std::printf("%-12s", "Strategy");
-  for (const auto& p : workloads::AllWorkloads())
+  for (const auto& p : profiles)
     std::printf(" %8s", p.name.c_str());
   std::printf(" %9s\n", "average");
   bench::Hr();
@@ -29,7 +30,7 @@ int main() {
         MaterializeStrategy::kIpcPlasma, MaterializeStrategy::kFork}) {
     std::printf("%-12s", MaterializeStrategyName(strategy));
     double sum = 0;
-    for (const auto& profile : workloads::AllWorkloads()) {
+    for (const auto& profile : profiles) {
       MemFileSystem fs;
       const double vanilla =
           bench::RunVanilla(&fs, profile, workloads::kProbeNone);

@@ -23,7 +23,7 @@ int main() {
               "weak", "strong", "fraction", "parts");
   bench::Hr();
 
-  for (const auto& profile : workloads::AllWorkloads()) {
+  for (const auto& profile : bench::BenchWorkloads()) {
     MemFileSystem fs;
     bench::RunRecord(&fs, profile, "run");
     // Vanilla re-execution performs the same work and logs the same amount

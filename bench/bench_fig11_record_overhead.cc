@@ -19,7 +19,7 @@ int main() {
 
   double overhead_sum = 0;
   int count = 0;
-  for (const auto& profile : workloads::AllWorkloads()) {
+  for (const auto& profile : bench::BenchWorkloads()) {
     MemFileSystem fs;
     const double vanilla =
         bench::RunVanilla(&fs, profile, workloads::kProbeNone);

@@ -54,7 +54,7 @@ void RunCase(uint32_t probes, const char* title) {
   std::printf("%-5s %12s %12s %9s %9s\n", "Name", "vanilla", "replay",
               "speedup", "machines");
   bench::Hr();
-  for (const auto& profile : workloads::AllWorkloads()) {
+  for (const auto& profile : bench::BenchWorkloads()) {
     MemFileSystem fs;
     bench::RunRecord(&fs, profile, "run");
     const double vanilla = bench::RunVanilla(&fs, profile, probes);

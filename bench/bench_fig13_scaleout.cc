@@ -31,7 +31,8 @@ int main() {
               "speedup", "ideal", "ceiling");
   bench::Hr();
 
-  for (int machines = 1; machines <= 4; ++machines) {
+  const int max_machines = bench::SmokeIters(4, 1);
+  for (int machines = 1; machines <= max_machines; ++machines) {
     sim::ClusterReplayOptions copts;
     copts.run_prefix = "run";
     copts.cluster.num_machines = machines;

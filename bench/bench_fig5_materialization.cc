@@ -26,7 +26,7 @@ int main() {
   using namespace flor;
 
   constexpr uint64_t kCheckpointBytes = 1100ull * 1000 * 1000;  // 1.1 GB
-  constexpr int kRuns = 10;
+  const int kRuns = bench::SmokeIters(10);
 
   std::printf("Figure 5: Background materialization performance.\n");
   std::printf("1.1 GB RTE checkpoint; main-thread completion time, "

@@ -27,7 +27,7 @@ int main() {
   double c_sum = 0;
   int c_count = 0;
   bool tolerance_ok = true;
-  for (const auto& profile : workloads::AllWorkloads()) {
+  for (const auto& profile : bench::BenchWorkloads()) {
     MemFileSystem fs;
     const double vanilla =
         bench::RunVanilla(&fs, profile, workloads::kProbeNone);

@@ -9,12 +9,13 @@
 int main() {
   using namespace flor;
 
+  const auto profiles = bench::BenchWorkloads();
   std::printf("Table 3: Computer vision and NLP benchmarks used in our "
               "evaluation.\n\n");
   std::printf("%-5s %-10s %-33s %-16s %-11s %-10s %7s\n", "Name", "Benchmark",
               "Task", "Model", "Dataset", "Train/Tune", "Epochs");
   bench::Hr();
-  for (const auto& p : workloads::AllWorkloads()) {
+  for (const auto& p : profiles) {
     std::printf("%-5s %-10s %-33s %-16s %-11s %-10s %7lld\n",
                 p.name.c_str(), p.benchmark.c_str(), p.task.c_str(),
                 p.model.c_str(), p.dataset.c_str(),
@@ -26,7 +27,7 @@ int main() {
   std::printf("%-5s %14s %13s %13s %16s\n", "Name", "epoch compute",
               "outer/epoch", "preamble", "ckpt raw bytes");
   bench::Hr();
-  for (const auto& p : workloads::AllWorkloads()) {
+  for (const auto& p : profiles) {
     std::printf("%-5s %14s %13s %13s %16s\n", p.name.c_str(),
                 HumanSeconds(p.sim_epoch_seconds).c_str(),
                 HumanSeconds(p.sim_outer_seconds).c_str(),
@@ -34,7 +35,7 @@ int main() {
                 HumanBytes(p.sim_ckpt_raw_bytes).c_str());
   }
   std::printf("\nVanilla training runtimes (simulated):\n");
-  for (const auto& p : workloads::AllWorkloads()) {
+  for (const auto& p : profiles) {
     std::printf("  %-5s %s\n", p.name.c_str(),
                 HumanSeconds(p.VanillaSeconds()).c_str());
   }

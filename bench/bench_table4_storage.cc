@@ -24,7 +24,7 @@ int main() {
   };
   std::vector<Row> rows;
 
-  for (const auto& profile : workloads::AllWorkloads()) {
+  for (const auto& profile : bench::BenchWorkloads()) {
     MemFileSystem fs;
     RecordResult rec = bench::RunRecord(&fs, profile, "run");
 

@@ -4,17 +4,45 @@
 #define FLOR_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/strings.h"
 #include "flor/record.h"
 #include "flor/replay.h"
 #include "sim/cost_model.h"
 #include "sim/parallel_replay.h"
+#include "workloads/profiles.h"
 #include "workloads/programs.h"
 
 namespace flor {
 namespace bench {
+
+/// True when BENCH_SMOKE is set (to anything but "" or "0") in the
+/// environment: benches shrink to a compile-and-run check so CI's
+/// `bench_smoke` ctest label stays cheap.
+inline bool SmokeMode() {
+  static const bool smoke = [] {
+    const char* v = std::getenv("BENCH_SMOKE");
+    return v != nullptr && v[0] != '\0' &&
+           !(v[0] == '0' && v[1] == '\0');
+  }();
+  return smoke;
+}
+
+/// Iteration/trial count: `full` normally, `smoke` under BENCH_SMOKE=1.
+inline int SmokeIters(int full, int smoke = 1) {
+  return SmokeMode() ? smoke : full;
+}
+
+/// The workloads a bench should sweep: the paper's full Table-3 set
+/// normally, just the first profile under BENCH_SMOKE=1.
+inline std::vector<workloads::WorkloadProfile> BenchWorkloads() {
+  std::vector<workloads::WorkloadProfile> all = workloads::AllWorkloads();
+  if (SmokeMode() && all.size() > 1) all.resize(1);
+  return all;
+}
 
 /// Vanilla (no-Flor) simulated run of a workload program; returns runtime.
 inline double RunVanilla(FileSystem* fs,

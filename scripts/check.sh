@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Pre-PR gate: configure, build everything (libs, tests, benches, examples)
+# with warnings-as-errors, run the full test suite, then run the smoke
+# benches. Run from anywhere; exits nonzero on the first failure.
+#
+#   ./scripts/check.sh            # full gate
+#   BUILD_DIR=out ./scripts/check.sh   # custom build dir
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== configure (${BUILD_DIR}) =="
+cmake -B "${BUILD_DIR}" -S . -DFLOR_WERROR=ON
+
+echo "== build =="
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "== unit + property tests =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure --no-tests=error \
+      -j "${JOBS}" -LE bench_smoke
+
+echo "== bench smoke (BENCH_SMOKE=1) =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure --no-tests=error \
+      -j "${JOBS}" -L bench_smoke
+
+echo "== OK =="

@@ -15,7 +15,7 @@ namespace flor {
 template <typename... Args>
 std::string StrCat(const Args&... args) {
   std::ostringstream os;
-  (os << ... << args);
+  ((os << args), ...);
   return os.str();
 }
 

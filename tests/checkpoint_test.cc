@@ -11,6 +11,7 @@
 #include "nn/optimizer.h"
 #include "sim/cost_model.h"
 #include "tensor/ops.h"
+#include "test_util.h"
 
 namespace flor {
 namespace {
@@ -206,9 +207,10 @@ TEST(Materializer, DrainAdvancesToLastCompletion) {
   EXPECT_GT(env->clock()->NowSeconds(), before);  // joined the children
 }
 
-TEST(Materializer, WallModeWritesForReal) {
-  auto env = Env::NewPosixEnv(
-      (std::string(::testing::TempDir()) + "/flor_mat_test"));
+using MaterializerScratchTest = testutil::ScratchDirTest;
+
+TEST_F(MaterializerScratchTest, WallModeWritesForReal) {
+  auto env = NewPosixEnv();
   MaterializerOptions opts;
   opts.strategy = MaterializeStrategy::kFork;
   Materializer mat(env.get(), opts);

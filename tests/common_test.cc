@@ -8,6 +8,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "test_util.h"
 
 namespace flor {
 namespace {
@@ -202,6 +203,34 @@ TEST(Crc32, Incremental) {
   std::string swapped = s;
   std::swap(swapped[0], swapped[1]);
   EXPECT_NE(Crc32c(swapped.data(), swapped.size()), whole);
+}
+
+TEST(Crc32, Rfc3720GoldenVectors) {
+  // iSCSI CRC32C reference vectors (RFC 3720 §B.4).
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  const std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+  std::string ascending(32, '\0');
+  std::string descending(32, '\0');
+  for (int i = 0; i < 32; ++i) {
+    ascending[i] = static_cast<char>(i);
+    descending[i] = static_cast<char>(31 - i);
+  }
+  EXPECT_EQ(Crc32c(ascending.data(), ascending.size()), 0x46DD794Eu);
+  EXPECT_EQ(Crc32c(descending.data(), descending.size()), 0x113FDB5Cu);
+}
+
+TEST(Crc32, ExtendMatchesOneShotAtEverySplit) {
+  Rng rng = testutil::SeededRng(31);
+  std::string s(257, '\0');
+  for (auto& c : s) c = static_cast<char>(rng.Uniform(256));
+  const uint32_t whole = Crc32c(s.data(), s.size());
+  for (size_t split = 0; split <= s.size(); ++split) {
+    uint32_t crc = Crc32c(s.data(), split);
+    crc = Crc32c(crc, s.data() + split, s.size() - split);
+    EXPECT_EQ(crc, whole) << "split=" << split;
+  }
 }
 
 }  // namespace

@@ -3,10 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <filesystem>
 
 #include "env/background_queue.h"
 #include "env/env.h"
+#include "test_util.h"
 
 namespace flor {
 namespace {
@@ -101,11 +101,10 @@ TEST(MemFileSystem, CorruptByteFlipsContent) {
   EXPECT_TRUE(fs.CorruptByte("f", 99).code() == StatusCode::kOutOfRange);
 }
 
-TEST(PosixFileSystem, RoundTripUnderTempRoot) {
-  const std::string root =
-      (std::filesystem::temp_directory_path() / "florcpp_fs_test").string();
-  std::filesystem::remove_all(root);
-  PosixFileSystem fs(root);
+using PosixFileSystemTest = testutil::ScratchDirTest;
+
+TEST_F(PosixFileSystemTest, RoundTripUnderTempRoot) {
+  PosixFileSystem fs(root());
   ASSERT_TRUE(fs.WriteFile("sub/dir/file.bin", "payload").ok());
   EXPECT_TRUE(fs.Exists("sub/dir/file.bin"));
   EXPECT_EQ(*fs.ReadFile("sub/dir/file.bin"), "payload");
@@ -117,7 +116,6 @@ TEST(PosixFileSystem, RoundTripUnderTempRoot) {
   EXPECT_EQ(*fs.ReadFile("sub/dir/file.bin"), "payload!");
   ASSERT_TRUE(fs.DeleteFile("sub/dir/file.bin").ok());
   EXPECT_FALSE(fs.Exists("sub/dir/file.bin"));
-  std::filesystem::remove_all(root);
 }
 
 TEST(BackgroundQueue, RunsJobsAndDrains) {

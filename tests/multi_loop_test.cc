@@ -4,13 +4,12 @@
 
 #include <gtest/gtest.h>
 
-#include <filesystem>
-
 #include "common/strings.h"
 #include "flor/record.h"
 #include "flor/replay.h"
 #include "ir/builder.h"
 #include "sim/parallel_replay.h"
+#include "test_util.h"
 
 namespace flor {
 namespace {
@@ -75,7 +74,7 @@ Result<ProgramInstance> TwoLoopProgram(bool probe_valid) {
 
 TEST(MultiLoop, BothLoopsInstrumentedAndCheckpointed) {
   MemFileSystem fs;
-  Env env(std::make_unique<SimClock>(), &fs);
+  Env env = testutil::MakeSimEnv(&fs);
   auto instance = TwoLoopProgram(false);
   ASSERT_TRUE(instance.ok());
   RecordOptions opts;
@@ -94,7 +93,7 @@ TEST(MultiLoop, BothLoopsInstrumentedAndCheckpointed) {
 TEST(MultiLoop, ProbingOneLoopSkipsTheOther) {
   MemFileSystem fs;
   {
-    Env env(std::make_unique<SimClock>(), &fs);
+    Env env = testutil::MakeSimEnv(&fs);
     auto instance = TwoLoopProgram(false);
     ASSERT_TRUE(instance.ok());
     RecordOptions opts;
@@ -103,7 +102,7 @@ TEST(MultiLoop, ProbingOneLoopSkipsTheOther) {
     Frame frame;
     ASSERT_TRUE(session.Run(instance->program.get(), &frame).ok());
   }
-  Env env(std::make_unique<SimClock>(), &fs);
+  Env env = testutil::MakeSimEnv(&fs);
   auto instance = TwoLoopProgram(true);  // probe only the validation loop
   ASSERT_TRUE(instance.ok());
   ReplayOptions ropts;
@@ -125,7 +124,7 @@ TEST(MultiLoop, ProbingOneLoopSkipsTheOther) {
 TEST(MultiLoop, ParallelReplayIntersectsBoundaries) {
   MemFileSystem fs;
   {
-    Env env(std::make_unique<SimClock>(), &fs);
+    Env env = testutil::MakeSimEnv(&fs);
     auto instance = TwoLoopProgram(false);
     ASSERT_TRUE(instance.ok());
     RecordOptions opts;
@@ -191,7 +190,7 @@ Result<ProgramInstance> DeepNestProgram() {
 
 TEST(DeepNest, NestedContextsKeyCheckpoints) {
   MemFileSystem fs;
-  Env env(std::make_unique<SimClock>(), &fs);
+  Env env = testutil::MakeSimEnv(&fs);
   auto instance = DeepNestProgram();
   ASSERT_TRUE(instance.ok());
   RecordOptions opts;
@@ -213,7 +212,7 @@ TEST(DeepNest, NestedContextsKeyCheckpoints) {
 TEST(DeepNest, ReplaySkipsAtTheOutermostSkippableLevel) {
   MemFileSystem fs;
   {
-    Env env(std::make_unique<SimClock>(), &fs);
+    Env env = testutil::MakeSimEnv(&fs);
     auto instance = DeepNestProgram();
     ASSERT_TRUE(instance.ok());
     RecordOptions opts;
@@ -222,7 +221,7 @@ TEST(DeepNest, ReplaySkipsAtTheOutermostSkippableLevel) {
     Frame frame;
     ASSERT_TRUE(session.Run(instance->program.get(), &frame).ok());
   }
-  Env env(std::make_unique<SimClock>(), &fs);
+  Env env = testutil::MakeSimEnv(&fs);
   auto instance = DeepNestProgram();
   ASSERT_TRUE(instance.ok());
   ReplayOptions ropts;
@@ -240,12 +239,11 @@ TEST(DeepNest, ReplaySkipsAtTheOutermostSkippableLevel) {
               1e-4);
 }
 
-TEST(PosixEndToEnd, RecordReplayOnRealDisk) {
-  const std::string root =
-      (std::filesystem::temp_directory_path() / "florcpp_e2e").string();
-  std::filesystem::remove_all(root);
+using PosixEndToEnd = testutil::ScratchDirTest;
+
+TEST_F(PosixEndToEnd, RecordReplayOnRealDisk) {
   {
-    auto env = Env::NewPosixEnv(root);
+    auto env = NewPosixEnv();
     auto instance = TwoLoopProgram(false);
     ASSERT_TRUE(instance.ok());
     RecordOptions opts;
@@ -261,7 +259,7 @@ TEST(PosixEndToEnd, RecordReplayOnRealDisk) {
     EXPECT_EQ(result->manifest.records.size(), 12u);
   }
   {
-    auto env = Env::NewPosixEnv(root);
+    auto env = NewPosixEnv();
     auto instance = TwoLoopProgram(true);
     ASSERT_TRUE(instance.ok());
     ReplayOptions ropts;
@@ -276,7 +274,6 @@ TEST(PosixEndToEnd, RecordReplayOnRealDisk) {
                 : result->deferred.anomalies[0]);
     EXPECT_EQ(result->probe_entries.size(), 12u);
   }
-  std::filesystem::remove_all(root);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include "ir/builder.h"
 #include "flor/replay.h"
 #include "sim/parallel_replay.h"
+#include "test_util.h"
 #include "workloads/programs.h"
 
 namespace flor {
@@ -45,7 +46,7 @@ WorkloadProfile ShapedProfile(int64_t epochs, int64_t samples,
 }
 
 uint64_t RecordAndFingerprint(FileSystem* fs, const WorkloadProfile& p) {
-  Env env(std::make_unique<SimClock>(), fs);
+  Env env = testutil::MakeSimEnv(fs);
   auto instance = MakeWorkloadFactory(p, kProbeNone)();
   EXPECT_TRUE(instance.ok());
   RecordOptions opts = workloads::DefaultRecordOptions(p, "run");
@@ -70,7 +71,7 @@ TEST_P(MemoizationSweep, ReplayReproducesRecordedState) {
   MemFileSystem fs;
   const uint64_t recorded = RecordAndFingerprint(&fs, p);
 
-  Env env(std::make_unique<SimClock>(), &fs);
+  Env env = testutil::MakeSimEnv(&fs);
   auto instance = MakeWorkloadFactory(p, kProbeNone)();
   ASSERT_TRUE(instance.ok());
   ReplayOptions ropts;
@@ -109,7 +110,7 @@ TEST_P(PartitionEquivalence, MergedOutputMatchesSequential) {
   // Sequential reference (one worker).
   std::vector<std::string> sequential;
   {
-    Env env(std::make_unique<SimClock>(), &fs);
+    Env env = testutil::MakeSimEnv(&fs);
     auto instance = factory();
     ASSERT_TRUE(instance.ok());
     ReplayOptions ropts;
@@ -200,7 +201,7 @@ Result<ProgramInstance> HiddenSideEffectProgram(bool log_hidden) {
 TEST(DeferredChecks, HiddenSideEffectCaught) {
   MemFileSystem fs;
   {
-    Env env(std::make_unique<SimClock>(), &fs);
+    Env env = testutil::MakeSimEnv(&fs);
     auto instance = HiddenSideEffectProgram(true);
     ASSERT_TRUE(instance.ok());
     RecordOptions opts;
@@ -212,7 +213,7 @@ TEST(DeferredChecks, HiddenSideEffectCaught) {
   // Replay with a worker segment that skips epochs 0-1 via init restore:
   // the checkpoint restores x but not the hidden accumulator, so the
   // logged hidden_acc diverges — and the deferred check must flag it.
-  Env env(std::make_unique<SimClock>(), &fs);
+  Env env = testutil::MakeSimEnv(&fs);
   auto instance = HiddenSideEffectProgram(true);
   ASSERT_TRUE(instance.ok());
   ReplayOptions ropts;
@@ -236,7 +237,7 @@ TEST(DeferredChecks, SameProgramWithoutHiddenLogPasses) {
   // fingerprint argument: divergence shows up via logged metrics).
   MemFileSystem fs;
   {
-    Env env(std::make_unique<SimClock>(), &fs);
+    Env env = testutil::MakeSimEnv(&fs);
     auto instance = HiddenSideEffectProgram(false);
     ASSERT_TRUE(instance.ok());
     RecordOptions opts;
@@ -245,7 +246,7 @@ TEST(DeferredChecks, SameProgramWithoutHiddenLogPasses) {
     Frame frame;
     ASSERT_TRUE(session.Run(instance->program.get(), &frame).ok());
   }
-  Env env(std::make_unique<SimClock>(), &fs);
+  Env env = testutil::MakeSimEnv(&fs);
   auto instance = HiddenSideEffectProgram(false);
   ASSERT_TRUE(instance.ok());
   ReplayOptions ropts;
@@ -295,6 +296,13 @@ Result<ProgramInstance> RngProgram(bool rng_in_changeset,
          f->Set("noise", ir::Value::Float(draw));
          return Status::OK();
        }).Cost(1.0);  // nonzero Ci so the controller checkpoints
+      if (probed) {
+        // Hindsight probe inside the inner loop: forces the sampled epoch
+        // to *re-execute* (a skipped loop would trivially match).
+        b.Log("probe_noise", [](Frame* f) {
+          return StrFormat("%.12f", f->At("noise").AsFloat());
+        });
+      }
     }
     b.EndLoop();
     b.Log("noise", [](Frame* f) {
@@ -308,53 +316,13 @@ Result<ProgramInstance> RngProgram(bool rng_in_changeset,
   return instance;
 }
 
-/// Same program with a hindsight probe inside the inner loop, forcing the
-/// sampled epoch to *re-execute* (a skipped loop would trivially match).
+/// Same program with the hindsight probe enabled.
 Result<ProgramInstance> ProbedRngProgram(bool rng_in_changeset) {
-  struct Ctx {
-    Rng rng{424242};
-  };
-  auto ctx = std::make_shared<Ctx>();
-  ir::ProgramBuilder b;
-  b.Assign({"rng"}, {"seed"}, [ctx](Frame* f) {
-    ctx->rng = Rng(424242);
-    f->Set("rng", ir::Value::RngRef(&ctx->rng));
-    return Status::OK();
-  });
-  b.Assign({"noise"}, {"0"}, [](Frame* f) {
-    f->Set("noise", ir::Value::Float(0));
-    return Status::OK();
-  });
-  b.BeginLoop("e", 4);
-  {
-    b.BeginLoop("i", 3);
-    {
-      if (rng_in_changeset) {
-        b.MethodCall("rng", "tick", {}, [](Frame*) { return Status::OK(); });
-      }
-      b.CallAssign({"noise"}, "draw", {"rng"}, [](Frame* f) {
-         const double draw = f->At("rng").AsRng()->NextDouble();
-         f->Set("noise", ir::Value::Float(draw));
-         return Status::OK();
-       }).Cost(1.0);
-      b.Log("probe_noise", [](Frame* f) {  // the hindsight probe
-        return StrFormat("%.12f", f->At("noise").AsFloat());
-      });
-    }
-    b.EndLoop();
-    b.Log("noise", [](Frame* f) {
-      return StrFormat("%.12f", f->At("noise").AsFloat());
-    });
-  }
-  b.EndLoop();
-  ProgramInstance instance;
-  instance.program = b.Build();
-  instance.context = ctx;
-  return instance;
+  return RngProgram(rng_in_changeset, /*probed=*/true);
 }
 
 void RecordProgram(FileSystem* fs, const ProgramFactory& factory) {
-  Env env(std::make_unique<SimClock>(), fs);
+  Env env = testutil::MakeSimEnv(fs);
   auto instance = factory();
   ASSERT_TRUE(instance.ok());
   RecordOptions opts;
@@ -367,7 +335,7 @@ void RecordProgram(FileSystem* fs, const ProgramFactory& factory) {
 TEST(DeferredChecks, RngInChangesetReplaysExactly) {
   MemFileSystem fs;
   RecordProgram(&fs, [] { return RngProgram(true); });
-  Env env(std::make_unique<SimClock>(), &fs);
+  Env env = testutil::MakeSimEnv(&fs);
   auto instance = ProbedRngProgram(true);
   ASSERT_TRUE(instance.ok());
   ReplayOptions ropts;
@@ -386,7 +354,7 @@ TEST(DeferredChecks, RngInChangesetReplaysExactly) {
 TEST(DeferredChecks, RngMissedFromChangesetCaught) {
   MemFileSystem fs;
   RecordProgram(&fs, [] { return RngProgram(false); });
-  Env env(std::make_unique<SimClock>(), &fs);
+  Env env = testutil::MakeSimEnv(&fs);
   auto instance = ProbedRngProgram(false);
   ASSERT_TRUE(instance.ok());
   ReplayOptions ropts;
@@ -439,7 +407,7 @@ TEST(RefusedLoops, ReplayReexecutesAndMatches) {
   MemFileSystem fs;
   RecordProgram(&fs, [] { return RefusedLoopProgram(); });
 
-  Env env(std::make_unique<SimClock>(), &fs);
+  Env env = testutil::MakeSimEnv(&fs);
   auto instance = RefusedLoopProgram();
   ASSERT_TRUE(instance.ok());
   ReplayOptions ropts;
@@ -456,7 +424,7 @@ TEST(RefusedLoops, ReplayReexecutesAndMatches) {
 
 TEST(RefusedLoops, NoCheckpointsMaterialized) {
   MemFileSystem fs;
-  Env env(std::make_unique<SimClock>(), &fs);
+  Env env = testutil::MakeSimEnv(&fs);
   auto instance = RefusedLoopProgram();
   ASSERT_TRUE(instance.ok());
   RecordOptions opts;

@@ -8,6 +8,7 @@
 #include "flor/record.h"
 #include "flor/search.h"
 #include "sim/cost_model.h"
+#include "test_util.h"
 #include "workloads/programs.h"
 
 namespace flor {
@@ -60,7 +61,7 @@ TEST(SearchReplay, FindsFrontierInLogProbes) {
   MemFileSystem fs;
   RecordInto(&fs, p, "run");
 
-  Env env(std::make_unique<SimClock>(), &fs);
+  Env env = testutil::MakeSimEnv(&fs);
   SearchOptions opts;
   opts.run_prefix = "run";
   opts.costs = sim::PaperPlatformCosts();
@@ -76,7 +77,7 @@ TEST(SearchReplay, NeverHoldsReturnsMinusOneAfterOneProbe) {
   const WorkloadProfile p = SearchProfile(16);
   MemFileSystem fs;
   RecordInto(&fs, p, "run");
-  Env env(std::make_unique<SimClock>(), &fs);
+  Env env = testutil::MakeSimEnv(&fs);
   SearchOptions opts;
   opts.run_prefix = "run";
   auto factory = MakeWorkloadFactory(p, kProbeInner);
@@ -95,7 +96,7 @@ TEST(SearchReplay, HoldsEverywhereFindsEpochZero) {
   const WorkloadProfile p = SearchProfile(8);
   MemFileSystem fs;
   RecordInto(&fs, p, "run");
-  Env env(std::make_unique<SimClock>(), &fs);
+  Env env = testutil::MakeSimEnv(&fs);
   SearchOptions opts;
   opts.run_prefix = "run";
   auto factory = MakeWorkloadFactory(p, kProbeInner);
@@ -108,7 +109,7 @@ TEST(SearchReplay, PredicateSeesEpochEntriesOnly) {
   const WorkloadProfile p = SearchProfile(8);
   MemFileSystem fs;
   RecordInto(&fs, p, "run");
-  Env env(std::make_unique<SimClock>(), &fs);
+  Env env = testutil::MakeSimEnv(&fs);
   SearchOptions opts;
   opts.run_prefix = "run";
   auto factory = MakeWorkloadFactory(p, kProbeInner);
@@ -135,7 +136,7 @@ TEST(SearchReplay, ConfirmationWindowRuns) {
   const WorkloadProfile p = SearchProfile(16);
   MemFileSystem fs;
   RecordInto(&fs, p, "run");
-  Env env(std::make_unique<SimClock>(), &fs);
+  Env env = testutil::MakeSimEnv(&fs);
   SearchOptions opts;
   opts.run_prefix = "run";
   opts.confirm_epochs = 2;
@@ -155,7 +156,7 @@ TEST(SearchReplay, CheaperThanFullReplayForLargeRuns) {
   const WorkloadProfile p = SearchProfile(64);
   MemFileSystem fs;
   RecordInto(&fs, p, "run");
-  Env env(std::make_unique<SimClock>(), &fs);
+  Env env = testutil::MakeSimEnv(&fs);
   SearchOptions opts;
   opts.run_prefix = "run";
   opts.costs = sim::PaperPlatformCosts();

@@ -6,6 +6,7 @@
 #include "serialize/coding.h"
 #include "serialize/compress.h"
 #include "serialize/frame.h"
+#include "test_util.h"
 
 namespace flor {
 namespace {
@@ -99,6 +100,67 @@ TEST(Coding, TruncatedStringDetected) {
   Decoder dec(buf);
   std::string s;
   EXPECT_TRUE(dec.GetLengthPrefixed(&s).IsCorruption());
+}
+
+TEST(Coding, RandomRoundTripProperty) {
+  Rng rng = testutil::SeededRng(1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    // Bias the magnitude so every varint width (1..10 bytes) gets coverage.
+    const int bits = 1 + static_cast<int>(rng.Uniform(64));
+    const uint64_t v64 = rng.Next() >> (64 - bits);
+    const uint32_t v32 = static_cast<uint32_t>(v64);
+    const int64_t s64 = static_cast<int64_t>(rng.Next());
+    std::string buf;
+    PutVarint64(&buf, v64);
+    PutVarint32(&buf, v32);
+    PutSignedVarint64(&buf, s64);
+    PutFixed32(&buf, v32);
+    PutFixed64(&buf, v64);
+    Decoder dec(buf);
+    uint64_t got64 = 0, gotf64 = 0;
+    uint32_t got32 = 0, gotf32 = 0;
+    int64_t gots64 = 0;
+    ASSERT_TRUE(dec.GetVarint64(&got64).ok());
+    ASSERT_TRUE(dec.GetVarint32(&got32).ok());
+    ASSERT_TRUE(dec.GetSignedVarint64(&gots64).ok());
+    ASSERT_TRUE(dec.GetFixed32(&gotf32).ok());
+    ASSERT_TRUE(dec.GetFixed64(&gotf64).ok());
+    EXPECT_EQ(got64, v64);
+    EXPECT_EQ(got32, v32);
+    EXPECT_EQ(gots64, s64);
+    EXPECT_EQ(gotf32, v32);
+    EXPECT_EQ(gotf64, v64);
+    EXPECT_TRUE(dec.done());
+  }
+}
+
+TEST(Coding, EveryStrictPrefixFailsToFullyDecode) {
+  // One buffer holding every primitive; decoding any strict prefix must
+  // fail at some field (no crash, no bogus full parse).
+  std::string buf;
+  PutVarint64(&buf, 0x8f00ff00ff00ffULL);
+  PutVarint32(&buf, 0xdeadbeefu);
+  PutSignedVarint64(&buf, -123456789);
+  PutFixed32(&buf, 0x01020304u);
+  PutFixed64(&buf, 0x05060708090a0b0cULL);
+  PutFloat(&buf, 1.5f);
+  PutDouble(&buf, -2.5);
+  PutLengthPrefixed(&buf, "payload");
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    Decoder dec(buf.data(), cut);
+    uint64_t v64, f64;
+    uint32_t v32, f32;
+    int64_t s64;
+    float f;
+    double d;
+    std::string s;
+    const bool all_ok =
+        dec.GetVarint64(&v64).ok() && dec.GetVarint32(&v32).ok() &&
+        dec.GetSignedVarint64(&s64).ok() && dec.GetFixed32(&f32).ok() &&
+        dec.GetFixed64(&f64).ok() && dec.GetFloat(&f).ok() &&
+        dec.GetDouble(&d).ok() && dec.GetLengthPrefixed(&s).ok();
+    EXPECT_FALSE(all_ok) << "cut=" << cut;
+  }
 }
 
 std::string RandomBytes(size_t n, uint64_t seed) {
