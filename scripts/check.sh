@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Pre-PR gate: configure, build everything (libs, tests, benches, examples)
 # with warnings-as-errors, run the full test suite, then run the smoke
-# benches. Run from anywhere; exits nonzero on the first failure.
+# benches (capturing the parallel-replay curves as BENCH_fig10.json /
+# BENCH_fig13.json). Run from anywhere; exits nonzero on the first failure.
 #
-#   ./scripts/check.sh            # full gate
+#   ./scripts/check.sh                 # full gate
 #   BUILD_DIR=out ./scripts/check.sh   # custom build dir
+#   FLOR_TSAN=1 ./scripts/check.sh     # also run the concurrency suites
+#                                      # under ThreadSanitizer
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,5 +27,22 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure --no-tests=error \
 echo "== bench smoke (BENCH_SMOKE=1) =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure --no-tests=error \
       -j "${JOBS}" -L bench_smoke
+
+echo "== bench JSON capture (BENCH_fig10.json / BENCH_fig13.json) =="
+BENCH_SMOKE=1 BENCH_JSON=BENCH_fig10.json \
+    "${BUILD_DIR}/bench_fig10_parallel_replay" > /dev/null
+BENCH_SMOKE=1 BENCH_JSON=BENCH_fig13.json \
+    "${BUILD_DIR}/bench_fig13_scaleout" > /dev/null
+echo "wrote BENCH_fig10.json BENCH_fig13.json"
+
+if [[ "${FLOR_TSAN:-0}" != "0" ]]; then
+  echo "== ThreadSanitizer: concurrency suites (${BUILD_DIR}-tsan) =="
+  cmake -B "${BUILD_DIR}-tsan" -S . -DFLOR_TSAN=ON
+  cmake --build "${BUILD_DIR}-tsan" -j "${JOBS}" \
+        --target replay_executor_test
+  ctest --test-dir "${BUILD_DIR}-tsan" --output-on-failure \
+        --no-tests=error -j "${JOBS}" \
+        -R 'ReplayExecutor|WorkStealingPool'
+fi
 
 echo "== OK =="

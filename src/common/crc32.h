@@ -1,6 +1,9 @@
 // CRC32C (Castagnoli) used to checksum checkpoint frames (serialize/frame.h).
-// Software implementation (slice-by-1 table); correctness over raw speed is
-// fine here — checksumming is off the training thread in the Fork strategy.
+//
+// The public entry point dispatches to a slice-by-8 software implementation
+// (8 bytes per table round, ~5x the byte-at-a-time loop) validated against
+// the RFC 3720 reference vectors; checkpoint payloads are megabytes, so the
+// checksum shows up in materialization profiles once real tensors flow.
 
 #ifndef FLOR_COMMON_CRC32_H_
 #define FLOR_COMMON_CRC32_H_
@@ -17,6 +20,14 @@ uint32_t Crc32c(uint32_t crc, const void* data, size_t n);
 inline uint32_t Crc32c(const void* data, size_t n) {
   return Crc32c(0, data, n);
 }
+
+namespace internal {
+
+/// Reference byte-at-a-time implementation, kept as the cross-check oracle
+/// for the sliced fast path (tests randomize inputs against it).
+uint32_t Crc32cSliceBy1(uint32_t crc, const void* data, size_t n);
+
+}  // namespace internal
 
 }  // namespace flor
 

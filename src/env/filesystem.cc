@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/strings.h"
 
@@ -23,7 +25,7 @@ uint64_t FileSystem::TotalBytesUnder(const std::string& prefix) const {
 
 Status MemFileSystem::WriteFile(const std::string& path,
                                 const std::string& data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   bytes_written_ += data.size();
   files_[path] = data;
   return Status::OK();
@@ -31,33 +33,33 @@ Status MemFileSystem::WriteFile(const std::string& path,
 
 Status MemFileSystem::AppendFile(const std::string& path,
                                  const std::string& data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   bytes_written_ += data.size();
   files_[path] += data;
   return Status::OK();
 }
 
 Result<std::string> MemFileSystem::ReadFile(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   return it->second;
 }
 
 bool MemFileSystem::Exists(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return files_.count(path) > 0;
 }
 
 Result<uint64_t> MemFileSystem::FileSize(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   return static_cast<uint64_t>(it->second.size());
 }
 
 Status MemFileSystem::DeleteFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (files_.erase(path) == 0)
     return Status::NotFound("no such file: " + path);
   return Status::OK();
@@ -65,7 +67,7 @@ Status MemFileSystem::DeleteFile(const std::string& path) {
 
 std::vector<std::string> MemFileSystem::ListPrefix(
     const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> out;
   for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
     if (!StartsWith(it->first, prefix)) break;
@@ -75,12 +77,12 @@ std::vector<std::string> MemFileSystem::ListPrefix(
 }
 
 uint64_t MemFileSystem::bytes_written() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return bytes_written_;
 }
 
 Status MemFileSystem::CorruptByte(const std::string& path, size_t offset) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   if (offset >= it->second.size())

@@ -11,7 +11,7 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -20,6 +20,11 @@
 namespace flor {
 
 /// Abstract byte-oriented object store.
+///
+/// Implementations must be safe for concurrent use from multiple threads:
+/// the parallel replay executor shares one FileSystem across all worker
+/// threads (every worker reads checkpoints, logs, and the manifest from the
+/// same store, exactly like the paper's shared S3 bucket).
 class FileSystem {
  public:
   virtual ~FileSystem() = default;
@@ -47,8 +52,10 @@ class FileSystem {
   uint64_t TotalBytesUnder(const std::string& prefix) const;
 };
 
-/// In-memory filesystem; thread-safe. Also tracks write statistics used by
-/// the checkpoint spooler.
+/// In-memory filesystem; thread-safe. Reads take a shared lock so
+/// concurrent replay workers do not serialize on each other's checkpoint
+/// loads; writes are exclusive. Also tracks write statistics used by the
+/// checkpoint spooler.
 class MemFileSystem : public FileSystem {
  public:
   Status WriteFile(const std::string& path, const std::string& data) override;
@@ -69,7 +76,7 @@ class MemFileSystem : public FileSystem {
   Status CorruptByte(const std::string& path, size_t offset);
 
  private:
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
   std::map<std::string, std::string> files_;
   uint64_t bytes_written_ = 0;
 };

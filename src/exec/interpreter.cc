@@ -109,8 +109,15 @@ Status Interpreter::RunLoop(ir::Loop* loop, Frame* frame) {
 }
 
 Status Interpreter::RunStmt(ir::Stmt* stmt, Frame* frame) {
-  if (env_->clock()->is_simulated() && stmt->sim_cost_seconds > 0)
-    env_->clock()->AdvanceMicros(SecondsToMicros(stmt->sim_cost_seconds));
+  if (env_->clock()->is_simulated()) {
+    if (stmt->sim_cost_seconds > 0)
+      env_->clock()->AdvanceMicros(SecondsToMicros(stmt->sim_cost_seconds));
+  } else if (stmt->wall_cost_seconds > 0) {
+    // Blocking device time (ir/stmt.h): a real bounded wait on wall
+    // clocks, so measured replay parallelism reflects the paper's
+    // GPU-bound overlap rather than host arithmetic speed.
+    env_->clock()->AdvanceMicros(SecondsToMicros(stmt->wall_cost_seconds));
+  }
   if (stmt->is_log()) {
     FLOR_ASSIGN_OR_RETURN(std::string text, stmt->log_fn(frame));
     LogEntry entry;

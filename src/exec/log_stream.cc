@@ -98,5 +98,11 @@ void LogStream::Extend(const LogStream& other) {
                   other.entries_.end());
 }
 
+void LogStream::ExtendWork(const LogStream& other) {
+  entries_.reserve(entries_.size() + other.entries_.size());
+  for (const auto& e : other.entries_)
+    if (!e.init_mode) entries_.push_back(e);
+}
+
 }  // namespace exec
 }  // namespace flor

@@ -37,6 +37,12 @@ struct LogEntry {
 };
 
 /// Append-only in-memory log with (de)serialization.
+///
+/// Thread-compatible, const-safe: concurrent const access (entries(),
+/// WorkEntries(), Serialize()) from multiple threads is safe as long as no
+/// thread mutates. The parallel replay engines rely on this — each worker
+/// appends only to its own stream, and merging happens on the coordinating
+/// thread after workers join (flor/replay_plan.h).
 class LogStream {
  public:
   void Append(LogEntry entry) { entries_.push_back(std::move(entry)); }
@@ -55,6 +61,10 @@ class LogStream {
 
   /// Appends all entries of `other` (log merging across workers).
   void Extend(const LogStream& other);
+
+  /// Appends only the work entries of `other` — merging a worker's log
+  /// partition while dropping its init-mode reconstruction by-products.
+  void ExtendWork(const LogStream& other);
 
  private:
   std::vector<LogEntry> entries_;

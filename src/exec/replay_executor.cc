@@ -1,0 +1,154 @@
+#include "exec/replay_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/strings.h"
+
+namespace flor {
+namespace exec {
+
+namespace {
+
+/// One per-thread task deque: owner pops the front, thieves pop the back.
+struct TaskDeque {
+  std::mutex mu;
+  std::deque<size_t> tasks;
+
+  bool PopFront(size_t* out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (tasks.empty()) return false;
+    *out = tasks.front();
+    tasks.pop_front();
+    return true;
+  }
+  bool PopBack(size_t* out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (tasks.empty()) return false;
+    *out = tasks.back();
+    tasks.pop_back();
+    return true;
+  }
+};
+
+double WallNowSeconds() {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+WorkStealingPool::Stats WorkStealingPool::Run(
+    int num_threads, const std::vector<std::function<void()>>& tasks) {
+  Stats stats;
+  if (num_threads <= 1 || tasks.size() <= 1) {
+    for (const auto& task : tasks) task();
+    stats.tasks_run = static_cast<int64_t>(tasks.size());
+    return stats;
+  }
+
+  const int threads = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(num_threads), tasks.size()));
+  std::vector<TaskDeque> deques(static_cast<size_t>(threads));
+  // Deal task indices round-robin so a 1-thread pool and the sequential
+  // path visit partitions in the same order.
+  for (size_t i = 0; i < tasks.size(); ++i)
+    deques[i % static_cast<size_t>(threads)].tasks.push_back(i);
+
+  std::atomic<int64_t> steals(0);
+
+  auto worker = [&](int self) {
+    for (;;) {
+      size_t task_index = 0;
+      bool found = deques[static_cast<size_t>(self)].PopFront(&task_index);
+      if (!found) {
+        for (int v = 1; v < threads && !found; ++v) {
+          const int victim = (self + v) % threads;
+          found = deques[static_cast<size_t>(victim)].PopBack(&task_index);
+        }
+        if (found) steals.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Tasks never spawn tasks, so once every deque is empty the only
+      // unfinished work is already running on other threads: retire.
+      if (!found) return;
+      tasks[task_index]();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+  for (auto& t : pool) t.join();
+
+  stats.tasks_run = static_cast<int64_t>(tasks.size());
+  stats.steals = steals.load();
+  return stats;
+}
+
+ReplayExecutor::ReplayExecutor(FileSystem* shared_fs,
+                               ReplayExecutorOptions options)
+    : fs_(shared_fs), options_(std::move(options)) {}
+
+Result<ReplayExecutorResult> ReplayExecutor::Run(
+    const ProgramFactory& factory) {
+  const double wall_start = WallNowSeconds();
+
+  ClusterPlanOptions plan;
+  plan.run_prefix = options_.run_prefix;
+  plan.num_workers = options_.num_partitions > 0 ? options_.num_partitions
+                                                 : options_.num_threads;
+  plan.init_mode = options_.init_mode;
+  plan.costs = options_.costs;
+  plan.sample_epochs = options_.sample_epochs;
+
+  FLOR_ASSIGN_OR_RETURN(const int active,
+                        PlanActiveWorkers(factory, fs_, plan));
+
+  // One task per partition. Every worker owns its clock, program instance,
+  // and log stream; the only shared object is the (thread-safe) filesystem.
+  std::vector<Result<ReplayResult>> slots(
+      static_cast<size_t>(active), Status::Internal("worker never ran"));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<size_t>(active));
+  for (int w = 0; w < active; ++w) {
+    tasks.push_back([this, &factory, &plan, &slots, w] {
+      auto run_worker = [&]() -> Result<ReplayResult> {
+        Env env(std::make_unique<WallClock>(), fs_);
+        FLOR_ASSIGN_OR_RETURN(ProgramInstance instance, factory());
+        ReplaySession session(&env, WorkerReplayOptions(plan, w));
+        exec::Frame frame;
+        return session.Run(instance.program.get(), &frame);
+      };
+      slots[static_cast<size_t>(w)] = run_worker();
+    });
+  }
+
+  const WorkStealingPool::Stats pool_stats =
+      WorkStealingPool::Run(options_.num_threads, tasks);
+
+  ReplayMerger merger;
+  for (int w = 0; w < active; ++w) {
+    Result<ReplayResult>& slot = slots[static_cast<size_t>(w)];
+    if (!slot.ok()) {
+      return Status(slot.status().code(),
+                    StrCat("replay worker ", w, ": ",
+                           slot.status().message()));
+    }
+    merger.Add(w, std::move(slot).value());
+  }
+  ReplayExecutorResult result;
+  FLOR_ASSIGN_OR_RETURN(static_cast<MergedClusterReplay&>(result),
+                        merger.Finish(fs_, options_.run_prefix));
+  result.threads_used = std::min(options_.num_threads, active);
+  result.steals = pool_stats.steals;
+  result.wall_seconds = WallNowSeconds() - wall_start;
+  return result;
+}
+
+}  // namespace exec
+}  // namespace flor

@@ -4,6 +4,7 @@
 
 #include "common/strings.h"
 #include "flor/instrument.h"
+#include "flor/replay_plan.h"
 
 namespace flor {
 
@@ -11,29 +12,6 @@ ReplaySession::ReplaySession(Env* env, ReplayOptions options)
     : env_(env), options_(std::move(options)), paths_(options_.run_prefix) {
   store_ = std::make_unique<CheckpointStore>(env_->fs(),
                                              paths_.CkptPrefix());
-}
-
-std::vector<int64_t> ReplaySession::BoundaryEpochs(
-    ir::Program* program) const {
-  // Intersect checkpointed epochs across all skippable epoch-level loops:
-  // a worker can start at epoch e+1 only if *every* such loop restored at
-  // epoch e reconstructs the state.
-  std::vector<ir::Loop*> loops = SkippableEpochLoops(program);
-  std::vector<int64_t> out;
-  bool first = true;
-  for (ir::Loop* loop : loops) {
-    std::vector<int64_t> epochs = manifest_.EpochsWithCheckpoint(loop->id());
-    if (first) {
-      out = epochs;
-      first = false;
-    } else {
-      std::vector<int64_t> merged;
-      std::set_intersection(out.begin(), out.end(), epochs.begin(),
-                            epochs.end(), std::back_inserter(merged));
-      out = std::move(merged);
-    }
-  }
-  return out;
 }
 
 Result<ReplayResult> ReplaySession::Run(ir::Program* current_program,
@@ -165,7 +143,8 @@ Status ReplaySession::OnSkipBlockExit(ir::Loop*, const std::string&,
 
 Result<std::optional<exec::MainLoopPlan>> ReplaySession::PlanMainLoop(
     ir::Loop*, int64_t trip_count, exec::Frame*) {
-  const std::vector<int64_t> boundaries = BoundaryEpochs(program_);
+  const std::vector<int64_t> boundaries =
+      CheckpointBoundaryEpochs(program_, manifest_);
 
   if (!options_.sample_epochs.empty()) {
     FLOR_ASSIGN_OR_RETURN(

@@ -96,10 +96,6 @@ class ReplaySession : public exec::ExecHooks {
   Status RestoreSkipBlock(ir::Loop* loop, const CheckpointKey& key,
                           exec::Frame* frame);
 
-  /// Main-loop epochs usable as partition boundaries: every skippable
-  /// epoch-loop has a checkpoint there.
-  std::vector<int64_t> BoundaryEpochs(ir::Program* program) const;
-
   Env* env_;
   ReplayOptions options_;
   RunPaths paths_;

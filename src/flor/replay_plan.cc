@@ -1,0 +1,116 @@
+#include "flor/replay_plan.h"
+
+#include <algorithm>
+#include <iterator>
+#include <set>
+
+#include "flor/instrument.h"
+#include "flor/partition.h"
+
+namespace flor {
+
+std::vector<int64_t> CheckpointBoundaryEpochs(ir::Program* program,
+                                              const Manifest& manifest) {
+  // Intersect checkpointed epochs across all skippable epoch-level loops:
+  // a worker can start at epoch e+1 only if *every* such loop restored at
+  // epoch e reconstructs the state.
+  std::vector<ir::Loop*> loops = SkippableEpochLoops(program);
+  std::vector<int64_t> out;
+  bool first = true;
+  for (ir::Loop* loop : loops) {
+    std::vector<int64_t> epochs = manifest.EpochsWithCheckpoint(loop->id());
+    if (first) {
+      out = std::move(epochs);
+      first = false;
+    } else {
+      std::vector<int64_t> merged;
+      std::set_intersection(out.begin(), out.end(), epochs.begin(),
+                            epochs.end(), std::back_inserter(merged));
+      out = std::move(merged);
+    }
+  }
+  return out;
+}
+
+Result<int> PlanActiveWorkers(const ProgramFactory& factory,
+                              const FileSystem* fs,
+                              const ClusterPlanOptions& options) {
+  if (!options.sample_epochs.empty()) return 1;
+  if (options.num_workers <= 1) return 1;
+
+  FLOR_ASSIGN_OR_RETURN(ProgramInstance instance, factory());
+  InstrumentProgram(instance.program.get());
+  ir::Loop* main_loop = instance.program->MainLoop();
+  if (main_loop == nullptr) return 1;
+  const int64_t epochs = main_loop->iter().fixed_count;
+  if (epochs < 0) return options.num_workers;  // dynamic trip count
+
+  RunPaths paths(options.run_prefix);
+  FLOR_ASSIGN_OR_RETURN(std::string manifest_bytes,
+                        fs->ReadFile(paths.Manifest()));
+  FLOR_ASSIGN_OR_RETURN(Manifest manifest,
+                        Manifest::Deserialize(manifest_bytes));
+  const std::vector<int64_t> boundaries =
+      CheckpointBoundaryEpochs(instance.program.get(), manifest);
+  FLOR_ASSIGN_OR_RETURN(PartitionPlan plan,
+                        PartitionMainLoop(epochs, options.num_workers,
+                                          options.init_mode, boundaries));
+  return static_cast<int>(plan.workers.size());
+}
+
+ReplayOptions WorkerReplayOptions(const ClusterPlanOptions& options,
+                                  int worker_id) {
+  ReplayOptions ropts;
+  ropts.run_prefix = options.run_prefix;
+  ropts.init_mode = options.init_mode;
+  ropts.worker_id = worker_id;
+  ropts.num_workers = options.sample_epochs.empty() ? options.num_workers : 1;
+  ropts.sample_epochs = options.sample_epochs;
+  ropts.costs = options.costs;
+  ropts.run_deferred_check = false;  // merged check in ReplayMerger
+  return ropts;
+}
+
+void ReplayMerger::Add(int worker_id, ReplayResult result) {
+  workers_.emplace_back(worker_id, std::move(result));
+}
+
+Result<MergedClusterReplay> ReplayMerger::Finish(
+    const FileSystem* fs, const std::string& run_prefix) {
+  if (workers_.empty())
+    return Status::InvalidArgument("ReplayMerger: no worker results");
+  std::sort(workers_.begin(), workers_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  MergedClusterReplay out;
+  const ReplayResult& first = workers_.front().second;
+  out.workers_used = std::max(1, first.active_workers);
+  out.partition_segments = first.partition_segments;
+  out.effective_init = first.effective_init;
+  const std::set<int32_t>& probe_uids = first.probes.probe_stmt_uids;
+
+  for (const auto& [id, wres] : workers_) {
+    (void)id;
+    out.worker_seconds.push_back(wres.runtime_seconds);
+    out.merged_logs.ExtendWork(wres.logs);
+    out.probe_entries.insert(out.probe_entries.end(),
+                             wres.probe_entries.begin(),
+                             wres.probe_entries.end());
+    out.skipblocks.executed += wres.skipblocks.executed;
+    out.skipblocks.skipped += wres.skipblocks.skipped;
+    out.skipblocks.restores += wres.skipblocks.restores;
+  }
+  out.latency_seconds = *std::max_element(out.worker_seconds.begin(),
+                                          out.worker_seconds.end());
+
+  // Merged deferred check against the record logs.
+  RunPaths paths(run_prefix);
+  FLOR_ASSIGN_OR_RETURN(std::string log_bytes, fs->ReadFile(paths.Logs()));
+  FLOR_ASSIGN_OR_RETURN(exec::LogStream record_logs,
+                        exec::LogStream::Deserialize(log_bytes));
+  out.deferred = DeferredCheck(record_logs.entries(),
+                               out.merged_logs.entries(), probe_uids);
+  return out;
+}
+
+}  // namespace flor

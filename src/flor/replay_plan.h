@@ -1,0 +1,95 @@
+// Shared partition-planning and log-merging core for cluster replay.
+//
+// Two engines execute partitioned hindsight replay:
+//   * sim::ClusterReplay — workers run sequentially, each on its own
+//     simulated clock (deterministic paper-scale latency modeling);
+//   * exec::ReplayExecutor — workers run concurrently on a real thread
+//     pool against the wall clock (measured speedup).
+// Both must agree on *what* each worker replays and on how worker log
+// partitions are merged and deferred-checked, so that the merged replay
+// logs are byte-identical across engines and thread counts. That common
+// core lives here.
+
+#ifndef FLOR_FLOR_REPLAY_PLAN_H_
+#define FLOR_FLOR_REPLAY_PLAN_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "env/filesystem.h"
+#include "flor/replay.h"
+
+namespace flor {
+
+/// Engine-agnostic cluster-replay configuration: everything needed to plan
+/// worker partitions and build per-worker ReplayOptions.
+struct ClusterPlanOptions {
+  std::string run_prefix = "run";
+  /// Requested log partitions (the paper's G). The effective worker count
+  /// can be lower when the main loop is short or checkpoints are sparse.
+  int num_workers = 1;
+  InitMode init_mode = InitMode::kStrong;
+  /// Cost model for restore pricing (only charged under simulated clocks).
+  MaterializerCosts costs;
+  /// Non-empty selects iteration-sampling replay on a single worker.
+  std::vector<int64_t> sample_epochs;
+};
+
+/// Main-loop epochs usable as partition boundaries for `program`: every
+/// skippable epoch-level loop has a checkpoint there (intersection across
+/// loops). `program` must already be instrumented.
+std::vector<int64_t> CheckpointBoundaryEpochs(ir::Program* program,
+                                              const Manifest& manifest);
+
+/// Plans how many replay sessions a partitioned replay needs, without
+/// executing anything: builds a fresh instance, instruments it, reads the
+/// record manifest from `fs`, and partitions the main loop. Falls back to
+/// `options.num_workers` when the main-loop trip count is not statically
+/// known (surplus workers then plan themselves empty at run time).
+Result<int> PlanActiveWorkers(const ProgramFactory& factory,
+                              const FileSystem* fs,
+                              const ClusterPlanOptions& options);
+
+/// Per-worker ReplayOptions derived from the cluster-level options. The
+/// deferred check is disabled per worker: the merger checks the merged
+/// stream once.
+ReplayOptions WorkerReplayOptions(const ClusterPlanOptions& options,
+                                  int worker_id);
+
+/// Engine-agnostic aggregate of a partitioned replay.
+struct MergedClusterReplay {
+  /// Max over worker runtimes (no merge barrier in Flor; partitions are
+  /// concatenated by worker order).
+  double latency_seconds = 0;
+  std::vector<double> worker_seconds;
+  int workers_used = 0;
+  int64_t partition_segments = 0;
+  InitMode effective_init = InitMode::kStrong;
+  /// Work-segment log entries of all workers, in partition order.
+  exec::LogStream merged_logs;
+  std::vector<exec::LogEntry> probe_entries;
+  DeferredCheckReport deferred;
+  SkipBlockStats skipblocks;
+};
+
+/// Accumulates per-worker ReplayResults (in any completion order), then
+/// merges logs in worker order and runs the merged deferred check against
+/// the record logs. Thread-compatible: callers serialize Add/Finish (both
+/// engines add results from the coordinating thread after workers join).
+class ReplayMerger {
+ public:
+  void Add(int worker_id, ReplayResult result);
+
+  /// Merges and deferred-checks. `fs` supplies the record logs under
+  /// `run_prefix`. Single-use.
+  Result<MergedClusterReplay> Finish(const FileSystem* fs,
+                                     const std::string& run_prefix);
+
+ private:
+  std::vector<std::pair<int, ReplayResult>> workers_;
+};
+
+}  // namespace flor
+
+#endif  // FLOR_FLOR_REPLAY_PLAN_H_

@@ -107,6 +107,12 @@ ProgramBuilder& ProgramBuilder::Cost(double seconds) {
   return *this;
 }
 
+ProgramBuilder& ProgramBuilder::WallCost(double seconds) {
+  FLOR_CHECK(last_stmt_ != nullptr) << "WallCost() before any statement";
+  last_stmt_->wall_cost_seconds = seconds;
+  return *this;
+}
+
 ProgramBuilder& ProgramBuilder::BeginLoop(std::string var,
                                           int64_t fixed_count) {
   LoopIter iter;

@@ -61,6 +61,10 @@ class ProgramBuilder {
   /// Sets the simulated cost (seconds) of the most recent statement.
   ProgramBuilder& Cost(double seconds);
 
+  /// Sets the wall-clock cost (seconds) of the most recent statement —
+  /// a real bounded wait modeling blocking device time (ir/stmt.h).
+  ProgramBuilder& WallCost(double seconds);
+
   /// Opens a loop with a literal trip count.
   ProgramBuilder& BeginLoop(std::string var, int64_t fixed_count);
 

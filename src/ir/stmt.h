@@ -90,6 +90,14 @@ struct Stmt {
   /// SimClock (seconds). Calibrated by workload profiles.
   double sim_cost_seconds = 0.0;
 
+  /// Real execution cost charged (as a bounded sleep) when running against
+  /// a wall clock (seconds). Models device time the host blocks on — e.g.
+  /// the GPU kernel latency of a training step — so wall-clock replay
+  /// benchmarks expose the paper's overlap-bound parallelism even when the
+  /// miniature models compute faster than real ones. Ignored under
+  /// simulated clocks. Does not affect rendering (it is not source text).
+  double wall_cost_seconds = 0.0;
+
   /// Stable id unique within a program version; assigned by the builder.
   int32_t uid = -1;
 

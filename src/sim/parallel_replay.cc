@@ -1,8 +1,6 @@
 #include "sim/parallel_replay.h"
 
-#include <algorithm>
-
-#include "flor/skipblock.h"
+#include "flor/replay_plan.h"
 
 namespace flor {
 namespace sim {
@@ -11,60 +9,35 @@ Result<ClusterReplayResult> ClusterReplay(const ProgramFactory& factory,
                                           FileSystem* shared_fs,
                                           const ClusterReplayOptions&
                                               options) {
-  ClusterReplayResult result;
-  const int total_gpus =
+  ClusterPlanOptions plan;
+  plan.run_prefix = options.run_prefix;
+  plan.num_workers =
       options.sample_epochs.empty() ? options.cluster.total_gpus() : 1;
+  plan.init_mode = options.init_mode;
+  plan.costs = options.costs;
+  plan.sample_epochs = options.sample_epochs;
 
-  std::set<int32_t> probe_uids;
-  int active = 1;
+  FLOR_ASSIGN_OR_RETURN(const int active,
+                        PlanActiveWorkers(factory, shared_fs, plan));
+
+  // Workers are fully independent; on this single simulated host they run
+  // sequentially while each accrues time on its own simulated clock.
+  ReplayMerger merger;
   for (int w = 0; w < active; ++w) {
     auto env = std::make_unique<Env>(std::make_unique<SimClock>(),
                                      shared_fs);
     FLOR_ASSIGN_OR_RETURN(ProgramInstance instance, factory());
-
-    ReplayOptions ropts;
-    ropts.run_prefix = options.run_prefix;
-    ropts.init_mode = options.init_mode;
-    ropts.worker_id = w;
-    ropts.num_workers = total_gpus;
-    ropts.sample_epochs = options.sample_epochs;
-    ropts.costs = options.costs;
-    ropts.run_deferred_check = false;  // merged check below
-
-    ReplaySession session(env.get(), ropts);
+    ReplaySession session(env.get(), WorkerReplayOptions(plan, w));
     exec::Frame frame;
     FLOR_ASSIGN_OR_RETURN(ReplayResult wres,
                           session.Run(instance.program.get(), &frame));
-
-    if (w == 0) {
-      active = std::max(1, wres.active_workers);
-      result.partition_segments = wres.partition_segments;
-      result.effective_init = wres.effective_init;
-      probe_uids = wres.probes.probe_stmt_uids;
-    }
-    result.worker_seconds.push_back(wres.runtime_seconds);
-    for (const auto& e : wres.logs.WorkEntries())
-      result.merged_logs.Append(e);
-    for (const auto& e : wres.probe_entries)
-      result.probe_entries.push_back(e);
-    result.skipblocks.executed += wres.skipblocks.executed;
-    result.skipblocks.skipped += wres.skipblocks.skipped;
-    result.skipblocks.restores += wres.skipblocks.restores;
+    merger.Add(w, std::move(wres));
   }
-  result.workers_used = active;
-  result.latency_seconds =
-      *std::max_element(result.worker_seconds.begin(),
-                        result.worker_seconds.end());
+  ClusterReplayResult result;
+  FLOR_ASSIGN_OR_RETURN(static_cast<MergedClusterReplay&>(result),
+                        merger.Finish(shared_fs, options.run_prefix));
 
-  // Merged deferred check against the record logs.
-  RunPaths paths(options.run_prefix);
-  FLOR_ASSIGN_OR_RETURN(std::string log_bytes,
-                        shared_fs->ReadFile(paths.Logs()));
-  FLOR_ASSIGN_OR_RETURN(exec::LogStream record_logs,
-                        exec::LogStream::Deserialize(log_bytes));
-  result.deferred = DeferredCheck(record_logs.entries(),
-                                  result.merged_logs.entries(), probe_uids);
-
+  // Simulated-cluster extras: machine billing.
   result.machine_usage =
       PriceCluster(options.cluster, result.worker_seconds);
   result.total_cost_dollars = TotalClusterCost(result.machine_usage);

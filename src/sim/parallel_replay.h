@@ -1,11 +1,16 @@
-// Deterministic parallel-replay engine (paper §5.4.3, §5.4.4).
+// Deterministic *simulated* parallel-replay engine (paper §5.4.3, §5.4.4).
 //
 // Launches one ReplaySession per GPU worker. Workers are fully independent
 // — no coordination or communication, exactly as in the paper — so on this
-// single-core host they execute sequentially while each accrues time on its
+// simulated host they execute sequentially while each accrues time on its
 // own simulated clock. Replay latency is the max over workers (plus
 // nothing: there is no merge barrier in Flor; log partitions are
 // concatenated by key order).
+//
+// Partition planning and log merging are shared with the real thread-pool
+// engine (exec/replay_executor.h) via flor/replay_plan.h, so both engines
+// produce byte-identical merged logs; this engine adds paper-scale latency
+// modeling and cluster billing on top.
 //
 // The merged work-segment logs are deferred-checked against the record
 // logs, so partitioned replay correctness is verified for real on every
@@ -19,6 +24,7 @@
 
 #include "env/filesystem.h"
 #include "flor/replay.h"
+#include "flor/replay_plan.h"
 #include "sim/cluster.h"
 
 namespace flor {
@@ -34,20 +40,10 @@ struct ClusterReplayOptions {
   std::vector<int64_t> sample_epochs;
 };
 
-/// Aggregate outcome of a cluster replay.
-struct ClusterReplayResult {
-  /// Wall-clock latency: max over worker runtimes.
-  double latency_seconds = 0;
-  std::vector<double> worker_seconds;
-  int workers_used = 0;
-  int64_t partition_segments = 0;
-  InitMode effective_init = InitMode::kStrong;
-  /// Work-segment log entries of all workers, in partition order.
-  exec::LogStream merged_logs;
-  std::vector<exec::LogEntry> probe_entries;
-  DeferredCheckReport deferred;
-  /// Aggregate SkipBlock counters.
-  SkipBlockStats skipblocks;
+/// Aggregate outcome of a cluster replay: the engine-agnostic merge
+/// (latency, merged logs, deferred check — flor/replay_plan.h) plus
+/// simulated-cluster billing.
+struct ClusterReplayResult : MergedClusterReplay {
   /// Machine billing.
   std::vector<MachineUsage> machine_usage;
   double total_cost_dollars = 0;

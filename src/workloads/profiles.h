@@ -37,6 +37,11 @@ struct WorkloadProfile {
   uint64_t sim_ckpt_raw_bytes = 0;  ///< raw changeset bytes per checkpoint
   double sim_compress_ratio = 0.62; ///< stored/raw (gzip stand-in)
 
+  /// Real wall-clock cost per training batch (seconds): blocking device
+  /// time charged as a bounded wait when replaying on a wall clock (the
+  /// exec::ReplayExecutor benches). 0 = pure host compute.
+  double wall_batch_seconds = 0;
+
   // Tiny real-execution parameters.
   data::Task task_kind = data::Task::kVision;
   int64_t real_samples = 128;

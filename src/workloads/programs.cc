@@ -137,7 +137,7 @@ Result<ProgramInstance> BuildInstance(WorkloadProfile profile,
                                rt->net->Forward(f->At("batch").AsTensor()));
          f->Set("preds", ir::Value::FromTensor(std::move(preds)));
          return Status::OK();
-       }).Cost(batch_cost);
+       }).Cost(batch_cost).WallCost(p.wall_batch_seconds);
 
       b.CallAssign({"loss", "grad"}, "criterion", {"preds", "labels"},
                    [](Frame* f) {

@@ -233,5 +233,28 @@ TEST(Crc32, ExtendMatchesOneShotAtEverySplit) {
   }
 }
 
+TEST(Crc32, SliceBy1OracleAgreesOnGoldenVectors) {
+  using internal::Crc32cSliceBy1;
+  const char* digits = "123456789";
+  EXPECT_EQ(Crc32cSliceBy1(0, digits, 9), 0xE3069283u);
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32cSliceBy1(0, zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32, SliceBy8MatchesSliceBy1Randomized) {
+  // Every length 0..600 (covers head-alignment, 8-byte body, and tail
+  // combinations) plus random unaligned offsets into the buffer.
+  Rng rng = testutil::SeededRng(32);
+  std::string buf(608, '\0');
+  for (auto& c : buf) c = static_cast<char>(rng.Uniform(256));
+  for (size_t len = 0; len <= 600; ++len) {
+    const size_t off = rng.Uniform(8);
+    const uint32_t seed32 = static_cast<uint32_t>(rng.Next());
+    EXPECT_EQ(Crc32c(seed32, buf.data() + off, len),
+              internal::Crc32cSliceBy1(seed32, buf.data() + off, len))
+        << "len=" << len << " off=" << off;
+  }
+}
+
 }  // namespace
 }  // namespace flor

@@ -1,0 +1,166 @@
+// Crash consistency of background materialization (ROADMAP open item).
+//
+// The paper's Fork strategy writes checkpoints from a forked child while
+// the parent trains on. If that child dies mid-write (OOM-killed, node
+// preempted), the parent-side store must never serve a half-written
+// checkpoint as a good one: it either sees the complete object or cleanly
+// detects the torn state (NotFound under atomic rename; Corruption via the
+// frame checksum for in-place writes).
+//
+// These tests fork a real child process, SIGKILL it at a controlled point
+// mid-write (the child signals progress over a pipe and then parks), and
+// assert the parent-visible outcome.
+
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <functional>
+
+#include "checkpoint/checkpoint.h"
+#include "checkpoint/store.h"
+#include "env/filesystem.h"
+#include "test_util.h"
+
+namespace flor {
+namespace {
+
+/// A deterministic multi-kilobyte checkpoint payload.
+NamedSnapshots TestSnapshots() {
+  Rng rng = testutil::SeededRng(83);
+  Tensor weights(Shape({64, 32}));
+  float* w = weights.f32();
+  for (int64_t i = 0; i < weights.numel(); ++i)
+    w[i] = static_cast<float>(rng.NextGaussian());
+  NamedSnapshots snaps;
+  snaps.emplace_back("net",
+                     ir::SnapshotValue(ir::Value::FromTensor(weights)));
+  snaps.emplace_back("step", ir::SnapshotValue(ir::Value::Int(1234)));
+  return snaps;
+}
+
+class CrashConsistencyTest : public testutil::ScratchDirTest {
+ protected:
+  /// Forks a child that runs `child_fn(fs)`, writes one progress byte to a
+  /// pipe when mid-write, and parks. The parent SIGKILLs it at that point.
+  /// Returns false if the child finished instead of parking (setup bug).
+  void KillChildMidWrite(
+      const std::function<void(PosixFileSystem*, int wfd)>& child_fn) {
+    int pipefd[2];
+    ASSERT_EQ(pipe(pipefd), 0);
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: never return into gtest.
+      close(pipefd[0]);
+      PosixFileSystem fs(root());
+      child_fn(&fs, pipefd[1]);
+      _exit(0);
+    }
+    close(pipefd[1]);
+    char byte = 0;
+    // Wait for the child to report "mid-write".
+    ASSERT_EQ(read(pipefd[0], &byte, 1), 1);
+    close(pipefd[0]);
+    ASSERT_EQ(kill(pid, SIGKILL), 0);
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(wstatus));
+    ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+  }
+};
+
+TEST_F(CrashConsistencyTest, AtomicWriteKilledMidRenamePathLeavesNoObject) {
+  // Child goes through the store (PosixFileSystem::WriteFile = temp file +
+  // rename): killed before the rename, the final path must simply not
+  // exist — a torn temp file is invisible to readers.
+  const CheckpointKey key{2, "e=5"};
+  const std::string bytes = EncodeCheckpoint(TestSnapshots());
+  ASSERT_GT(bytes.size(), 64u);
+
+  KillChildMidWrite([&](PosixFileSystem* fs, int wfd) {
+    CheckpointStore store(fs, "run/ckpt");
+    // Stage the temp file the way WriteFile does, but park before the
+    // rename (the moment a real child dies when the node is lost between
+    // write() and rename()).
+    const std::string partial = bytes.substr(0, bytes.size() / 2);
+    Status s = fs->AppendFile("run/ckpt-staging.tmp", partial);
+    (void)s;
+    char one = 1;
+    (void)!write(wfd, &one, 1);
+    pause();  // parked mid-write; parent SIGKILLs
+  });
+
+  PosixFileSystem fs(root());
+  CheckpointStore store(&fs, "run/ckpt");
+  EXPECT_FALSE(store.Exists(key));
+  auto got = store.Get(key);
+  EXPECT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsNotFound()) << got.status().ToString();
+}
+
+TEST_F(CrashConsistencyTest, TornInPlaceWriteIsDetectedByChecksum) {
+  // Child bypasses the atomic rename and writes the object in place (the
+  // append path — what a naive spooler would do), dying halfway. The
+  // parent must detect the torn frame, not decode garbage.
+  const CheckpointKey key{2, "e=5"};
+  const std::string bytes = EncodeCheckpoint(TestSnapshots());
+
+  KillChildMidWrite([&](PosixFileSystem* fs, int wfd) {
+    CheckpointStore store(fs, "run/ckpt");
+    // First half of the real object, written directly to the final path
+    // (the store lays objects out as <prefix>/<key>.ckpt).
+    const std::string half = bytes.substr(0, bytes.size() / 2);
+    Status s =
+        fs->AppendFile("run/ckpt/" + key.ToString() + ".ckpt", half);
+    (void)s;
+    char one = 1;
+    (void)!write(wfd, &one, 1);
+    pause();
+  });
+
+  PosixFileSystem fs(root());
+  CheckpointStore store(&fs, "run/ckpt");
+  ASSERT_TRUE(store.Exists(key));  // the torn object is present...
+  auto got = store.Get(key);       // ...but never decodes as valid
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsCorruption()) << got.status().ToString();
+}
+
+TEST_F(CrashConsistencyTest, CompletedChildWriteSurvivesKill) {
+  // Control: the child completes the materialization before dying; the
+  // parent store then serves the full checkpoint, bit-exact.
+  const CheckpointKey key{2, "e=5"};
+  const NamedSnapshots snaps = TestSnapshots();
+  const std::string bytes = EncodeCheckpoint(snaps);
+
+  KillChildMidWrite([&](PosixFileSystem* fs, int wfd) {
+    CheckpointStore store(fs, "run/ckpt");
+    Status s = store.PutBytes(key, bytes);
+    char one = static_cast<char>(s.ok() ? 1 : 2);
+    (void)!write(wfd, &one, 1);
+    pause();
+  });
+
+  PosixFileSystem fs(root());
+  CheckpointStore store(&fs, "run/ckpt");
+  auto got = store.Get(key);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got->size(), snaps.size());
+  for (size_t i = 0; i < snaps.size(); ++i) {
+    EXPECT_EQ((*got)[i].first, snaps[i].first);
+  }
+  // Byte-exact round trip of the stored object.
+  auto raw = store.GetBytes(key);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(*raw, bytes);
+}
+
+}  // namespace
+}  // namespace flor
+
+#endif  // __unix__ || __APPLE__

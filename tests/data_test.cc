@@ -5,6 +5,7 @@
 #include <set>
 
 #include "data/loader.h"
+#include "test_util.h"
 
 namespace flor {
 namespace data {
@@ -16,7 +17,7 @@ SyntheticDataset::Config VisionConfig() {
   cfg.num_samples = 64;
   cfg.feature_dim = 16;
   cfg.num_classes = 4;
-  cfg.seed = 42;
+  cfg.seed = testutil::TestSeed();
   return cfg;
 }
 
@@ -31,7 +32,7 @@ TEST(Dataset, SamplesAreDeterministic) {
 TEST(Dataset, DifferentSeedsDiffer) {
   auto cfg = VisionConfig();
   SyntheticDataset a(cfg);
-  cfg.seed = 43;
+  cfg.seed = testutil::TestSeed(1);
   SyntheticDataset b(cfg);
   EXPECT_FALSE(a.Sample(0).Equals(b.Sample(0)));
 }

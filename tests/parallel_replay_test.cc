@@ -4,6 +4,7 @@
 
 #include "flor/record.h"
 #include "sim/parallel_replay.h"
+#include "test_util.h"
 #include "workloads/programs.h"
 
 namespace flor {
@@ -29,7 +30,7 @@ WorkloadProfile ParProfile(int64_t epochs = 12) {
   p.real_feature_dim = 12;
   p.real_classes = 3;
   p.real_hidden = 12;
-  p.seed = 99;
+  p.seed = testutil::TestSeed(99);
   return p;
 }
 

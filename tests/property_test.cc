@@ -269,12 +269,12 @@ TEST(DeferredChecks, SameProgramWithoutHiddenLogPasses) {
 Result<ProgramInstance> RngProgram(bool rng_in_changeset,
                                    bool probed = false) {
   struct Ctx {
-    Rng rng{424242};
+    Rng rng{testutil::TestSeed(424242)};
   };
   auto ctx = std::make_shared<Ctx>();
   ir::ProgramBuilder b;
   b.Assign({"rng"}, {"seed"}, [ctx](Frame* f) {
-    ctx->rng = Rng(424242);
+    ctx->rng = Rng(testutil::TestSeed(424242));
     f->Set("rng", ir::Value::RngRef(&ctx->rng));
     return Status::OK();
   });

@@ -5,6 +5,7 @@
 #include "flor/record.h"
 #include "flor/replay.h"
 #include "sim/cost_model.h"
+#include "test_util.h"
 #include "workloads/programs.h"
 
 namespace flor {
@@ -35,7 +36,7 @@ WorkloadProfile TinyProfile() {
   p.real_feature_dim = 16;
   p.real_classes = 3;
   p.real_hidden = 16;
-  p.seed = 77;
+  p.seed = testutil::TestSeed(77);
   return p;
 }
 

@@ -33,7 +33,7 @@ WorkloadProfile SearchProfile(int64_t epochs = 16) {
   p.real_feature_dim = 12;
   p.real_classes = 3;
   p.real_hidden = 12;
-  p.seed = 4242;
+  p.seed = testutil::TestSeed(4242);
   return p;
 }
 

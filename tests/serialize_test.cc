@@ -163,15 +163,15 @@ TEST(Coding, EveryStrictPrefixFailsToFullyDecode) {
   }
 }
 
-std::string RandomBytes(size_t n, uint64_t seed) {
-  Rng rng(seed);
+std::string RandomBytes(size_t n, uint64_t salt) {
+  Rng rng = testutil::SeededRng(salt);
   std::string out(n, 0);
   for (auto& c : out) c = static_cast<char>(rng.Uniform(256));
   return out;
 }
 
-std::string CompressibleBytes(size_t n, uint64_t seed) {
-  Rng rng(seed);
+std::string CompressibleBytes(size_t n, uint64_t salt) {
+  Rng rng = testutil::SeededRng(salt);
   std::string out;
   while (out.size() < n) {
     const char c = static_cast<char>(rng.Uniform(4));
