@@ -27,45 +27,66 @@ int main() {
 
   constexpr uint64_t kCheckpointBytes = 1100ull * 1000 * 1000;  // 1.1 GB
   const int kRuns = bench::SmokeIters(10);
+  // Store shard sweep: the modeled phase costs are placement-invariant, so
+  // the sharded rows double as a regression check that routing writes over
+  // shard prefixes does not perturb the Fig. 5 comparison.
+  const int kShardSweep[] = {1, 4};
+
+  bench::BenchJson json("fig5_materialization");
 
   std::printf("Figure 5: Background materialization performance.\n");
   std::printf("1.1 GB RTE checkpoint; main-thread completion time, "
               "average of %d runs.\n\n", kRuns);
-  std::printf("%-12s %16s %18s\n", "Strategy", "main thread", "background");
+  std::printf("%-12s %7s %16s %18s\n", "Strategy", "shards", "main thread",
+              "background");
   bench::Hr();
 
   for (MaterializeStrategy strategy :
        {MaterializeStrategy::kBaseline, MaterializeStrategy::kIpcQueue,
         MaterializeStrategy::kIpcPlasma, MaterializeStrategy::kFork}) {
-    double main_total = 0;
-    double bg_total = 0;
-    for (int run = 0; run < kRuns; ++run) {
-      auto env = Env::NewSimEnv();
-      MaterializerOptions mopts;
-      mopts.strategy = strategy;
-      mopts.costs = sim::PaperPlatformCosts();
-      Materializer materializer(env.get(), mopts);
-      CheckpointStore store(env->fs(), "ckpt");
+    double flat_main = 0;  // shard-1 totals, for the invariance check
+    for (int shards : kShardSweep) {
+      double main_total = 0;
+      double bg_total = 0;
+      for (int run = 0; run < kRuns; ++run) {
+        auto env = Env::NewSimEnv();
+        MaterializerOptions mopts;
+        mopts.strategy = strategy;
+        mopts.costs = sim::PaperPlatformCosts();
+        Materializer materializer(env.get(), mopts);
+        CheckpointStore store(env->fs(), "ckpt", shards);
 
-      // A real (small) snapshot payload: the simulated byte size scales the
-      // modeled costs.
-      Tensor payload(Shape{1024});
-      Rng rng(7 + static_cast<uint64_t>(run));
-      ops::RandNormal(&payload, &rng);
-      NamedSnapshots snaps;
-      snaps.emplace_back("state",
-                         ir::SnapshotValue(ir::Value::FromTensor(payload)));
+        // A real (small) snapshot payload: the simulated byte size scales
+        // the modeled costs.
+        Tensor payload(Shape{1024});
+        Rng rng(7 + static_cast<uint64_t>(run));
+        ops::RandNormal(&payload, &rng);
+        NamedSnapshots snaps;
+        snaps.emplace_back("state",
+                           ir::SnapshotValue(ir::Value::FromTensor(payload)));
 
-      CheckpointKey key{1, StrCat("run=", run)};
-      auto receipt = materializer.Materialize(&store, key, std::move(snaps),
-                                              kCheckpointBytes);
-      FLOR_CHECK(receipt.ok()) << receipt.status().ToString();
-      main_total += receipt->main_thread_seconds;
-      bg_total += receipt->background_seconds;
+        CheckpointKey key{1, StrCat("run=", run)};
+        auto receipt = materializer.Materialize(&store, key,
+                                                std::move(snaps),
+                                                kCheckpointBytes);
+        FLOR_CHECK(receipt.ok()) << receipt.status().ToString();
+        main_total += receipt->main_thread_seconds;
+        bg_total += receipt->background_seconds;
+      }
+      if (shards == 1) {
+        flat_main = main_total;
+      } else {
+        FLOR_CHECK_EQ(main_total, flat_main);  // placement-invariant costs
+      }
+      json.Row()
+          .Field("strategy", MaterializeStrategyName(strategy))
+          .Field("shards", shards)
+          .Field("main_seconds", main_total / kRuns)
+          .Field("background_seconds", bg_total / kRuns);
+      std::printf("%-12s %7d %16s %18s\n", MaterializeStrategyName(strategy),
+                  shards, HumanSeconds(main_total / kRuns).c_str(),
+                  HumanSeconds(bg_total / kRuns).c_str());
     }
-    std::printf("%-12s %16s %18s\n", MaterializeStrategyName(strategy),
-                HumanSeconds(main_total / kRuns).c_str(),
-                HumanSeconds(bg_total / kRuns).c_str());
   }
 
   std::printf("\nPaper shape: Baseline slowest (serialize+write on the "

@@ -1,18 +1,27 @@
-// Table 4 — S3 storage costs for one execution of Flor record.
+// Table 4 — S3 storage costs for one execution of Flor record, plus the
+// sharded-store / batched-spool sweep.
 //
 // Each workload records with adaptive checkpointing; the table reports the
 // gzip-stand-in-compressed checkpoint footprint at paper scale (nominal
 // per-checkpoint size x checkpoints materialized) and its monthly S3 cost.
 // The checkpoints are also really spooled (at tiny-model scale) from the
-// local prefix to the simulated "s3/" bucket, as the paper's background
-// spooler does.
+// local store to the simulated "s3/" bucket through the batched SpoolQueue,
+// as the paper's background spooler does.
+//
+// On top of the paper's single-prefix column, the bench sweeps the
+// checkpoint store over shards ∈ {1, 4, 16} and spool batch sizes: the
+// shard-1 row must reproduce the pre-sharding storage bytes and monthly
+// cost exactly (sharding moves objects, never changes them), and every
+// sweep point must land the same bytes in the bucket.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
 #include "checkpoint/spool.h"
+#include "common/logging.h"
 
 int main() {
   using namespace flor;
@@ -24,28 +33,96 @@ int main() {
   };
   std::vector<Row> rows;
 
-  for (const auto& profile : bench::BenchWorkloads()) {
-    MemFileSystem fs;
-    RecordResult rec = bench::RunRecord(&fs, profile, "run");
+  const int kShardSweep[] = {1, 4, 16};
+  const int64_t kBatchSweep[] = {1, 8, 64};  // objects per spool batch
 
-    // Nominal (paper-scale) compressed footprint.
-    const uint64_t stored =
-        profile.NominalStoredBytes() * rec.manifest.records.size();
+  bench::BenchJson json("table4_storage");
 
-    // Really spool the (tiny-scale) checkpoints to the simulated bucket.
-    auto spool = SpoolToS3(&fs, "run/ckpt/", "s3/run/ckpt/");
-    FLOR_CHECK(spool.ok()) << spool.status().ToString();
-    FLOR_CHECK_EQ(spool->objects,
-                  static_cast<int64_t>(rec.manifest.records.size()));
+  std::printf("Sharded-store spool sweep (real objects, tiny scale):\n\n");
+  std::printf("%-5s %7s %7s %9s %9s %9s %12s\n", "Name", "shards", "batch",
+              "objects", "batches", "retries", "spool");
+  bench::Hr();
 
-    rows.push_back({profile.name, stored, S3MonthlyCost(stored)});
+  for (const auto& base_profile : bench::BenchWorkloads()) {
+    uint64_t baseline_stored = 0;   // shard-1 nominal footprint
+    double baseline_cost = 0;
+    uint64_t baseline_bucket = 0;   // shard-1 real spooled bytes
+
+    for (int shards : kShardSweep) {
+      workloads::WorkloadProfile profile = base_profile;
+      profile.ckpt_shards = shards;
+      MemFileSystem fs;
+      RecordResult rec = bench::RunRecord(&fs, profile, "run");
+
+      // Nominal (paper-scale) compressed footprint. Placement does not
+      // change content: the adaptive controller sees identical costs, so
+      // the record count — and with it the footprint — is shard-invariant.
+      const uint64_t stored =
+          profile.NominalStoredBytes() * rec.manifest.records.size();
+      const double cost = S3MonthlyCost(stored);
+
+      CheckpointStore store(&fs, "run/ckpt", shards);
+      const uint64_t local_bytes = store.TotalBytes();
+
+      for (int64_t batch : kBatchSweep) {
+        // Really spool the (tiny-scale) checkpoints to the simulated
+        // bucket, one destination per sweep point.
+        SpoolOptions sopts;
+        sopts.max_batch_objects = batch;
+        const std::string dst =
+            StrCat("s3/b", batch, "/run/ckpt");
+        const auto start = std::chrono::steady_clock::now();
+        SpoolReport spool = SpoolStore(store, dst, sopts);
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+
+        FLOR_CHECK(spool.ok()) << spool.first_error;
+        FLOR_CHECK_EQ(spool.objects,
+                      static_cast<int64_t>(rec.manifest.records.size()));
+        FLOR_CHECK_EQ(spool.bytes, local_bytes);
+        FLOR_CHECK_EQ(fs.TotalBytesUnder(dst + "/"), local_bytes);
+
+        json.Row()
+            .Field("workload", profile.name)
+            .Field("shards", shards)
+            .Field("batch", batch)
+            .Field("stored_bytes", static_cast<int64_t>(stored))
+            .Field("monthly_cost_dollars", cost)
+            .Field("spooled_objects", spool.objects)
+            .Field("spool_batches", spool.batches)
+            .Field("spool_retries", spool.retries)
+            .Field("seconds", seconds);
+
+        std::printf("%-5s %7d %7lld %9lld %9lld %9lld %12s\n",
+                    profile.name.c_str(), shards,
+                    static_cast<long long>(batch),
+                    static_cast<long long>(spool.objects),
+                    static_cast<long long>(spool.batches),
+                    static_cast<long long>(spool.retries),
+                    HumanSeconds(seconds).c_str());
+      }
+
+      if (shards == 1) {
+        baseline_stored = stored;
+        baseline_cost = cost;
+        baseline_bucket = local_bytes;
+        rows.push_back({profile.name, stored, cost});
+      } else {
+        // Sharding must not move the Table 4 numbers by a single byte.
+        FLOR_CHECK_EQ(stored, baseline_stored);
+        FLOR_CHECK_EQ(cost, baseline_cost);
+        FLOR_CHECK_EQ(local_bytes, baseline_bucket);
+      }
+    }
   }
 
   std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
     return a.stored_bytes < b.stored_bytes;
   });
 
-  std::printf("Table 4: S3 storage costs for one execution of Flor "
+  std::printf("\nTable 4: S3 storage costs for one execution of Flor "
               "record.\n\n");
   std::printf("%-5s %18s %20s\n", "Name", "Checkpoint Size",
               "Storage Cost / Mo.");
@@ -64,5 +141,7 @@ int main() {
               all_under_dollar ? "YES" : "NO");
   std::printf("total for all eight workloads: %s\n",
               HumanDollars(total).c_str());
+  std::printf("shard sweep: shard-1 footprint and cost reproduced exactly "
+              "at 4 and 16 shards.\n");
   return 0;
 }

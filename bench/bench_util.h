@@ -143,6 +143,7 @@ inline workloads::WorkloadProfile ExecutorWorkload() {
   p.sim_preamble_seconds = 5;
   p.sim_ckpt_raw_bytes = 1 << 20;
   p.wall_batch_seconds = SmokeMode() ? 0.002 : 0.010;
+  p.ckpt_shards = 4;  // real-engine workers read from a sharded store
   p.task_kind = data::Task::kVision;
   p.real_samples = 128;
   p.real_batch = 16;  // 8 batches/epoch

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json captures and fail on wall-second regressions.
+
+Usage:
+    bench_diff.py BASELINE.json CURRENT.json [--threshold 0.10]
+                  [--min-seconds 0.001]
+
+Rows are matched by their identity fields: everything except measured
+wall times (fields named "seconds" or ending in "_seconds") and derived
+or run-varying outputs (booleans, and fields mentioning "speedup",
+"steal", "retries", or "fraction" — e.g. speedup_vs_1_thread and steals
+change between any two wall-clock runs and must not break row matching).
+For each matched row, every measured field present on both sides is
+compared; a field counts as a regression when
+
+    current > baseline * (1 + threshold)   and   baseline >= min-seconds
+
+(the min-seconds floor keeps sub-millisecond noise from tripping the gate).
+Rows present on only one side are reported but do not fail the diff —
+sweeps grow. Exit status: 0 = no regressions, 1 = at least one regression,
+2 = usage or file error.
+
+Wired into scripts/check.sh: export BENCH_BASELINE=<dir of old captures>
+to gate the freshly captured BENCH_*.json files against it.
+"""
+
+import argparse
+import json
+import sys
+
+
+def is_measured(key):
+    return key == "seconds" or key.endswith("_seconds")
+
+
+# Derived metrics and outcome flags vary run to run (or follow the measured
+# times); they are neither identity nor independently gated.
+DERIVED_TAGS = ("speedup", "steal", "retries", "fraction")
+
+
+def is_derived(key, value):
+    return isinstance(value, bool) or any(t in key for t in DERIVED_TAGS)
+
+
+def row_key(row):
+    """Identity of a row: its configuration fields, order-insensitive."""
+    return tuple(sorted((k, json.dumps(v, sort_keys=True))
+                        for k, v in row.items()
+                        if not is_measured(k) and not is_derived(k, v)))
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("rows"), list):
+        sys.exit(f"bench_diff: {path}: not a BENCH_*.json capture")
+    return doc
+
+
+def describe(key):
+    return ", ".join(f"{k}={json.loads(v)}" for k, v in key) or "<no key>"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json captures.")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative wall-second slack (default 0.10)")
+    parser.add_argument("--min-seconds", type=float, default=0.001,
+                        help="ignore baselines below this (default 1 ms)")
+    args = parser.parse_args()
+
+    base_doc = load(args.baseline)
+    cur_doc = load(args.current)
+    if base_doc.get("bench") != cur_doc.get("bench"):
+        print(f"bench_diff: note: comparing different benches "
+              f"({base_doc.get('bench')} vs {cur_doc.get('bench')})")
+
+    base_rows = {}
+    for row in base_doc["rows"]:
+        base_rows.setdefault(row_key(row), row)
+
+    regressions = []
+    compared = 0
+    unmatched = 0
+    for row in cur_doc["rows"]:
+        base = base_rows.pop(row_key(row), None)
+        if base is None:
+            unmatched += 1
+            continue
+        for field in row:
+            if not is_measured(field) or field not in base:
+                continue
+            old, new = base[field], row[field]
+            if not isinstance(old, (int, float)) or \
+               not isinstance(new, (int, float)):
+                continue
+            compared += 1
+            if old >= args.min_seconds and new > old * (1 + args.threshold):
+                regressions.append((row_key(row), field, old, new))
+
+    for key, field, old, new in regressions:
+        print(f"REGRESSION {describe(key)}: {field} "
+              f"{old:.6g}s -> {new:.6g}s (+{(new / old - 1) * 100:.1f}%)")
+    if unmatched or base_rows:
+        print(f"bench_diff: note: {unmatched} new row(s), "
+              f"{len(base_rows)} baseline row(s) without a match")
+    verdict = "FAIL" if regressions else "OK"
+    print(f"bench_diff: {verdict} — {compared} measurement(s) compared, "
+          f"{len(regressions)} regression(s) over "
+          f"{args.threshold * 100:.0f}%")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

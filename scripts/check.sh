@@ -8,6 +8,11 @@
 #   BUILD_DIR=out ./scripts/check.sh   # custom build dir
 #   FLOR_TSAN=1 ./scripts/check.sh     # also run the concurrency suites
 #                                      # under ThreadSanitizer
+#   BENCH_BASELINE=<dir> ./scripts/check.sh
+#                                      # also diff the fresh BENCH_*.json
+#                                      # captures against the copies in
+#                                      # <dir>; fails on >10% wall-second
+#                                      # regressions (scripts/bench_diff.py)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,21 +33,35 @@ echo "== bench smoke (BENCH_SMOKE=1) =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure --no-tests=error \
       -j "${JOBS}" -L bench_smoke
 
-echo "== bench JSON capture (BENCH_fig10.json / BENCH_fig13.json) =="
+echo "== bench JSON capture (BENCH_fig10/fig13/table4.json) =="
 BENCH_SMOKE=1 BENCH_JSON=BENCH_fig10.json \
     "${BUILD_DIR}/bench_fig10_parallel_replay" > /dev/null
 BENCH_SMOKE=1 BENCH_JSON=BENCH_fig13.json \
     "${BUILD_DIR}/bench_fig13_scaleout" > /dev/null
-echo "wrote BENCH_fig10.json BENCH_fig13.json"
+BENCH_SMOKE=1 BENCH_JSON=BENCH_table4.json \
+    "${BUILD_DIR}/bench_table4_storage" > /dev/null
+echo "wrote BENCH_fig10.json BENCH_fig13.json BENCH_table4.json"
+
+if [[ -n "${BENCH_BASELINE:-}" ]]; then
+  echo "== bench regression diff vs ${BENCH_BASELINE} =="
+  for f in BENCH_fig10.json BENCH_fig13.json BENCH_table4.json; do
+    if [[ -f "${BENCH_BASELINE}/${f}" ]]; then
+      python3 scripts/bench_diff.py "${BENCH_BASELINE}/${f}" "${f}"
+    else
+      echo "bench_diff: no baseline for ${f}, skipped"
+    fi
+  done
+fi
 
 if [[ "${FLOR_TSAN:-0}" != "0" ]]; then
   echo "== ThreadSanitizer: concurrency suites (${BUILD_DIR}-tsan) =="
   cmake -B "${BUILD_DIR}-tsan" -S . -DFLOR_TSAN=ON
   cmake --build "${BUILD_DIR}-tsan" -j "${JOBS}" \
-        --target replay_executor_test
+        --target replay_executor_test spool_test
+  # The `tsan` ctest label marks every suite exercising real concurrency:
+  # the thread-pool replay engine and the spool/shard batching paths.
   ctest --test-dir "${BUILD_DIR}-tsan" --output-on-failure \
-        --no-tests=error -j "${JOBS}" \
-        -R 'ReplayExecutor|WorkStealingPool'
+        --no-tests=error -j "${JOBS}" -L tsan
 fi
 
 echo "== OK =="

@@ -28,7 +28,9 @@ struct CheckpointKey {
   int32_t loop_id = 0;
   std::string ctx;  ///< "e=17" or "" for top-level loops
 
-  /// "L2@e=17" (filesystem-safe: '/' in ctx becomes '.').
+  /// "L2@e=17" (filesystem-safe: '/' in ctx becomes '.'). This string is
+  /// also the key's placement identity: the store's ShardRouter hashes it
+  /// (CRC32C) to pick a shard, so it must stay stable across versions.
   std::string ToString() const;
 
   /// Parses the main-loop iteration index out of `ctx` ("e=17/i=3" -> 17);

@@ -116,10 +116,16 @@ Result<MaterializeReceipt> Materializer::Materialize(
       // The snapshot deep-copy happened in the caller (SnapshotValue); the
       // remaining blocking work is handing the batch to the worker.
       if (!queue_) queue_ = std::make_unique<BackgroundQueue>();
-      if (queue_->InFlight() >=
-          static_cast<size_t>(options_.max_in_flight)) {
-        queue_->Drain();  // backpressure
-      }
+      // Backpressure: block only until a slot frees, like the sim model's
+      // stall-until-oldest-child-retires (a full Drain would serialize
+      // the training thread behind every queued checkpoint).
+      // max_in_flight <= 0 means fully synchronous (wait for an empty
+      // queue before every submit), matching the sim branch's stall-always
+      // reading of 0 — it must not disable the bound.
+      queue_->WaitUntilInFlightBelow(
+          options_.max_in_flight > 0
+              ? static_cast<size_t>(options_.max_in_flight)
+              : 1);
       auto shared =
           std::make_shared<NamedSnapshots>(std::move(snaps));
       CheckpointStore* store_ptr = store;

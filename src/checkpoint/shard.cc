@@ -1,0 +1,35 @@
+#include "checkpoint/shard.h"
+
+#include "common/crc32.h"
+#include "common/strings.h"
+
+namespace flor {
+
+ShardRouter::ShardRouter(int num_shards)
+    : num_shards_(num_shards < 1 ? 1 : num_shards) {}
+
+int ShardRouter::ShardOf(const CheckpointKey& key) const {
+  if (num_shards_ == 1) return 0;
+  const std::string id = key.ToString();
+  return static_cast<int>(Crc32c(id.data(), id.size()) %
+                          static_cast<uint32_t>(num_shards_));
+}
+
+std::string ShardRouter::ShardDir(int shard) const {
+  if (num_shards_ == 1) return "";
+  return StrFormat("shard-%04d", shard);
+}
+
+std::string ShardRouter::ShardPrefix(const std::string& store_prefix,
+                                     int shard) const {
+  if (num_shards_ == 1) return store_prefix;
+  return StrCat(store_prefix, "/", ShardDir(shard));
+}
+
+std::string ShardRouter::PathFor(const std::string& store_prefix,
+                                 const CheckpointKey& key) const {
+  return StrCat(ShardPrefix(store_prefix, ShardOf(key)), "/", key.ToString(),
+                ".ckpt");
+}
+
+}  // namespace flor

@@ -1,0 +1,53 @@
+// Deterministic key→shard placement for the checkpoint store.
+//
+// Heavy-traffic record runs write checkpoints from the background
+// materializer while replay engines read them from many workers; a single
+// flat namespace makes every one of those operations contend on the same
+// prefix (and, on real object stores, the same rate-limited key range). The
+// router splits the store into N shard prefixes, WiredTiger block-manager
+// style: placement policy lives here, object I/O stays in the store.
+//
+// Placement is pure — CRC32C of the checkpoint key, mod the shard count —
+// so any reader that knows the shard count from the manifest finds an
+// object without probing or directory listings.
+
+#ifndef FLOR_CHECKPOINT_SHARD_H_
+#define FLOR_CHECKPOINT_SHARD_H_
+
+#include <string>
+
+#include "checkpoint/checkpoint.h"
+
+namespace flor {
+
+/// Stateless key→shard placement over `num_shards` prefixes.
+class ShardRouter {
+ public:
+  /// `num_shards` < 1 is clamped to 1 (the unsharded legacy layout).
+  explicit ShardRouter(int num_shards = 1);
+
+  int num_shards() const { return num_shards_; }
+
+  /// Shard index for `key` in [0, num_shards): CRC32C(key) mod shards.
+  int ShardOf(const CheckpointKey& key) const;
+
+  /// Directory component for `shard` under a store prefix: "" for a
+  /// single-shard store (objects stay at the pre-sharding flat paths, so
+  /// old record runs keep replaying), "shard-0007" otherwise.
+  std::string ShardDir(int shard) const;
+
+  /// Full filesystem prefix of one shard: "<store_prefix>" at shard count
+  /// 1, "<store_prefix>/shard-NNNN" otherwise.
+  std::string ShardPrefix(const std::string& store_prefix, int shard) const;
+
+  /// Object path for `key` under `store_prefix`.
+  std::string PathFor(const std::string& store_prefix,
+                      const CheckpointKey& key) const;
+
+ private:
+  int num_shards_;
+};
+
+}  // namespace flor
+
+#endif  // FLOR_CHECKPOINT_SHARD_H_

@@ -1,11 +1,59 @@
 #include "checkpoint/store.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/strings.h"
 
 namespace flor {
+
+namespace {
+
+// Strict numeric field parsing for Manifest::Deserialize: the whole field
+// must be consumed and non-empty, otherwise the manifest is corrupt. The
+// permissive strto* defaults (garbage parses as 0) would silently turn a
+// truncated manifest into a plausible-looking empty one.
+
+bool ParseI64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseI32(const std::string& s, int32_t* out) {
+  int64_t v = 0;
+  if (!ParseI64(s, &v)) return false;
+  if (v < INT32_MIN || v > INT32_MAX) return false;
+  *out = static_cast<int32_t>(v);
+  return true;
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty() || s[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseF64(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
 
 std::vector<int64_t> Manifest::EpochsWithCheckpoint(int32_t loop_id) const {
   std::vector<int64_t> out;
@@ -31,18 +79,22 @@ uint64_t Manifest::TotalNominalBytes() const {
 }
 
 std::string Manifest::Serialize() const {
+  const bool sharded = shard_count != 1;
   std::string out;
   out += StrCat("workload\t", workload, "\n");
   out += StrFormat("record_runtime\t%.9g\n", record_runtime_seconds);
   out += StrFormat("vanilla_runtime\t%.9g\n", vanilla_runtime_seconds);
   out += StrFormat("c_estimate\t%.9g\n", c_estimate);
+  if (sharded) out += StrCat("shards\t", shard_count, "\n");
   for (const auto& [loop_id, n] : loop_executions)
     out += StrCat("loop_exec\t", loop_id, "\t", n, "\n");
   for (const auto& rec : records) {
     out += StrCat("ckpt\t", rec.key.loop_id, "\t", rec.key.ctx, "\t",
                   rec.epoch, "\t", rec.raw_bytes, "\t", rec.stored_bytes,
                   "\t", rec.nominal_raw_bytes, "\t",
-                  StrFormat("%.9g", rec.materialize_seconds), "\n");
+                  StrFormat("%.9g", rec.materialize_seconds));
+    if (sharded) out += StrCat("\t", rec.shard);
+    out += "\n";
   }
   return out;
 }
@@ -53,46 +105,77 @@ Result<Manifest> Manifest::Deserialize(const std::string& data) {
     if (line.empty()) continue;
     auto fields = StrSplit(line, '\t');
     const std::string& tag = fields[0];
+    bool ok = false;
     if (tag == "workload" && fields.size() == 2) {
       m.workload = fields[1];
+      ok = true;
     } else if (tag == "record_runtime" && fields.size() == 2) {
-      m.record_runtime_seconds = std::strtod(fields[1].c_str(), nullptr);
+      ok = ParseF64(fields[1], &m.record_runtime_seconds);
     } else if (tag == "vanilla_runtime" && fields.size() == 2) {
-      m.vanilla_runtime_seconds = std::strtod(fields[1].c_str(), nullptr);
+      ok = ParseF64(fields[1], &m.vanilla_runtime_seconds);
     } else if (tag == "c_estimate" && fields.size() == 2) {
-      m.c_estimate = std::strtod(fields[1].c_str(), nullptr);
+      ok = ParseF64(fields[1], &m.c_estimate);
+    } else if (tag == "shards" && fields.size() == 2) {
+      int64_t n = 0;
+      ok = ParseI64(fields[1], &n) && n >= 1 && n <= 1 << 20;
+      if (ok) m.shard_count = static_cast<int>(n);
     } else if (tag == "loop_exec" && fields.size() == 3) {
-      m.loop_executions[static_cast<int32_t>(
-          std::strtol(fields[1].c_str(), nullptr, 10))] =
-          std::strtoll(fields[2].c_str(), nullptr, 10);
-    } else if (tag == "ckpt" && fields.size() == 8) {
+      int32_t loop_id = 0;
+      int64_t n = 0;
+      ok = ParseI32(fields[1], &loop_id) && ParseI64(fields[2], &n);
+      if (ok) m.loop_executions[loop_id] = n;
+    } else if (tag == "ckpt" &&
+               (fields.size() == 8 || fields.size() == 9)) {
+      // 8 fields: pre-sharding format (shard implicitly 0); 9 fields adds
+      // the shard column.
       CheckpointRecord rec;
-      rec.key.loop_id =
-          static_cast<int32_t>(std::strtol(fields[1].c_str(), nullptr, 10));
+      ok = ParseI32(fields[1], &rec.key.loop_id) &&
+           ParseI64(fields[3], &rec.epoch) &&
+           ParseU64(fields[4], &rec.raw_bytes) &&
+           ParseU64(fields[5], &rec.stored_bytes) &&
+           ParseU64(fields[6], &rec.nominal_raw_bytes) &&
+           ParseF64(fields[7], &rec.materialize_seconds);
       rec.key.ctx = fields[2];
-      rec.epoch = std::strtoll(fields[3].c_str(), nullptr, 10);
-      rec.raw_bytes = std::strtoull(fields[4].c_str(), nullptr, 10);
-      rec.stored_bytes = std::strtoull(fields[5].c_str(), nullptr, 10);
-      rec.nominal_raw_bytes = std::strtoull(fields[6].c_str(), nullptr, 10);
-      rec.materialize_seconds = std::strtod(fields[7].c_str(), nullptr);
-      m.records.push_back(std::move(rec));
-    } else {
+      if (ok && fields.size() == 9) {
+        // Bound before narrowing: an out-of-int-range value must be
+        // Corruption, not a silent wrap past the shard-count check.
+        int64_t shard = 0;
+        ok = ParseI64(fields[8], &shard) && shard >= 0 && shard <= 1 << 20;
+        if (ok) rec.shard = static_cast<int>(shard);
+      }
+      if (ok) m.records.push_back(std::move(rec));
+    }
+    if (!ok)
       return Status::Corruption("malformed manifest line: " + line);
+  }
+  // Cross-field validation: every record's shard must fit the shard count
+  // (an out-of-range shard means the manifest was stitched or truncated).
+  for (const auto& rec : m.records) {
+    if (rec.shard >= m.shard_count) {
+      return Status::Corruption(
+          StrCat("checkpoint ", rec.key.ToString(), " on shard ", rec.shard,
+                 " but manifest declares ", m.shard_count, " shard(s)"));
     }
   }
   return m;
 }
 
-CheckpointStore::CheckpointStore(FileSystem* fs, std::string prefix)
-    : fs_(fs), prefix_(std::move(prefix)) {}
-
-std::string CheckpointStore::PathFor(const CheckpointKey& key) const {
-  return StrCat(prefix_, "/", key.ToString(), ".ckpt");
+CheckpointStore::CheckpointStore(FileSystem* fs, std::string prefix,
+                                 int num_shards)
+    : fs_(fs), prefix_(std::move(prefix)), router_(num_shards) {
+  shards_.reserve(static_cast<size_t>(router_.num_shards()));
+  for (int s = 0; s < router_.num_shards(); ++s)
+    shards_.push_back(std::make_unique<Shard>());
 }
 
 Status CheckpointStore::PutBytes(const CheckpointKey& key,
                                  const std::string& bytes) {
-  return fs_->WriteFile(PathFor(key), bytes);
+  Shard& shard = *shards_[static_cast<size_t>(router_.ShardOf(key))];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  FLOR_RETURN_IF_ERROR(fs_->WriteFile(PathFor(key), bytes));
+  ++shard.stats.objects;
+  shard.stats.bytes += bytes.size();
+  return Status::OK();
 }
 
 Result<std::string> CheckpointStore::GetBytes(
@@ -110,7 +193,20 @@ bool CheckpointStore::Exists(const CheckpointKey& key) const {
 }
 
 uint64_t CheckpointStore::TotalBytes() const {
+  // Shard prefixes partition the store's namespace, so summing the root
+  // prefix covers every shard (and, at shard count 1, exactly the legacy
+  // flat layout).
   return fs_->TotalBytesUnder(prefix_ + "/");
+}
+
+std::vector<ShardWriteStats> CheckpointStore::WriteStatsByShard() const {
+  std::vector<ShardWriteStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.push_back(shard->stats);
+  }
+  return out;
 }
 
 }  // namespace flor

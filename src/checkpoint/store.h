@@ -1,18 +1,27 @@
 // Checkpoint store and record manifest.
 //
-// The store lays checkpoints out under a filesystem prefix; the manifest is
-// the record-session index replay needs: which loop executions have
-// checkpoints, their sizes, and the adaptive controller's bookkeeping
-// (execution counts, refined c estimate).
+// The store is a facade over per-shard object stores: a ShardRouter places
+// each checkpoint key deterministically on one of N shard prefixes, and
+// each shard serializes its own writers with a private lock, so the
+// background materializer and multi-worker replay engines stop contending
+// on one namespace. A single-shard store (the default) lays objects out
+// exactly like the pre-sharding flat namespace, so old record runs keep
+// replaying. The manifest is the record-session index replay needs: which
+// loop executions have checkpoints, their sizes and shard placement, and
+// the adaptive controller's bookkeeping (execution counts, refined c
+// estimate).
 
 #ifndef FLOR_CHECKPOINT_STORE_H_
 #define FLOR_CHECKPOINT_STORE_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "checkpoint/checkpoint.h"
+#include "checkpoint/shard.h"
 #include "env/filesystem.h"
 
 namespace flor {
@@ -25,6 +34,7 @@ struct CheckpointRecord {
   uint64_t stored_bytes = 0;      ///< on-disk bytes (actual)
   uint64_t nominal_raw_bytes = 0; ///< profile-scaled raw size (sim)
   double materialize_seconds = 0; ///< background serialize+write time
+  int shard = 0;                  ///< shard prefix holding the object
 };
 
 /// Record-session index.
@@ -33,6 +43,9 @@ struct Manifest {
   double record_runtime_seconds = 0;   ///< wall/sim time of the record run
   double vanilla_runtime_seconds = 0;  ///< same run without checkpointing
   double c_estimate = 1.0;             ///< refined restore/materialize ratio
+  /// Shard count of the run's checkpoint store. Manifests written before
+  /// sharding carry no shard fields and deserialize as shard count 1.
+  int shard_count = 1;
   /// Per-loop execution counts at end of record (loop id -> ni).
   std::map<int32_t, int64_t> loop_executions;
   std::vector<CheckpointRecord> records;
@@ -45,17 +58,36 @@ struct Manifest {
   /// Sum of nominal_raw_bytes (falls back to raw_bytes when nominal is 0).
   uint64_t TotalNominalBytes() const;
 
+  /// At shard count 1 the output is byte-identical to the pre-sharding
+  /// format (no shard fields); otherwise a `shards` line and a per-record
+  /// shard column are appended.
   std::string Serialize() const;
+
+  /// Strict parse: any malformed, truncated, or non-numeric field returns
+  /// Status::Corruption — never a crash or a silently defaulted value.
   static Result<Manifest> Deserialize(const std::string& data);
 };
 
-/// Filesystem-backed checkpoint storage under a prefix.
+/// Per-shard write accounting (objects/bytes that went through PutBytes).
+struct ShardWriteStats {
+  int64_t objects = 0;
+  uint64_t bytes = 0;
+};
+
+/// Filesystem-backed checkpoint storage: a facade routing each key onto one
+/// of `num_shards` per-shard stores under a common prefix.
+///
+/// Thread-safe: writes serialize per shard (not globally), reads go
+/// straight to the (thread-safe) FileSystem without taking shard locks, so
+/// concurrent replay workers never contend with each other or with the
+/// background materializer unless they hit the same shard's writer.
 class CheckpointStore {
  public:
-  /// Does not own `fs`. Typical prefix: "run1/ckpt".
-  CheckpointStore(FileSystem* fs, std::string prefix);
+  /// Does not own `fs`. Typical prefix: "run1/ckpt". `num_shards` == 1
+  /// reproduces the legacy flat layout.
+  CheckpointStore(FileSystem* fs, std::string prefix, int num_shards = 1);
 
-  /// Writes encoded checkpoint bytes for `key`.
+  /// Writes encoded checkpoint bytes for `key` on its shard.
   Status PutBytes(const CheckpointKey& key, const std::string& bytes);
 
   Result<std::string> GetBytes(const CheckpointKey& key) const;
@@ -65,17 +97,45 @@ class CheckpointStore {
 
   bool Exists(const CheckpointKey& key) const;
 
-  /// Total bytes stored under this prefix.
+  /// Total bytes currently stored across all shards.
   uint64_t TotalBytes() const;
 
+  /// Shard index `key` routes to.
+  int ShardOf(const CheckpointKey& key) const {
+    return router_.ShardOf(key);
+  }
+
+  /// Object path for `key` (shard-aware).
+  std::string PathFor(const CheckpointKey& key) const {
+    return router_.PathFor(prefix_, key);
+  }
+
+  /// Filesystem prefix of one shard.
+  std::string ShardPrefix(int shard) const {
+    return router_.ShardPrefix(prefix_, shard);
+  }
+
+  /// Snapshot of per-shard write counters, indexed by shard.
+  std::vector<ShardWriteStats> WriteStatsByShard() const;
+
+  int num_shards() const { return router_.num_shards(); }
+  const ShardRouter& router() const { return router_; }
   const std::string& prefix() const { return prefix_; }
   FileSystem* fs() const { return fs_; }
 
  private:
-  std::string PathFor(const CheckpointKey& key) const;
+  /// One shard: its writer lock and write accounting. The lock scopes
+  /// write-side critical sections to a single shard so writers on distinct
+  /// shards proceed in parallel.
+  struct Shard {
+    mutable std::mutex mu;
+    ShardWriteStats stats;
+  };
 
   FileSystem* fs_;
   std::string prefix_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace flor

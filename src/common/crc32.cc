@@ -3,6 +3,21 @@
 #include <cstdint>
 #include <cstring>
 
+// Hardware paths: compiled whenever the toolchain supports per-function
+// target attributes for the needed ISA, selected at runtime only after a
+// CPU check, so one binary runs correctly on hosts with and without the
+// instructions.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define FLOR_CRC32_HW_X86 1
+#include <nmmintrin.h>
+#elif defined(__aarch64__) && (defined(__GNUC__) || defined(__clang__))
+#define FLOR_CRC32_HW_ARM 1
+#include <arm_acle.h>
+#if defined(__linux__)
+#include <sys/auxv.h>
+#endif
+#endif
+
 namespace flor {
 
 namespace {
@@ -46,6 +61,95 @@ inline uint32_t LoadLE32(const uint8_t* p) {
   return v;
 }
 
+#if defined(FLOR_CRC32_HW_X86) || defined(FLOR_CRC32_HW_ARM)
+inline uint64_t LoadLE64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  v = __builtin_bswap64(v);
+#endif
+  return v;
+}
+#endif
+
+#if defined(FLOR_CRC32_HW_X86)
+
+__attribute__((target("sse4.2"))) uint32_t
+Crc32cHardwareImpl(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+  uint64_t crc64 = crc;
+  while (n >= 8) {
+    crc64 = _mm_crc32_u64(crc64, LoadLE64(p));
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (n > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+  return ~crc;
+}
+
+bool DetectCrc32cHardware() { return __builtin_cpu_supports("sse4.2"); }
+constexpr const char* kHardwareName = "sse4.2";
+
+#elif defined(FLOR_CRC32_HW_ARM)
+
+__attribute__((target("+crc"))) uint32_t
+Crc32cHardwareImpl(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = __crc32cb(crc, *p++);
+    --n;
+  }
+  while (n >= 8) {
+    crc = __crc32cd(crc, LoadLE64(p));
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = __crc32cb(crc, *p++);
+    --n;
+  }
+  return ~crc;
+}
+
+bool DetectCrc32cHardware() {
+#if defined(__ARM_FEATURE_CRC32)
+  // The whole build already targets a CPU with crc; no probe needed.
+  return true;
+#elif defined(__linux__) && defined(HWCAP_CRC32)
+  return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+#else
+  return false;  // no safe runtime probe: fall back to software
+#endif
+}
+constexpr const char* kHardwareName = "armv8-crc";
+
+#endif  // FLOR_CRC32_HW_*
+
+using Crc32cFn = uint32_t (*)(uint32_t, const void*, size_t);
+
+/// Resolved once; every caller after the first uses a plain indirect call.
+Crc32cFn Dispatch() {
+#if defined(FLOR_CRC32_HW_X86) || defined(FLOR_CRC32_HW_ARM)
+  if (DetectCrc32cHardware()) return &Crc32cHardwareImpl;
+#endif
+  return &internal::Crc32cSliceBy8;
+}
+
+Crc32cFn DispatchedFn() {
+  static const Crc32cFn fn = Dispatch();
+  return fn;
+}
+
 }  // namespace
 
 namespace internal {
@@ -58,9 +162,7 @@ uint32_t Crc32cSliceBy1(uint32_t crc, const void* data, size_t n) {
   return ~crc;
 }
 
-}  // namespace internal
-
-uint32_t Crc32c(uint32_t crc, const void* data, size_t n) {
+uint32_t Crc32cSliceBy8(uint32_t crc, const void* data, size_t n) {
   const auto* p = static_cast<const uint8_t*>(data);
   const Tables& tab = T();
   crc = ~crc;
@@ -91,6 +193,39 @@ uint32_t Crc32c(uint32_t crc, const void* data, size_t n) {
     --n;
   }
   return ~crc;
+}
+
+bool Crc32cHardwareAvailable() {
+#if defined(FLOR_CRC32_HW_X86) || defined(FLOR_CRC32_HW_ARM)
+  static const bool available = DetectCrc32cHardware();
+  return available;
+#else
+  return false;
+#endif
+}
+
+uint32_t Crc32cHardware(uint32_t crc, const void* data, size_t n) {
+#if defined(FLOR_CRC32_HW_X86) || defined(FLOR_CRC32_HW_ARM)
+  return Crc32cHardwareImpl(crc, data, n);
+#else
+  (void)crc;
+  (void)data;
+  (void)n;
+  return 0;  // unreachable under the documented precondition
+#endif
+}
+
+const char* Crc32cImplName() {
+#if defined(FLOR_CRC32_HW_X86) || defined(FLOR_CRC32_HW_ARM)
+  if (Crc32cHardwareAvailable()) return kHardwareName;
+#endif
+  return "slice-by-8";
+}
+
+}  // namespace internal
+
+uint32_t Crc32c(uint32_t crc, const void* data, size_t n) {
+  return DispatchedFn()(crc, data, n);
 }
 
 }  // namespace flor

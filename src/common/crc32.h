@@ -1,9 +1,13 @@
-// CRC32C (Castagnoli) used to checksum checkpoint frames (serialize/frame.h).
+// CRC32C (Castagnoli) used to checksum checkpoint frames (serialize/frame.h)
+// and to place checkpoint keys on store shards (checkpoint/shard.h).
 //
-// The public entry point dispatches to a slice-by-8 software implementation
-// (8 bytes per table round, ~5x the byte-at-a-time loop) validated against
-// the RFC 3720 reference vectors; checkpoint payloads are megabytes, so the
-// checksum shows up in materialization profiles once real tensors flow.
+// The public entry point dispatches once, at first use, to the fastest
+// implementation the host supports: the SSE4.2 crc32 instruction on x86-64,
+// the ARMv8 crc32c instructions on aarch64, or a slice-by-8 software table
+// walk everywhere else. All paths are validated against the RFC 3720
+// reference vectors and cross-checked against the byte-at-a-time oracle;
+// checkpoint payloads are megabytes, so the checksum shows up in
+// materialization profiles once real tensors flow.
 
 #ifndef FLOR_COMMON_CRC32_H_
 #define FLOR_COMMON_CRC32_H_
@@ -24,8 +28,25 @@ inline uint32_t Crc32c(const void* data, size_t n) {
 namespace internal {
 
 /// Reference byte-at-a-time implementation, kept as the cross-check oracle
-/// for the sliced fast path (tests randomize inputs against it).
+/// for the fast paths (tests randomize inputs against it).
 uint32_t Crc32cSliceBy1(uint32_t crc, const void* data, size_t n);
+
+/// Software fast path (8 table lookups per 8 input bytes); the fallback
+/// when no hardware CRC32C instruction is available.
+uint32_t Crc32cSliceBy8(uint32_t crc, const void* data, size_t n);
+
+/// True when the running CPU exposes a CRC32C instruction the build can
+/// use (SSE4.2 on x86-64, the crc feature on aarch64).
+bool Crc32cHardwareAvailable();
+
+/// Hardware-instruction implementation. Precondition:
+/// Crc32cHardwareAvailable(). Exposed so tests can cross-check it against
+/// the oracle explicitly, independent of what the dispatcher picked.
+uint32_t Crc32cHardware(uint32_t crc, const void* data, size_t n);
+
+/// Name of the implementation the public Crc32c dispatches to:
+/// "sse4.2", "armv8-crc", or "slice-by-8".
+const char* Crc32cImplName();
 
 }  // namespace internal
 

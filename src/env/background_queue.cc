@@ -29,6 +29,12 @@ void BackgroundQueue::Drain() {
   drained_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+void BackgroundQueue::WaitUntilInFlightBelow(size_t n) {
+  if (n == 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this, n] { return in_flight_ < n; });
+}
+
 size_t BackgroundQueue::InFlight() const {
   std::lock_guard<std::mutex> lock(mu_);
   return in_flight_;
@@ -56,7 +62,9 @@ void BackgroundQueue::WorkerLoop() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
-      if (in_flight_ == 0) drained_cv_.notify_all();
+      // Every completion may unblock a bounded producer, not just the
+      // final one unblocking Drain().
+      drained_cv_.notify_all();
     }
   }
 }

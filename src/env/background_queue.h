@@ -37,6 +37,11 @@ class BackgroundQueue {
   /// Blocks until all previously submitted jobs have completed.
   void Drain();
 
+  /// Blocks until fewer than `n` jobs are in flight — bounded-queue
+  /// backpressure for producers (the spooler caps how many batch jobs it
+  /// keeps queued behind the single worker). `n` == 0 returns immediately.
+  void WaitUntilInFlightBelow(size_t n);
+
   /// Jobs submitted but not yet finished.
   size_t InFlight() const;
 

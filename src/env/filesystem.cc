@@ -91,6 +91,67 @@ Status MemFileSystem::CorruptByte(const std::string& path, size_t offset) {
   return Status::OK();
 }
 
+// ------------------------------------------------------ FaultInjection ---
+
+void FaultInjectionFileSystem::InjectWriteFailures(int count,
+                                                   std::string path_substr) {
+  std::lock_guard<std::mutex> lock(inject_mu_);
+  remaining_failures_ = count;
+  path_substr_ = std::move(path_substr);
+}
+
+int64_t FaultInjectionFileSystem::failures_injected() const {
+  std::lock_guard<std::mutex> lock(inject_mu_);
+  return failures_injected_;
+}
+
+bool FaultInjectionFileSystem::ShouldFail(const std::string& path) {
+  std::lock_guard<std::mutex> lock(inject_mu_);
+  if (remaining_failures_ <= 0) return false;
+  if (!path_substr_.empty() && path.find(path_substr_) == std::string::npos)
+    return false;
+  --remaining_failures_;
+  ++failures_injected_;
+  return true;
+}
+
+Status FaultInjectionFileSystem::WriteFile(const std::string& path,
+                                           const std::string& data) {
+  if (ShouldFail(path))
+    return Status::IOError("injected write failure: " + path);
+  return base_->WriteFile(path, data);
+}
+
+Status FaultInjectionFileSystem::AppendFile(const std::string& path,
+                                            const std::string& data) {
+  if (ShouldFail(path))
+    return Status::IOError("injected append failure: " + path);
+  return base_->AppendFile(path, data);
+}
+
+Result<std::string> FaultInjectionFileSystem::ReadFile(
+    const std::string& path) const {
+  return base_->ReadFile(path);
+}
+
+bool FaultInjectionFileSystem::Exists(const std::string& path) const {
+  return base_->Exists(path);
+}
+
+Result<uint64_t> FaultInjectionFileSystem::FileSize(
+    const std::string& path) const {
+  return base_->FileSize(path);
+}
+
+Status FaultInjectionFileSystem::DeleteFile(const std::string& path) {
+  return base_->DeleteFile(path);
+}
+
+std::vector<std::string> FaultInjectionFileSystem::ListPrefix(
+    const std::string& prefix) const {
+  return base_->ListPrefix(prefix);
+}
+
 // -------------------------------------------------------------- PosixFS ---
 
 PosixFileSystem::PosixFileSystem(std::string root) : root_(std::move(root)) {

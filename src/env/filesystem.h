@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -79,6 +80,45 @@ class MemFileSystem : public FileSystem {
   mutable std::shared_mutex mu_;
   std::map<std::string, std::string> files_;
   uint64_t bytes_written_ = 0;
+};
+
+/// Pass-through FileSystem that injects write failures on demand — the
+/// failure hook the spool/materializer error-path tests use to model a
+/// flaky object store. Thread-safe (injection state has its own lock; all
+/// I/O forwards to the base filesystem, which is itself thread-safe).
+class FaultInjectionFileSystem : public FileSystem {
+ public:
+  /// Does not own `base`.
+  explicit FaultInjectionFileSystem(FileSystem* base) : base_(base) {}
+
+  /// Arms the injector: the next `count` WriteFile/AppendFile calls whose
+  /// path contains `path_substr` (every write when empty) fail with
+  /// IOError before reaching the base filesystem. Calls re-arm (the counts
+  /// do not accumulate).
+  void InjectWriteFailures(int count, std::string path_substr = "");
+
+  /// Writes failed by injection so far.
+  int64_t failures_injected() const;
+
+  Status WriteFile(const std::string& path, const std::string& data) override;
+  Status AppendFile(const std::string& path,
+                    const std::string& data) override;
+  Result<std::string> ReadFile(const std::string& path) const override;
+  bool Exists(const std::string& path) const override;
+  Result<uint64_t> FileSize(const std::string& path) const override;
+  Status DeleteFile(const std::string& path) override;
+  std::vector<std::string> ListPrefix(
+      const std::string& prefix) const override;
+
+ private:
+  /// Consumes one armed failure if `path` matches; true = fail this write.
+  bool ShouldFail(const std::string& path);
+
+  FileSystem* base_;
+  mutable std::mutex inject_mu_;
+  int remaining_failures_ = 0;
+  std::string path_substr_;
+  int64_t failures_injected_ = 0;
 };
 
 /// Real filesystem rooted at a directory. Creates parent directories on

@@ -8,8 +8,8 @@ namespace flor {
 RecordSession::RecordSession(Env* env, RecordOptions options)
     : env_(env), options_(std::move(options)), paths_(options_.run_prefix),
       adaptive_(options_.adaptive) {
-  store_ = std::make_unique<CheckpointStore>(env_->fs(),
-                                             paths_.CkptPrefix());
+  store_ = std::make_unique<CheckpointStore>(env_->fs(), paths_.CkptPrefix(),
+                                             options_.ckpt_shards);
   materializer_ = std::make_unique<Materializer>(env_, options_.materializer);
 }
 
@@ -27,6 +27,7 @@ Result<RecordResult> RecordSession::Run(ir::Program* program,
 
   manifest_.workload = options_.workload;
   manifest_.vanilla_runtime_seconds = options_.vanilla_runtime_seconds;
+  manifest_.shard_count = store_->num_shards();
 
   exec::Interpreter interp(env_, &result.logs,
                            options_.checkpointing_enabled ? this : nullptr);
@@ -123,6 +124,7 @@ Status RecordSession::OnSkipBlockExit(ir::Loop* loop, const std::string& ctx,
           ? receipt.background_seconds
           : options_.materializer.costs.MaterializeSeconds(
                 nominal ? nominal : receipt.raw_bytes);
+  rec.shard = store_->ShardOf(key);
   manifest_.records.push_back(std::move(rec));
   return Status::OK();
 }

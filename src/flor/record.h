@@ -35,6 +35,9 @@ struct RecordOptions {
   /// False disables instrumentation entirely — the "vanilla execution"
   /// baseline the paper compares against.
   bool checkpointing_enabled = true;
+  /// Shard count of the run's checkpoint store (recorded in the manifest
+  /// so replay finds objects without probing). 1 = legacy flat layout.
+  int ckpt_shards = 1;
   MaterializerOptions materializer;
   AdaptiveOptions adaptive;
   /// Nominal (paper-scale) raw bytes per checkpoint for the simulated cost

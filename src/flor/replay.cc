@@ -9,10 +9,7 @@
 namespace flor {
 
 ReplaySession::ReplaySession(Env* env, ReplayOptions options)
-    : env_(env), options_(std::move(options)), paths_(options_.run_prefix) {
-  store_ = std::make_unique<CheckpointStore>(env_->fs(),
-                                             paths_.CkptPrefix());
-}
+    : env_(env), options_(std::move(options)), paths_(options_.run_prefix) {}
 
 Result<ReplayResult> ReplaySession::Run(ir::Program* current_program,
                                         exec::Frame* frame) {
@@ -36,6 +33,8 @@ Result<ReplayResult> ReplaySession::Run(ir::Program* current_program,
   FLOR_ASSIGN_OR_RETURN(std::string manifest_bytes,
                         env_->fs()->ReadFile(paths_.Manifest()));
   FLOR_ASSIGN_OR_RETURN(manifest_, Manifest::Deserialize(manifest_bytes));
+  store_ = std::make_unique<CheckpointStore>(
+      env_->fs(), paths_.CkptPrefix(), manifest_.shard_count);
   for (const auto& rec : manifest_.records)
     records_by_key_[rec.key.ToString()] = &rec;
 

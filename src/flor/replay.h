@@ -99,6 +99,9 @@ class ReplaySession : public exec::ExecHooks {
   Env* env_;
   ReplayOptions options_;
   RunPaths paths_;
+  /// Created in Run(), after the manifest is read: the manifest's shard
+  /// count decides the store layout, so replay reads are shard-aware
+  /// without probing (and pre-sharding runs keep replaying as 1 shard).
   std::unique_ptr<CheckpointStore> store_;
 
   ir::Program* program_ = nullptr;

@@ -9,6 +9,11 @@
 // partitions are merged and deferred-checked, so that the merged replay
 // logs are byte-identical across engines and thread counts. That common
 // core lives here.
+//
+// Checkpoint-store sharding is invisible at this layer by design: each
+// worker's ReplaySession reads the shard count from the record manifest
+// and routes object reads itself, so partition planning and log merging
+// are identical for flat and sharded stores.
 
 #ifndef FLOR_FLOR_REPLAY_PLAN_H_
 #define FLOR_FLOR_REPLAY_PLAN_H_

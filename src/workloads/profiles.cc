@@ -89,10 +89,12 @@ std::vector<WorkloadProfile> BuildAll() {
   }
 
   // --- RsNt: ResNet-152 on Cifar100. The Fig. 13 scale-out workload
-  // (200 epochs to parallelize).
+  // (200 epochs to parallelize); its dense checkpoint stream is also the
+  // in-suite exerciser of the sharded store layout.
   {
     WorkloadProfile p;
     p.name = "RsNt";
+    p.ckpt_shards = 4;
     p.benchmark = "Classic CV";
     p.task = "Image Classification";
     p.model = "ResNet-152";

@@ -42,6 +42,12 @@ struct WorkloadProfile {
   /// exec::ReplayExecutor benches). 0 = pure host compute.
   double wall_batch_seconds = 0;
 
+  /// Checkpoint-store shard count for record runs of this workload
+  /// (recorded in the manifest; replay follows it). 1 = legacy flat
+  /// layout, which keeps Table 4 bytes/cost exactly comparable to the
+  /// paper platform; benches sweep higher counts explicitly.
+  int ckpt_shards = 1;
+
   // Tiny real-execution parameters.
   data::Task task_kind = data::Task::kVision;
   int64_t real_samples = 128;

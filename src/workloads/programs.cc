@@ -234,6 +234,7 @@ RecordOptions DefaultRecordOptions(const WorkloadProfile& profile,
   RecordOptions opts;
   opts.run_prefix = run_prefix;
   opts.workload = profile.name;
+  opts.ckpt_shards = profile.ckpt_shards;
   opts.materializer.strategy = MaterializeStrategy::kFork;
   opts.materializer.costs = sim::PaperPlatformCosts();
   opts.adaptive.enabled = true;

@@ -146,6 +146,245 @@ TEST(Manifest, MalformedLineRejected) {
   EXPECT_FALSE(Manifest::Deserialize("garbage line\n").ok());
 }
 
+Manifest ShardedManifest(int shard_count, int records) {
+  Manifest m;
+  m.workload = "RsNt";
+  m.record_runtime_seconds = 50.25;
+  m.vanilla_runtime_seconds = 48.5;
+  m.c_estimate = 1.41;
+  m.shard_count = shard_count;
+  m.loop_executions[2] = 64;
+  ShardRouter router(shard_count);
+  for (int e = 0; e < records; ++e) {
+    CheckpointRecord rec;
+    rec.key = {2, StrCat("e=", e)};
+    rec.epoch = e;
+    rec.raw_bytes = 512;
+    rec.stored_bytes = 300;
+    rec.materialize_seconds = 1.5;
+    rec.shard = router.ShardOf(rec.key);
+    m.records.push_back(rec);
+  }
+  return m;
+}
+
+TEST(Manifest, ShardCountRoundTrips) {
+  Manifest m = ShardedManifest(/*shard_count=*/8, /*records=*/12);
+  const std::string bytes = m.Serialize();
+  EXPECT_NE(bytes.find("shards\t8"), std::string::npos);
+  auto back = Manifest::Deserialize(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->shard_count, 8);
+  ASSERT_EQ(back->records.size(), 12u);
+  for (size_t i = 0; i < back->records.size(); ++i)
+    EXPECT_EQ(back->records[i].shard, m.records[i].shard) << i;
+}
+
+TEST(Manifest, UnshardedSerializationIsByteStableLegacyFormat) {
+  // At shard count 1 the output must carry no shard fields at all: the
+  // bytes are identical to what the pre-sharding code wrote, so old and
+  // new manifests are interchangeable for unsharded runs.
+  Manifest m = ShardedManifest(/*shard_count=*/1, /*records=*/3);
+  const std::string bytes = m.Serialize();
+  EXPECT_EQ(bytes.find("shards"), std::string::npos);
+  for (const auto& line : StrSplit(bytes, '\n')) {
+    if (StartsWith(line, "ckpt\t")) {
+      EXPECT_EQ(StrSplit(line, '\t').size(), 8u) << line;
+    }
+  }
+  auto back = Manifest::Deserialize(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->shard_count, 1);
+}
+
+TEST(Manifest, OldFormatDeserializesAsSingleShardAndRoundTrips) {
+  // A manifest written before sharding existed (8-field ckpt lines, no
+  // `shards` line) must load as shard count 1 and survive a round trip
+  // through the new code unchanged.
+  const std::string old_format =
+      "workload\tRTE\n"
+      "record_runtime\t123.5\n"
+      "vanilla_runtime\t120\n"
+      "c_estimate\t1.38\n"
+      "loop_exec\t2\t200\n"
+      "ckpt\t2\te=33\t33\t1000\t600\t4294967296\t24.5\n"
+      "ckpt\t2\te=66\t66\t1000\t600\t4294967296\t24.5\n";
+  auto m = Manifest::Deserialize(old_format);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->shard_count, 1);
+  ASSERT_EQ(m->records.size(), 2u);
+  EXPECT_EQ(m->records[0].shard, 0);
+  EXPECT_EQ(m->Serialize(), old_format);
+}
+
+TEST(Manifest, TruncatedInputNeverCrashesOrSilentlyDefaults) {
+  // Mirror of the serialize-suite strict-prefix tests: deserializing any
+  // strict prefix either succeeds or reports Corruption — never a crash,
+  // never another code. (A cut inside a decimal can legitimately parse —
+  // "50.2" is a prefix of "50.25" — but a cut that leaves a dangling tag
+  // or an empty numeric field must be Corruption, not a zero default.)
+  const std::string full = ShardedManifest(4, 6).Serialize();
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    const std::string prefix = full.substr(0, cut);
+    auto got = Manifest::Deserialize(prefix);
+    if (!got.ok()) {
+      EXPECT_TRUE(got.status().IsCorruption()) << "cut=" << cut;
+    } else if (cut > 0 && full[cut - 1] == '\t' &&
+               !StartsWith(prefix.substr(prefix.rfind('\n') + 1),
+                           "workload")) {
+      // A numeric line truncated at a field separator has an empty last
+      // field — that must never parse as zero. (The workload line is
+      // exempt: an empty workload string is representable.)
+      ADD_FAILURE() << "cut=" << cut
+                    << " accepted a line truncated at a field separator";
+    }
+    // Every prefix ending on a line boundary is a complete (shorter)
+    // manifest and must parse.
+    if (prefix.empty() || prefix.back() == '\n') {
+      EXPECT_TRUE(got.ok()) << "cut=" << cut << ": "
+                            << got.status().ToString();
+    }
+  }
+}
+
+TEST(Manifest, NonNumericFieldsAreCorruptionNotZero) {
+  // The permissive strtod/strtol behavior used to turn garbage into 0;
+  // every numeric field must now be parsed strictly.
+  EXPECT_TRUE(Manifest::Deserialize("record_runtime\tfast\n")
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(Manifest::Deserialize("c_estimate\t1.2.3\n")
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(Manifest::Deserialize("shards\tmany\n")
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(Manifest::Deserialize("shards\t0\n").status().IsCorruption());
+  EXPECT_TRUE(Manifest::Deserialize("loop_exec\tx\t3\n")
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(
+      Manifest::Deserialize("ckpt\t2\te=1\t1\t10e\t6\t0\t1.5\n")
+          .status()
+          .IsCorruption());
+  EXPECT_TRUE(
+      Manifest::Deserialize("ckpt\t2\te=1\t1\t10\t6\t0\t1.5\t-2\n")
+          .status()
+          .IsCorruption());
+  // Record shard beyond the declared shard count is inconsistent.
+  EXPECT_TRUE(Manifest::Deserialize(
+                  "shards\t2\nckpt\t2\te=1\t1\t10\t6\t0\t1.5\t5\n")
+                  .status()
+                  .IsCorruption());
+  // Out-of-int-range shard values must be Corruption, never a silent
+  // narrowing wrap (2^32 would wrap to 0 and pass the shard-count check).
+  EXPECT_TRUE(Manifest::Deserialize(
+                  "shards\t2\nckpt\t2\te=1\t1\t10\t6\t0\t1.5\t4294967296\n")
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(Manifest::Deserialize(
+                  "shards\t2\nckpt\t2\te=1\t1\t10\t6\t0\t1.5\t2147483648\n")
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(Manifest, GarbageBytesFuzz) {
+  // Random mutations of a valid manifest must parse, or fail with
+  // Corruption — nothing else (no crashes, no other codes).
+  const std::string full = ShardedManifest(4, 6).Serialize();
+  Rng rng = testutil::SeededRng(97);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = full;
+    const int flips = 1 + static_cast<int>(rng.Uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = rng.Uniform(mutated.size());
+      mutated[pos] = static_cast<char>(rng.Uniform(256));
+    }
+    auto got = Manifest::Deserialize(mutated);
+    if (!got.ok()) {
+      EXPECT_TRUE(got.status().IsCorruption()) << "trial " << trial;
+    }
+  }
+}
+
+TEST(ShardRouter, PlacementIsDeterministicAndInRange) {
+  ShardRouter router(16);
+  for (int i = 0; i < 200; ++i) {
+    const CheckpointKey key{3, StrCat("e=", i)};
+    const int shard = router.ShardOf(key);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 16);
+    EXPECT_EQ(shard, router.ShardOf(key));  // pure function of the key
+  }
+  // Single-shard router keeps the legacy flat layout.
+  ShardRouter flat(1);
+  EXPECT_EQ(flat.ShardOf(CheckpointKey{3, "e=7"}), 0);
+  EXPECT_EQ(flat.PathFor("run/ckpt", CheckpointKey{3, "e=7"}),
+            "run/ckpt/L3@e=7.ckpt");
+  EXPECT_EQ(router.ShardPrefix("run/ckpt", 7), "run/ckpt/shard-0007");
+}
+
+TEST(ShardRouter, SpreadsKeysAcrossShards) {
+  // CRC32C placement over many keys should touch every shard and keep the
+  // heaviest shard within a small factor of fair share.
+  const int kShards = 8;
+  const int kKeys = 800;
+  ShardRouter router(kShards);
+  std::vector<int> count(kShards, 0);
+  for (int i = 0; i < kKeys; ++i)
+    ++count[static_cast<size_t>(router.ShardOf(CheckpointKey{
+        2, StrCat("e=", i)}))];
+  for (int s = 0; s < kShards; ++s) {
+    EXPECT_GT(count[s], 0) << "shard " << s << " unused";
+    EXPECT_LT(count[s], 2 * kKeys / kShards) << "shard " << s << " hot";
+  }
+}
+
+TEST(Store, ShardedPutGetAndLayout) {
+  MemFileSystem fs;
+  CheckpointStore store(&fs, "run/ckpt", /*num_shards=*/4);
+  EXPECT_EQ(store.num_shards(), 4);
+
+  std::string bytes = EncodeCheckpoint(SampleSnapshots());
+  uint64_t total = 0;
+  for (int e = 0; e < 10; ++e) {
+    CheckpointKey key{2, StrCat("e=", e)};
+    ASSERT_TRUE(store.PutBytes(key, bytes).ok());
+    total += bytes.size();
+    // The object lives exactly at its routed shard path.
+    const std::string path = store.PathFor(key);
+    EXPECT_NE(path.find(StrFormat("shard-%04d", store.ShardOf(key))),
+              std::string::npos);
+    EXPECT_TRUE(fs.Exists(path));
+    auto back = store.Get(key);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->size(), 3u);
+  }
+  EXPECT_EQ(store.TotalBytes(), total);
+
+  // Per-shard write stats cover every object, on the routed shards.
+  auto stats = store.WriteStatsByShard();
+  ASSERT_EQ(stats.size(), 4u);
+  int64_t objects = 0;
+  uint64_t stat_bytes = 0;
+  for (const auto& s : stats) {
+    objects += s.objects;
+    stat_bytes += s.bytes;
+  }
+  EXPECT_EQ(objects, 10);
+  EXPECT_EQ(stat_bytes, total);
+}
+
+TEST(Store, SingleShardMatchesLegacyFlatLayout) {
+  MemFileSystem fs;
+  CheckpointStore store(&fs, "run/ckpt", /*num_shards=*/1);
+  CheckpointKey key{2, "e=0"};
+  ASSERT_TRUE(store.PutBytes(key, "payload").ok());
+  // Exactly the pre-sharding path — no shard directory.
+  EXPECT_TRUE(fs.Exists("run/ckpt/L2@e=0.ckpt"));
+  EXPECT_EQ(store.PathFor(key), "run/ckpt/L2@e=0.ckpt");
+}
+
 TEST(Materializer, SimStrategiesOrderedAsFig5) {
   // Main-thread cost: Baseline > IPC-Queue > IPC-Plasma >= Fork.
   const uint64_t bytes = 1100ull * 1000 * 1000;

@@ -243,8 +243,24 @@ TEST(Crc32, SliceBy1OracleAgreesOnGoldenVectors) {
 
 TEST(Crc32, SliceBy8MatchesSliceBy1Randomized) {
   // Every length 0..600 (covers head-alignment, 8-byte body, and tail
-  // combinations) plus random unaligned offsets into the buffer.
+  // combinations) plus random unaligned offsets into the buffer. Exercises
+  // the explicit software fast path, independent of dispatch.
   Rng rng = testutil::SeededRng(32);
+  std::string buf(608, '\0');
+  for (auto& c : buf) c = static_cast<char>(rng.Uniform(256));
+  for (size_t len = 0; len <= 600; ++len) {
+    const size_t off = rng.Uniform(8);
+    const uint32_t seed32 = static_cast<uint32_t>(rng.Next());
+    EXPECT_EQ(internal::Crc32cSliceBy8(seed32, buf.data() + off, len),
+              internal::Crc32cSliceBy1(seed32, buf.data() + off, len))
+        << "len=" << len << " off=" << off;
+  }
+}
+
+TEST(Crc32, DispatchedImplMatchesOracleRandomized) {
+  // Whatever Crc32c dispatched to on this host (hardware instruction or
+  // slice-by-8 fallback) must agree with the byte-at-a-time oracle.
+  Rng rng = testutil::SeededRng(33);
   std::string buf(608, '\0');
   for (auto& c : buf) c = static_cast<char>(rng.Uniform(256));
   for (size_t len = 0; len <= 600; ++len) {
@@ -252,8 +268,42 @@ TEST(Crc32, SliceBy8MatchesSliceBy1Randomized) {
     const uint32_t seed32 = static_cast<uint32_t>(rng.Next());
     EXPECT_EQ(Crc32c(seed32, buf.data() + off, len),
               internal::Crc32cSliceBy1(seed32, buf.data() + off, len))
+        << "len=" << len << " off=" << off
+        << " impl=" << internal::Crc32cImplName();
+  }
+}
+
+TEST(Crc32, HardwarePathMatchesOracleWhenAvailable) {
+  if (!internal::Crc32cHardwareAvailable()) {
+    GTEST_SKIP() << "no CRC32C instruction on this host; "
+                 << "dispatch falls back to " << internal::Crc32cImplName();
+  }
+  // Golden vectors through the instruction path itself.
+  const char* digits = "123456789";
+  EXPECT_EQ(internal::Crc32cHardware(0, digits, 9), 0xE3069283u);
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(internal::Crc32cHardware(0, zeros.data(), zeros.size()),
+            0x8A9136AAu);
+  // Randomized cross-check against the oracle, unaligned heads included.
+  Rng rng = testutil::SeededRng(34);
+  std::string buf(300, '\0');
+  for (auto& c : buf) c = static_cast<char>(rng.Uniform(256));
+  for (size_t len = 0; len <= 256; ++len) {
+    const size_t off = rng.Uniform(8);
+    const uint32_t seed32 = static_cast<uint32_t>(rng.Next());
+    EXPECT_EQ(internal::Crc32cHardware(seed32, buf.data() + off, len),
+              internal::Crc32cSliceBy1(seed32, buf.data() + off, len))
         << "len=" << len << " off=" << off;
   }
+}
+
+TEST(Crc32, ImplNameIsKnown) {
+  const std::string name = internal::Crc32cImplName();
+  EXPECT_TRUE(name == "sse4.2" || name == "armv8-crc" ||
+              name == "slice-by-8")
+      << name;
+  // Dispatch and availability must agree.
+  EXPECT_EQ(name != "slice-by-8", internal::Crc32cHardwareAvailable());
 }
 
 }  // namespace

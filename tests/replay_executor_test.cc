@@ -138,6 +138,46 @@ TEST(ReplayExecutor, AgreesWithSimulatedEngineByteForByte) {
             sim_result->skipblocks.skipped);
 }
 
+TEST(ReplayExecutor, ShardedStoreKeepsByteIdentityAcrossEnginesAndThreads) {
+  // Record onto a 4-shard checkpoint store (manifest carries the shard
+  // count; replay routes reads through it). Sharding moves objects, never
+  // bytes: both engines and every thread count must merge the same logs
+  // as the flat-store baseline workload shape.
+  MemFileSystem fs;
+  WorkloadProfile profile = ExecProfile();
+  profile.ckpt_shards = 4;
+  RecordOnto(&fs, profile);
+
+  // The record run really sharded the object layout.
+  EXPECT_FALSE(fs.ListPrefix("run/ckpt/shard-").empty());
+
+  sim::ClusterReplayOptions copts;
+  copts.run_prefix = "run";
+  copts.cluster.num_machines = 1;
+  copts.init_mode = InitMode::kWeak;
+  auto sim_result =
+      sim::ClusterReplay(MakeWorkloadFactory(profile, kProbeInner), &fs,
+                         copts);
+  ASSERT_TRUE(sim_result.ok()) << sim_result.status().ToString();
+  EXPECT_TRUE(sim_result->deferred.ok);
+
+  std::string baseline;
+  for (int threads : {1, 2, 4}) {
+    auto result = RunExecutor(&fs, profile, threads);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->deferred.ok);
+    const std::string merged = result->merged_logs.Serialize();
+    if (threads == 1) {
+      baseline = merged;
+      EXPECT_FALSE(baseline.empty());
+    } else {
+      EXPECT_EQ(merged, baseline) << threads << " threads";
+    }
+  }
+  // Engine-vs-engine parity holds on the sharded store too.
+  EXPECT_EQ(baseline, sim_result->merged_logs.Serialize());
+}
+
 TEST(ReplayExecutor, StrongInitMatchesWeakInit) {
   MemFileSystem fs;
   const WorkloadProfile profile = ExecProfile();
