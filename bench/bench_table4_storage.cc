@@ -13,13 +13,26 @@
 // shard-1 row must reproduce the pre-sharding storage bytes and monthly
 // cost exactly (sharding moves objects, never changes them), and every
 // sweep point must land the same bytes in the bucket.
+//
+// A second sweep exercises the automatic end-to-end lifecycle (rows with
+// stage: "record+spool+gc"): RecordSession itself spools each checkpoint
+// as the materializer lands it and retires old epochs keep-last-K per
+// shard — no bench-side spool or GC calls. Invariants checked per point:
+// the spooled bucket holds every materialized checkpoint (it is the
+// durable archive), retirement leaves at most K epochs per loop locally,
+// and the K=0 / shard-1 point leaves the run byte-identical to a plain
+// record (the lifecycle is free when disabled).
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <map>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "checkpoint/gc.h"
 #include "checkpoint/spool.h"
 #include "common/logging.h"
 
@@ -114,6 +127,126 @@ int main() {
         FLOR_CHECK_EQ(stored, baseline_stored);
         FLOR_CHECK_EQ(cost, baseline_cost);
         FLOR_CHECK_EQ(local_bytes, baseline_bucket);
+      }
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Lifecycle sweep: record + spool-as-you-materialize + keep-last-K GC,
+  // all driven by RecordSession.
+  // ------------------------------------------------------------------
+  std::printf("\nBackground lifecycle sweep (record+spool+gc, automatic):"
+              "\n\n");
+  std::printf("%-5s %7s %7s %7s %9s %9s %9s %12s\n", "Name", "shards",
+              "keepK", "ckpts", "spooled", "retired", "left", "record");
+  bench::Hr();
+
+  const int kLifecycleShards[] = {1, 4};
+  const int64_t kKeepSweep[] = {0, 2};
+
+  for (const auto& base_profile : bench::BenchWorkloads()) {
+    // Plain-record baseline at shard 1: the lifecycle with spooling on
+    // and retention off must not change a byte of the run's local output.
+    uint64_t plain_ckpt_bytes = 0;
+    std::string plain_manifest;
+    {
+      workloads::WorkloadProfile profile = base_profile;
+      profile.ckpt_shards = 1;
+      MemFileSystem fs;
+      bench::RunRecord(&fs, profile, "run");
+      plain_ckpt_bytes = fs.TotalBytesUnder("run/ckpt/");
+      auto m = fs.ReadFile("run/manifest.tsv");
+      FLOR_CHECK(m.ok());
+      plain_manifest = *m;
+    }
+
+    for (int shards : kLifecycleShards) {
+      for (int64_t keep_k : kKeepSweep) {
+        workloads::WorkloadProfile profile = base_profile;
+        profile.ckpt_shards = shards;
+        MemFileSystem fs;
+        Env env(std::make_unique<SimClock>(), &fs);
+        auto instance = workloads::MakeWorkloadFactory(
+            profile, workloads::kProbeNone)();
+        FLOR_CHECK(instance.ok()) << instance.status().ToString();
+        RecordOptions opts =
+            workloads::DefaultRecordOptions(profile, "run");
+        opts.spool_prefix = "s3";
+        opts.gc.keep_last_k = keep_k;
+
+        const auto start = std::chrono::steady_clock::now();
+        RecordSession session(&env, opts);
+        exec::Frame frame;
+        auto result = session.Run(instance->program.get(), &frame);
+        const double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        FLOR_CHECK(result.ok()) << result.status().ToString();
+
+        // The pipeline was automatic: every materialized checkpoint is in
+        // the bucket (spooled before retirement — the durable archive),
+        // and the local store holds exactly the survivors.
+        const int64_t materialized =
+            result->gc_report.retired_objects() +
+            static_cast<int64_t>(result->manifest.records.size());
+        FLOR_CHECK(result->spool_report.ok())
+            << result->spool_report.first_error;
+        FLOR_CHECK_EQ(result->spool_report.objects, materialized);
+        FLOR_CHECK_EQ(
+            static_cast<int64_t>(fs.ListPrefix("s3/run/ckpt/").size()),
+            materialized);
+        FLOR_CHECK_EQ(
+            static_cast<int64_t>(fs.ListPrefix("run/ckpt/").size()),
+            static_cast<int64_t>(result->manifest.records.size()));
+
+        if (keep_k == 0) {
+          // Retention disabled: a guaranteed no-op.
+          FLOR_CHECK_EQ(result->gc_report.retired_objects(), 0);
+          if (shards == 1) {
+            // And at shard 1 the local run output is byte-identical to a
+            // plain record without the lifecycle.
+            FLOR_CHECK_EQ(fs.TotalBytesUnder("run/ckpt/"),
+                          plain_ckpt_bytes);
+            auto m = fs.ReadFile("run/manifest.tsv");
+            FLOR_CHECK(m.ok());
+            FLOR_CHECK(*m == plain_manifest)
+                << "lifecycle changed the shard-1 manifest bytes";
+          }
+        } else {
+          // Keep-last-K held: at most K epochs per loop survive locally.
+          std::map<int32_t, std::set<int64_t>> epochs;
+          for (const auto& r : result->manifest.records) {
+            if (r.epoch >= 0) epochs[r.key.loop_id].insert(r.epoch);
+          }
+          for (const auto& [loop_id, set] : epochs) {
+            FLOR_CHECK_LE(static_cast<int64_t>(set.size()), keep_k)
+                << "loop " << loop_id;
+          }
+        }
+
+        json.Row()
+            .Field("stage", "record+spool+gc")
+            .Field("workload", profile.name)
+            .Field("shards", shards)
+            .Field("keep_last_k", keep_k)
+            .Field("checkpoints", materialized)
+            .Field("spooled_objects", result->spool_report.objects)
+            .Field("spool_batches", result->spool_report.batches)
+            .Field("retired_objects", result->gc_report.retired_objects())
+            .Field("surviving_objects",
+                   static_cast<int64_t>(result->manifest.records.size()))
+            .Field("seconds", seconds);
+
+        std::printf("%-5s %7d %7lld %7lld %9lld %9lld %9lld %12s\n",
+                    profile.name.c_str(), shards,
+                    static_cast<long long>(keep_k),
+                    static_cast<long long>(materialized),
+                    static_cast<long long>(result->spool_report.objects),
+                    static_cast<long long>(
+                        result->gc_report.retired_objects()),
+                    static_cast<long long>(result->manifest.records.size()),
+                    HumanSeconds(seconds).c_str());
       }
     }
   }

@@ -49,14 +49,20 @@ def row_key(row):
                         if not is_measured(k) and not is_derived(k, v)))
 
 
+def fail_usage(message):
+    """File/usage failure: exit 2, distinct from a regression's exit 1."""
+    print(message, file=sys.stderr)
+    sys.exit(2)
+
+
 def load(path):
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"bench_diff: cannot read {path}: {e}")
+        fail_usage(f"bench_diff: cannot read {path}: {e}")
     if not isinstance(doc, dict) or not isinstance(doc.get("rows"), list):
-        sys.exit(f"bench_diff: {path}: not a BENCH_*.json capture")
+        fail_usage(f"bench_diff: {path}: not a BENCH_*.json capture")
     return doc
 
 

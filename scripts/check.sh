@@ -8,19 +8,41 @@
 #   BUILD_DIR=out ./scripts/check.sh   # custom build dir
 #   FLOR_TSAN=1 ./scripts/check.sh     # also run the concurrency suites
 #                                      # under ThreadSanitizer
+#   FLOR_BUILD_TYPE=Debug ./scripts/check.sh
+#                                      # override CMAKE_BUILD_TYPE (CI runs
+#                                      # the Debug + Release matrix this way)
+#   FLOR_CCACHE=1 ./scripts/check.sh   # compile through ccache (no-op when
+#                                      # ccache is not installed)
 #   BENCH_BASELINE=<dir> ./scripts/check.sh
 #                                      # also diff the fresh BENCH_*.json
 #                                      # captures against the copies in
 #                                      # <dir>; fails on >10% wall-second
 #                                      # regressions (scripts/bench_diff.py)
+#                                      # — CI runs this warn-only against
+#                                      # bench/baselines/
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
+# Main configure args; the tsan tree gets its own array (no -Werror there,
+# matching the pre-existing behavior) so neither depends on the other's
+# element order — and both stay non-empty, which keeps `set -u` happy on
+# bash < 4.4 (macOS ships 3.2).
+CMAKE_ARGS=(-DFLOR_WERROR=ON)
+TSAN_ARGS=(-DFLOR_TSAN=ON)
+if [[ -n "${FLOR_BUILD_TYPE:-}" ]]; then
+  CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE="${FLOR_BUILD_TYPE}")
+  TSAN_ARGS+=(-DCMAKE_BUILD_TYPE="${FLOR_BUILD_TYPE}")
+fi
+if [[ "${FLOR_CCACHE:-0}" != "0" ]] && command -v ccache >/dev/null 2>&1; then
+  CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+  TSAN_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 echo "== configure (${BUILD_DIR}) =="
-cmake -B "${BUILD_DIR}" -S . -DFLOR_WERROR=ON
+cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"
 
 echo "== build =="
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
@@ -55,7 +77,7 @@ fi
 
 if [[ "${FLOR_TSAN:-0}" != "0" ]]; then
   echo "== ThreadSanitizer: concurrency suites (${BUILD_DIR}-tsan) =="
-  cmake -B "${BUILD_DIR}-tsan" -S . -DFLOR_TSAN=ON
+  cmake -B "${BUILD_DIR}-tsan" -S . "${TSAN_ARGS[@]}"
   cmake --build "${BUILD_DIR}-tsan" -j "${JOBS}" \
         --target replay_executor_test spool_test
   # The `tsan` ctest label marks every suite exercising real concurrency:

@@ -1,0 +1,125 @@
+#include "checkpoint/gc.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace flor {
+
+std::vector<size_t> PlanRetirement(const Manifest& manifest,
+                                   const GcPolicy& policy) {
+  std::vector<size_t> retire;
+  if (policy.keep_last_k <= 0) return retire;
+
+  const std::set<int64_t> pinned(policy.pinned_epochs.begin(),
+                                 policy.pinned_epochs.end());
+
+  // Distinct epoch timeline per loop (nested loops checkpoint several ctx
+  // levels per epoch; recency is per *epoch*, not per record).
+  std::map<int32_t, std::set<int64_t>> epochs_by_loop;
+  for (const auto& rec : manifest.records) {
+    if (rec.epoch >= 0) epochs_by_loop[rec.key.loop_id].insert(rec.epoch);
+  }
+
+  // Keep set per loop: the K most recent epochs plus every pinned one.
+  std::map<int32_t, std::set<int64_t>> keep_by_loop;
+  for (const auto& [loop_id, epochs] : epochs_by_loop) {
+    std::set<int64_t>& keep = keep_by_loop[loop_id];
+    auto it = epochs.rbegin();
+    for (int64_t k = 0; k < policy.keep_last_k && it != epochs.rend();
+         ++k, ++it) {
+      keep.insert(*it);
+    }
+    for (int64_t e : epochs) {
+      if (pinned.count(e)) keep.insert(e);
+    }
+  }
+
+  for (size_t i = 0; i < manifest.records.size(); ++i) {
+    const CheckpointRecord& rec = manifest.records[i];
+    if (rec.epoch < 0) continue;  // not on the epoch timeline: eternal
+    if (!keep_by_loop[rec.key.loop_id].count(rec.epoch)) retire.push_back(i);
+  }
+  return retire;
+}
+
+Result<GcReport> RetireCheckpoints(CheckpointStore* store,
+                                   Manifest* manifest,
+                                   const std::string& manifest_path,
+                                   const GcPolicy& policy) {
+  GcReport report;
+  report.shards.resize(static_cast<size_t>(store->num_shards()));
+
+  const std::vector<size_t> retire = PlanRetirement(*manifest, policy);
+  if (retire.empty()) {
+    // Guaranteed no-op: no manifest rewrite, no deletes, store untouched.
+    report.surviving_records =
+        static_cast<int64_t>(manifest->records.size());
+    return report;
+  }
+
+  // Group the retire set by shard up front (planning is manifest-only; the
+  // store is never listed or scanned).
+  std::vector<std::vector<CheckpointRecord>> by_shard(
+      static_cast<size_t>(store->num_shards()));
+  for (size_t idx : retire) {
+    const CheckpointRecord& rec = manifest->records[idx];
+    by_shard[static_cast<size_t>(rec.shard)].push_back(rec);
+  }
+
+  // Prune the manifest and persist it FIRST: from this atomic write on, no
+  // replay plan can reference a retired epoch. If the persist fails, the
+  // in-memory manifest is restored and nothing is deleted.
+  std::vector<CheckpointRecord> pruned;
+  pruned.reserve(manifest->records.size() - retire.size());
+  {
+    std::set<size_t> retire_set(retire.begin(), retire.end());
+    for (size_t i = 0; i < manifest->records.size(); ++i) {
+      if (!retire_set.count(i)) pruned.push_back(manifest->records[i]);
+    }
+  }
+  std::vector<CheckpointRecord> original = std::move(manifest->records);
+  manifest->records = std::move(pruned);
+  Status persisted =
+      store->fs()->WriteFile(manifest_path, manifest->Serialize());
+  if (!persisted.ok()) {
+    manifest->records = std::move(original);
+    return persisted;
+  }
+  report.manifest_rewritten = true;
+  report.surviving_records = static_cast<int64_t>(manifest->records.size());
+
+  // Delete the retired objects shard by shard. Each delete goes through
+  // the shard's writer lock, so a concurrent materializer on another shard
+  // never contends with retirement here. Failures leak an orphan (the
+  // manifest already dropped the record) — reported, never fatal.
+  for (int shard = 0; shard < store->num_shards(); ++shard) {
+    GcShardStats& stats = report.shards[static_cast<size_t>(shard)];
+    for (const CheckpointRecord& rec : by_shard[static_cast<size_t>(shard)]) {
+      Status s = store->DeleteObject(rec.key);
+      if (s.ok()) {
+        ++stats.retired_objects;
+        stats.retired_bytes += rec.stored_bytes;
+      } else if (s.IsNotFound()) {
+        ++stats.already_absent;
+      } else {
+        ++stats.failed_deletes;
+      }
+    }
+  }
+  return report;
+}
+
+Result<GcReport> RetireRun(FileSystem* fs, const std::string& manifest_path,
+                           const std::string& ckpt_prefix,
+                           const GcPolicy& policy) {
+  FLOR_ASSIGN_OR_RETURN(std::string manifest_bytes,
+                        fs->ReadFile(manifest_path));
+  FLOR_ASSIGN_OR_RETURN(Manifest manifest,
+                        Manifest::Deserialize(manifest_bytes));
+  CheckpointStore store(fs, ckpt_prefix, manifest.shard_count);
+  return RetireCheckpoints(&store, &manifest, manifest_path, policy);
+}
+
+}  // namespace flor

@@ -1,0 +1,117 @@
+// Shard-aware checkpoint retirement (the tail of the paper's background
+// lifecycle: record → materialize → spool → retire).
+//
+// A long record run accumulates one Loop End Checkpoint per accepted loop
+// execution; replay only ever needs a recent suffix of them (a worker
+// restores from the newest boundary at or before its partition start). The
+// GC retires everything older under a keep-last-K-per-loop policy:
+//
+//   * planning is manifest-only — the manifest already records every
+//     object's loop, epoch, and shard, so retirement never lists or scans
+//     the store;
+//   * the pruned manifest is persisted FIRST (one atomic WriteFile), so a
+//     reader planning a replay at any instant sees either the old complete
+//     index or the new pruned one — never a plan that references a deleted
+//     object;
+//   * object deletes then proceed shard by shard through the store's
+//     per-shard writer locks. A crash mid-delete leaves orphaned objects
+//     (bytes the manifest no longer references), which are harmless to
+//     replay and reclaimed by the next GC's orphan accounting — it never
+//     leaves a manifest record without its object.
+//
+// Epochs a live replay plan restores from can be pinned
+// (GcPolicy::pinned_epochs, typically from flor::PlannedRestoreEpochs) so
+// retention never deletes a checkpoint a planned-but-not-yet-run replay
+// needs.
+
+#ifndef FLOR_CHECKPOINT_GC_H_
+#define FLOR_CHECKPOINT_GC_H_
+
+#include <string>
+#include <vector>
+
+#include "checkpoint/store.h"
+#include "env/filesystem.h"
+
+namespace flor {
+
+/// Retention policy for one run's checkpoint store.
+struct GcPolicy {
+  /// Keep the checkpoints of the K most recent epochs per loop; 0 disables
+  /// retirement entirely (the GC is then a guaranteed no-op: no manifest
+  /// rewrite, no deletes, byte-identical store).
+  int64_t keep_last_k = 0;
+  /// Main-loop epochs that must survive regardless of recency — the epochs
+  /// a concurrently planned replay will restore from (sorted or not; the
+  /// GC treats it as a set). Applies to every loop's checkpoint at those
+  /// epochs.
+  std::vector<int64_t> pinned_epochs;
+};
+
+/// One shard's retirement outcome.
+struct GcShardStats {
+  int64_t retired_objects = 0;  ///< objects deleted from this shard
+  uint64_t retired_bytes = 0;   ///< their stored (on-disk) bytes
+  /// Deletes that failed (flaky store): the object is already unreferenced
+  /// by the manifest, so it is a leaked orphan, not a correctness problem.
+  int64_t failed_deletes = 0;
+  /// Objects the manifest referenced but the store no longer had (e.g. a
+  /// prior GC's delete landed but its crash lost nothing else).
+  int64_t already_absent = 0;
+};
+
+/// Outcome of one retirement pass.
+struct GcReport {
+  std::vector<GcShardStats> shards;  ///< indexed by shard
+  int64_t surviving_records = 0;     ///< manifest records after the pass
+  bool manifest_rewritten = false;   ///< false when nothing retired
+
+  int64_t retired_objects() const {
+    int64_t n = 0;
+    for (const auto& s : shards) n += s.retired_objects;
+    return n;
+  }
+  uint64_t retired_bytes() const {
+    uint64_t n = 0;
+    for (const auto& s : shards) n += s.retired_bytes;
+    return n;
+  }
+  int64_t failed_deletes() const {
+    int64_t n = 0;
+    for (const auto& s : shards) n += s.failed_deletes;
+    return n;
+  }
+  /// True when every planned delete landed (orphan-free pass).
+  bool ok() const { return failed_deletes() == 0; }
+};
+
+/// Pure planning: indices into `manifest.records` that `policy` retires,
+/// in record order. Keeps, per loop: the K most recent distinct epochs,
+/// every pinned epoch, and every record without an epoch index (top-level
+/// loops, ctx-less checkpoints — they are not part of the epoch timeline).
+std::vector<size_t> PlanRetirement(const Manifest& manifest,
+                                   const GcPolicy& policy);
+
+/// Retires checkpoints of the run whose manifest is `*manifest` and whose
+/// objects live in `*store`: prunes the manifest in place, persists it
+/// atomically at `manifest_path`, then deletes the retired objects shard
+/// by shard. With `policy.keep_last_k == 0` this is a guaranteed no-op.
+/// Delete failures do not fail the pass (see GcReport::failed_deletes);
+/// only a manifest persist failure returns non-OK (nothing is deleted in
+/// that case).
+Result<GcReport> RetireCheckpoints(CheckpointStore* store,
+                                   Manifest* manifest,
+                                   const std::string& manifest_path,
+                                   const GcPolicy& policy);
+
+/// Convenience: loads the manifest at `manifest_path` from `fs`, opens the
+/// store at `ckpt_prefix` with the manifest's recorded shard count, and
+/// retires. (The run-prefix → path layout lives with the record session;
+/// this layer takes the two paths explicitly.)
+Result<GcReport> RetireRun(FileSystem* fs, const std::string& manifest_path,
+                           const std::string& ckpt_prefix,
+                           const GcPolicy& policy);
+
+}  // namespace flor
+
+#endif  // FLOR_CHECKPOINT_GC_H_

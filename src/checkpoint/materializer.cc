@@ -96,6 +96,7 @@ Result<MaterializeReceipt> Materializer::Materialize(
     std::string bytes = EncodeCheckpoint(snaps);
     receipt.stored_bytes = bytes.size();
     FLOR_RETURN_IF_ERROR(store->PutBytes(key, bytes));
+    if (options_.on_durable) options_.on_durable(key, bytes.size());
 
     double bg_s = 0;
     auto [main_s, stall_s] = AccountSim(nominal, &bg_s);
@@ -110,6 +111,7 @@ Result<MaterializeReceipt> Materializer::Materialize(
       std::string bytes = EncodeCheckpoint(snaps);
       receipt.stored_bytes = bytes.size();
       FLOR_RETURN_IF_ERROR(store->PutBytes(key, bytes));
+      if (options_.on_durable) options_.on_durable(key, bytes.size());
       receipt.main_thread_seconds = env_->clock()->NowSeconds() - start;
       receipt.background_seconds = 0;
     } else {
@@ -130,7 +132,10 @@ Result<MaterializeReceipt> Materializer::Materialize(
           std::make_shared<NamedSnapshots>(std::move(snaps));
       CheckpointStore* store_ptr = store;
       const CheckpointKey key_copy = key;
-      queue_->Submit([shared, store_ptr, key_copy] {
+      // The callback is copied into the job: it outlives any later
+      // options_ mutation and runs on the worker thread.
+      auto on_durable = options_.on_durable;
+      queue_->Submit([shared, store_ptr, key_copy, on_durable] {
         std::string bytes = EncodeCheckpoint(*shared);
         // Errors in background materialization are logged, not fatal; the
         // deferred replay checks surface missing checkpoints.
@@ -138,6 +143,8 @@ Result<MaterializeReceipt> Materializer::Materialize(
         if (!s.ok()) {
           FLOR_LOG(kError) << "background materialization failed: "
                            << s.ToString();
+        } else if (on_durable) {
+          on_durable(key_copy, bytes.size());
         }
       });
       receipt.main_thread_seconds = env_->clock()->NowSeconds() - start;

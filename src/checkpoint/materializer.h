@@ -29,6 +29,7 @@
 #define FLOR_CHECKPOINT_MATERIALIZER_H_
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -90,6 +91,15 @@ struct MaterializerOptions {
   /// Number of state objects per checkpoint batch (paper: 5000); only the
   /// per-object strategies are sensitive to it.
   int64_t objects_per_batch = 5000;
+  /// Invoked once a checkpoint's bytes are durably in the store (PutBytes
+  /// returned OK): inline on the training thread under a simulated clock
+  /// or the Baseline strategy, on the background worker thread otherwise —
+  /// so it must be thread-safe in wall mode and must never block on the
+  /// materializer itself. The record session hands checkpoints to the
+  /// background spooler through this hook (spool-as-you-materialize); it
+  /// is not called for failed writes.
+  std::function<void(const CheckpointKey& key, uint64_t stored_bytes)>
+      on_durable;
 };
 
 /// Serializes + writes checkpoints, off the training thread when the

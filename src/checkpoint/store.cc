@@ -192,6 +192,12 @@ bool CheckpointStore::Exists(const CheckpointKey& key) const {
   return fs_->Exists(PathFor(key));
 }
 
+Status CheckpointStore::DeleteObject(const CheckpointKey& key) {
+  Shard& shard = *shards_[static_cast<size_t>(router_.ShardOf(key))];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return fs_->DeleteFile(PathFor(key));
+}
+
 uint64_t CheckpointStore::TotalBytes() const {
   // Shard prefixes partition the store's namespace, so summing the root
   // prefix covers every shard (and, at shard count 1, exactly the legacy

@@ -97,6 +97,11 @@ class CheckpointStore {
 
   bool Exists(const CheckpointKey& key) const;
 
+  /// Deletes `key`'s object on its shard (same per-shard writer lock as
+  /// PutBytes — retirement never races a materializer on the same shard).
+  /// NotFound when the object is already gone.
+  Status DeleteObject(const CheckpointKey& key);
+
   /// Total bytes currently stored across all shards.
   uint64_t TotalBytes() const;
 

@@ -100,6 +100,13 @@ void FaultInjectionFileSystem::InjectWriteFailures(int count,
   path_substr_ = std::move(path_substr);
 }
 
+void FaultInjectionFileSystem::InjectDeleteFailures(int count,
+                                                    std::string path_substr) {
+  std::lock_guard<std::mutex> lock(inject_mu_);
+  remaining_delete_failures_ = count;
+  delete_path_substr_ = std::move(path_substr);
+}
+
 int64_t FaultInjectionFileSystem::failures_injected() const {
   std::lock_guard<std::mutex> lock(inject_mu_);
   return failures_injected_;
@@ -111,6 +118,18 @@ bool FaultInjectionFileSystem::ShouldFail(const std::string& path) {
   if (!path_substr_.empty() && path.find(path_substr_) == std::string::npos)
     return false;
   --remaining_failures_;
+  ++failures_injected_;
+  return true;
+}
+
+bool FaultInjectionFileSystem::ShouldFailDelete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(inject_mu_);
+  if (remaining_delete_failures_ <= 0) return false;
+  if (!delete_path_substr_.empty() &&
+      path.find(delete_path_substr_) == std::string::npos) {
+    return false;
+  }
+  --remaining_delete_failures_;
   ++failures_injected_;
   return true;
 }
@@ -144,6 +163,8 @@ Result<uint64_t> FaultInjectionFileSystem::FileSize(
 }
 
 Status FaultInjectionFileSystem::DeleteFile(const std::string& path) {
+  if (ShouldFailDelete(path))
+    return Status::IOError("injected delete failure: " + path);
   return base_->DeleteFile(path);
 }
 

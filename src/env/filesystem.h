@@ -97,7 +97,12 @@ class FaultInjectionFileSystem : public FileSystem {
   /// do not accumulate).
   void InjectWriteFailures(int count, std::string path_substr = "");
 
-  /// Writes failed by injection so far.
+  /// Same for DeleteFile — the checkpoint-GC failure paths (a flaky object
+  /// store refusing deletes must leak orphans, never break the manifest).
+  /// Armed independently of write failures.
+  void InjectDeleteFailures(int count, std::string path_substr = "");
+
+  /// Writes + deletes failed by injection so far.
   int64_t failures_injected() const;
 
   Status WriteFile(const std::string& path, const std::string& data) override;
@@ -113,11 +118,15 @@ class FaultInjectionFileSystem : public FileSystem {
  private:
   /// Consumes one armed failure if `path` matches; true = fail this write.
   bool ShouldFail(const std::string& path);
+  /// Same for deletes.
+  bool ShouldFailDelete(const std::string& path);
 
   FileSystem* base_;
   mutable std::mutex inject_mu_;
   int remaining_failures_ = 0;
   std::string path_substr_;
+  int remaining_delete_failures_ = 0;
+  std::string delete_path_substr_;
   int64_t failures_injected_ = 0;
 };
 

@@ -10,6 +10,22 @@ RecordSession::RecordSession(Env* env, RecordOptions options)
       adaptive_(options_.adaptive) {
   store_ = std::make_unique<CheckpointStore>(env_->fs(), paths_.CkptPrefix(),
                                              options_.ckpt_shards);
+  if (!options_.spool_prefix.empty()) {
+    // Spool-as-you-materialize: the materializer hands each durably stored
+    // checkpoint to the spooler's shard-local batch. In wall mode this
+    // runs on the materializer's worker thread, and a full spool queue
+    // (max_queued_batches) backpressures that worker — and, through the
+    // materializer's own bounded in-flight depth, eventually the training
+    // thread — instead of buffering unboundedly.
+    spool_ = std::make_unique<SpoolQueue>(env_->fs(), store_->num_shards(),
+                                          options_.spool);
+    options_.materializer.on_durable = [this](const CheckpointKey& key,
+                                              uint64_t stored_bytes) {
+      const std::string src = store_->PathFor(key);
+      spool_->Enqueue(store_->ShardOf(key), src,
+                      options_.spool_prefix + "/" + src, stored_bytes);
+    };
+  }
   materializer_ = std::make_unique<Materializer>(env_, options_.materializer);
 }
 
@@ -37,6 +53,16 @@ Result<RecordResult> RecordSession::Run(ir::Program* program,
   materializer_->Drain();
   result.runtime_seconds = env_->clock()->NowSeconds() - start;
 
+  // Spooling is a background tail (the paper's spooler outlives training):
+  // drain it after the runtime measurement, so enabling it never shows up
+  // as record overhead.
+  if (spool_) {
+    spool_->Drain();
+    for (int shard = 0; shard < spool_->num_shards(); ++shard)
+      result.spool_shard_reports.push_back(spool_->ShardReport(shard));
+    result.spool_report = AggregateSpoolReports(result.spool_shard_reports);
+  }
+
   // Persist logs + manifest.
   for (ir::Loop* loop : program->AllLoops()) {
     const int64_t ni = adaptive_.executions(loop->id());
@@ -48,6 +74,17 @@ Result<RecordResult> RecordSession::Run(ir::Program* program,
       env_->fs()->WriteFile(paths_.Logs(), result.logs.Serialize()));
   FLOR_RETURN_IF_ERROR(
       env_->fs()->WriteFile(paths_.Manifest(), manifest_.Serialize()));
+
+  // Retirement closes the lifecycle: the full manifest is durable above,
+  // then the GC prunes it (atomic rewrite first, shard-local deletes
+  // after), so replay plans only ever see surviving epochs. The spooled
+  // bucket mirror keeps its copies.
+  if (options_.gc.keep_last_k > 0) {
+    FLOR_ASSIGN_OR_RETURN(
+        result.gc_report,
+        RetireCheckpoints(store_.get(), &manifest_, paths_.Manifest(),
+                          options_.gc));
+  }
 
   result.skipblocks = stats_;
   result.manifest = manifest_;

@@ -9,14 +9,26 @@
 //      snapshotted on the training thread and materialized in the
 //      background,
 //   4. the log stream and the checkpoint manifest are persisted.
+//
+// The background lifecycle continues past materialization when configured:
+// with RecordOptions::spool_prefix set, every checkpoint is handed to a
+// per-shard batched SpoolQueue the moment the materializer lands it
+// (spool-as-you-materialize — the paper's background spooler, §6.2), with
+// backpressure through the spooler's bounded queue depth; with
+// RecordOptions::gc.keep_last_k set, old checkpoints are retired per shard
+// after the run's artifacts are persisted (keep-last-K-per-loop,
+// checkpoint/gc.h) and the result's manifest reflects the survivors.
 
 #ifndef FLOR_FLOR_RECORD_H_
 #define FLOR_FLOR_RECORD_H_
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "checkpoint/gc.h"
 #include "checkpoint/materializer.h"
+#include "checkpoint/spool.h"
 #include "checkpoint/store.h"
 #include "env/env.h"
 #include "exec/interpreter.h"
@@ -40,6 +52,19 @@ struct RecordOptions {
   int ckpt_shards = 1;
   MaterializerOptions materializer;
   AdaptiveOptions adaptive;
+  /// Non-empty enables spool-as-you-materialize: each checkpoint is
+  /// enqueued on a background SpoolQueue as soon as it is durably stored,
+  /// mirrored at "<spool_prefix>/<object path>" (prefix "s3" mirrors
+  /// run/ckpt/... under s3/run/ckpt/...). Shard-local batching; per-shard
+  /// SpoolReports in RecordResult after the end-of-run drain.
+  std::string spool_prefix;
+  SpoolOptions spool;
+  /// Checkpoint retention, applied after logs + manifest are persisted:
+  /// keep_last_k == 0 (default) keeps everything and leaves the store
+  /// byte-identical; K > 0 retires older epochs per loop, shard-locally
+  /// (checkpoint/gc.h). Spooled bucket copies are never retired — the
+  /// bucket is the durable archive.
+  GcPolicy gc;
   /// Nominal (paper-scale) raw bytes per checkpoint for the simulated cost
   /// model; 0 = use actual snapshot sizes.
   uint64_t nominal_checkpoint_bytes = 0;
@@ -59,6 +84,14 @@ struct RecordResult {
   double materialize_main_seconds = 0;
   double materialize_stall_seconds = 0;
   std::vector<AdaptiveDecision> adaptive_trace;
+  /// Per-shard spool outcomes (empty when spooling is disabled) and their
+  /// aggregate. Spooling runs as a background tail: its drain is not
+  /// charged to runtime_seconds.
+  std::vector<SpoolReport> spool_shard_reports;
+  SpoolReport spool_report;
+  /// Retention outcome (all-zero when gc.keep_last_k == 0). When
+  /// checkpoints were retired, `manifest` above reflects the survivors.
+  GcReport gc_report;
 };
 
 /// Executes one program under Flor record. Single-use.
@@ -87,6 +120,10 @@ class RecordSession : public exec::ExecHooks {
   RecordOptions options_;
   RunPaths paths_;
   std::unique_ptr<CheckpointStore> store_;
+  /// Declared before materializer_: the materializer's background jobs
+  /// enqueue into the spooler through on_durable, so the materializer must
+  /// be destroyed (and drained) first.
+  std::unique_ptr<SpoolQueue> spool_;
   std::unique_ptr<Materializer> materializer_;
   AdaptiveController adaptive_;
   Manifest manifest_;

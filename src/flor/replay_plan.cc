@@ -58,6 +58,51 @@ Result<int> PlanActiveWorkers(const ProgramFactory& factory,
   return static_cast<int>(plan.workers.size());
 }
 
+Result<std::vector<int64_t>> PlannedRestoreEpochs(
+    const ProgramFactory& factory, const FileSystem* fs,
+    const ClusterPlanOptions& options) {
+  FLOR_ASSIGN_OR_RETURN(ProgramInstance instance, factory());
+  InstrumentProgram(instance.program.get());
+  ir::Loop* main_loop = instance.program->MainLoop();
+  if (main_loop == nullptr) return std::vector<int64_t>();
+  const int64_t epochs = main_loop->iter().fixed_count;
+  if (epochs < 0) {
+    return Status::FailedPrecondition(
+        "PlannedRestoreEpochs: main-loop trip count is dynamic; the plan "
+        "is made at run time and cannot be pinned ahead of a GC");
+  }
+
+  RunPaths paths(options.run_prefix);
+  FLOR_ASSIGN_OR_RETURN(std::string manifest_bytes,
+                        fs->ReadFile(paths.Manifest()));
+  FLOR_ASSIGN_OR_RETURN(Manifest manifest,
+                        Manifest::Deserialize(manifest_bytes));
+  const std::vector<int64_t> boundaries =
+      CheckpointBoundaryEpochs(instance.program.get(), manifest);
+
+  // Union of init-mode iterations over all planned workers: exactly the
+  // epochs whose checkpoints the replay restores before working.
+  std::set<int64_t> restore;
+  if (!options.sample_epochs.empty()) {
+    FLOR_ASSIGN_OR_RETURN(
+        WorkerPlan plan,
+        PlanSampledEpochs(epochs, options.sample_epochs, boundaries));
+    for (const exec::PlannedIter& it : plan.iters) {
+      if (it.mode == exec::IterMode::kInit) restore.insert(it.index);
+    }
+  } else {
+    FLOR_ASSIGN_OR_RETURN(PartitionPlan plan,
+                          PartitionMainLoop(epochs, options.num_workers,
+                                            options.init_mode, boundaries));
+    for (const WorkerPlan& wp : plan.workers) {
+      for (const exec::PlannedIter& it : wp.iters) {
+        if (it.mode == exec::IterMode::kInit) restore.insert(it.index);
+      }
+    }
+  }
+  return std::vector<int64_t>(restore.begin(), restore.end());
+}
+
 ReplayOptions WorkerReplayOptions(const ClusterPlanOptions& options,
                                   int worker_id) {
   ReplayOptions ropts;

@@ -62,6 +62,20 @@ Result<int> PlanActiveWorkers(const ProgramFactory& factory,
 ReplayOptions WorkerReplayOptions(const ClusterPlanOptions& options,
                                   int worker_id);
 
+/// Main-loop epochs whose checkpoints the replay planned by `options` will
+/// restore during worker initialization (weak init: each worker's single
+/// pre-segment epoch; strong init: every epoch before each work segment;
+/// sampling: the weak-init epoch before every non-contiguous jump), as a
+/// sorted, deduplicated list. Retention pins these
+/// (GcPolicy::pinned_epochs) so a replay planned before a GC pass still
+/// finds every checkpoint it restores — the GC-side half of "both engines
+/// never observe a retired epoch they were planned against". Fails when
+/// the main-loop trip count is not statically known (such plans are made
+/// at run time and cannot be pinned ahead of a GC).
+Result<std::vector<int64_t>> PlannedRestoreEpochs(
+    const ProgramFactory& factory, const FileSystem* fs,
+    const ClusterPlanOptions& options);
+
 /// Engine-agnostic aggregate of a partitioned replay.
 struct MergedClusterReplay {
   /// Max over worker runtimes (no merge barrier in Flor; partitions are

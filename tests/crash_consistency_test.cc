@@ -22,11 +22,16 @@
 #include <functional>
 
 #include "checkpoint/checkpoint.h"
+#include "checkpoint/gc.h"
 #include "checkpoint/spool.h"
 #include "checkpoint/store.h"
 #include "common/strings.h"
 #include "env/filesystem.h"
+#include "exec/replay_executor.h"
+#include "flor/record.h"
+#include "sim/parallel_replay.h"
 #include "test_util.h"
+#include "workloads/programs.h"
 
 namespace flor {
 namespace {
@@ -229,6 +234,149 @@ TEST_F(CrashConsistencyTest, KilledMidBatchedSpoolKeepsShardLocalAtomicity) {
             static_cast<uint64_t>(kObjects) * bytes.size());
   // (spooled count varies with kill timing; zero and all are both legal.)
   EXPECT_LE(spooled, kObjects);
+}
+
+/// Delegating FileSystem that parks the process (after signaling `wfd`)
+/// on the `park_at`-th DeleteFile call — the hook that lets the parent
+/// SIGKILL a GC child genuinely mid-retirement, with some deletes landed
+/// and some not.
+class ParkOnDeleteFileSystem : public FileSystem {
+ public:
+  ParkOnDeleteFileSystem(FileSystem* base, int park_at, int wfd)
+      : base_(base), park_at_(park_at), wfd_(wfd) {}
+
+  Status WriteFile(const std::string& path, const std::string& data)
+      override {
+    return base_->WriteFile(path, data);
+  }
+  Status AppendFile(const std::string& path, const std::string& data)
+      override {
+    return base_->AppendFile(path, data);
+  }
+  Result<std::string> ReadFile(const std::string& path) const override {
+    return base_->ReadFile(path);
+  }
+  bool Exists(const std::string& path) const override {
+    return base_->Exists(path);
+  }
+  Result<uint64_t> FileSize(const std::string& path) const override {
+    return base_->FileSize(path);
+  }
+  Status DeleteFile(const std::string& path) override {
+    if (++deletes_ == park_at_) {
+      char one = 1;
+      (void)!write(wfd_, &one, 1);
+      pause();  // parked mid-GC; parent SIGKILLs
+    }
+    return base_->DeleteFile(path);
+  }
+  std::vector<std::string> ListPrefix(
+      const std::string& prefix) const override {
+    return base_->ListPrefix(prefix);
+  }
+
+ private:
+  FileSystem* base_;
+  int deletes_ = 0;
+  int park_at_;
+  int wfd_;
+};
+
+TEST_F(CrashConsistencyTest, KilledMidGcLeavesReplayableStore) {
+  // Retirement's crash contract: the pruned manifest lands first (one
+  // atomic WriteFile), deletes follow shard by shard — so a GC process
+  // SIGKILLed between deletes leaves (a) a manifest that parses, (b) an
+  // object present for every record it references, and (c) a run that
+  // still replays green and byte-identically on both engines. Retired-but-
+  // undeleted objects are mere orphans.
+  workloads::WorkloadProfile profile;
+  profile.name = "CrashGc";
+  profile.epochs = 10;
+  profile.sim_epoch_seconds = 100;
+  profile.sim_outer_seconds = 2;
+  profile.sim_preamble_seconds = 5;
+  profile.sim_ckpt_raw_bytes = 1 << 20;  // cheap: dense checkpoints
+  profile.ckpt_shards = 4;
+  profile.task_kind = data::Task::kVision;
+  profile.real_samples = 32;
+  profile.real_batch = 8;
+  profile.real_feature_dim = 12;
+  profile.real_classes = 3;
+  profile.real_hidden = 12;
+  profile.seed = testutil::TestSeed(47);
+
+  // Parent stages a real record run on disk.
+  {
+    PosixFileSystem fs(root());
+    Env env(std::make_unique<SimClock>(), &fs);
+    auto instance =
+        workloads::MakeWorkloadFactory(profile, workloads::kProbeNone)();
+    ASSERT_TRUE(instance.ok());
+    RecordSession session(
+        &env, workloads::DefaultRecordOptions(profile, "run"));
+    exec::Frame frame;
+    auto result = session.Run(instance->program.get(), &frame);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_GT(result->manifest.records.size(), 4u);
+  }
+
+  const size_t objects_before = [&] {
+    PosixFileSystem fs(root());
+    return fs.ListPrefix("run/ckpt/").size();
+  }();
+
+  KillChildMidWrite([&](PosixFileSystem* fs, int wfd) {
+    // Park on the third delete: the pruned manifest is durable and some
+    // (but not all) retired objects are gone when the SIGKILL lands.
+    ParkOnDeleteFileSystem parked(fs, /*park_at=*/3, wfd);
+    GcPolicy policy;
+    policy.keep_last_k = 1;
+    auto report =
+        RetireRun(&parked, "run/manifest.tsv", "run/ckpt", policy);
+    (void)report;
+  });
+
+  PosixFileSystem fs(root());
+  // (a) The manifest parses — the rewrite was atomic.
+  auto manifest_bytes = fs.ReadFile("run/manifest.tsv");
+  ASSERT_TRUE(manifest_bytes.ok());
+  auto manifest = Manifest::Deserialize(*manifest_bytes);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+
+  // (b) Every referenced object is present and decodes bit-exact; the
+  // interrupted deletes left orphans (more objects than records), never
+  // a dangling record.
+  CheckpointStore store(&fs, "run/ckpt", manifest->shard_count);
+  for (const auto& rec : manifest->records) {
+    auto got = store.Get(rec.key);
+    EXPECT_TRUE(got.ok()) << rec.key.ToString() << ": "
+                          << got.status().ToString();
+  }
+  const size_t objects_after = fs.ListPrefix("run/ckpt/").size();
+  EXPECT_LT(objects_after, objects_before);           // some deletes landed
+  EXPECT_GT(objects_after, manifest->records.size());  // orphans remain
+
+  // (c) Both engines replay the crashed-GC store green, byte-identically.
+  auto factory =
+      workloads::MakeWorkloadFactory(profile, workloads::kProbeInner);
+  sim::ClusterReplayOptions copts;
+  copts.run_prefix = "run";
+  copts.cluster.num_machines = 1;
+  copts.init_mode = InitMode::kWeak;
+  auto sim_result = sim::ClusterReplay(factory, &fs, copts);
+  ASSERT_TRUE(sim_result.ok()) << sim_result.status().ToString();
+  EXPECT_TRUE(sim_result->deferred.ok);
+
+  exec::ReplayExecutorOptions xopts;
+  xopts.run_prefix = "run";
+  xopts.num_threads = 2;
+  xopts.num_partitions = 2;
+  xopts.init_mode = InitMode::kWeak;
+  auto real_result = exec::ReplayExecutor(&fs, xopts).Run(factory);
+  ASSERT_TRUE(real_result.ok()) << real_result.status().ToString();
+  EXPECT_TRUE(real_result->deferred.ok);
+  EXPECT_EQ(real_result->merged_logs.Serialize(),
+            sim_result->merged_logs.Serialize());
 }
 
 }  // namespace
