@@ -15,13 +15,18 @@
 //   * real (exec::ReplayExecutor) — the same partition plan on an actual
 //     thread pool, measured with the wall clock, 4 partitions at 1/2/4
 //     threads. The merged multi-thread log is verified byte-identical to
-//     the 1-thread log on every run.
+//     the 1-thread log on every run;
+//   * proc (exec::ProcessReplayExecutor) — the same plan again, one forked
+//     worker process per partition (the paper's per-GPU deployment shape),
+//     same wall_batch_seconds device-time model, merged log verified
+//     byte-identical to the thread engine.
 //
-// Set BENCH_JSON=<path> to capture both sections as JSON rows.
+// Set BENCH_JSON=<path> to capture all sections as JSON rows.
 
 #include <cstdio>
 
 #include "bench_util.h"
+#include "exec/process_executor.h"
 #include "exec/replay_executor.h"
 
 int main() {
@@ -157,5 +162,55 @@ int main() {
   std::printf("real 4-thread speedup: %.2fx (workers block on modeled "
               "device time, so the\ncurve tracks the paper's GPU-bound "
               "overlap even on few host cores).\n", speedup_at_4);
+
+  // ---------------------------------------------------- process engine --
+  std::printf("\n-- process engine (fork per partition, wall clock; same "
+              "workload and device-time model) --\n");
+  std::printf("%8s %12s %9s %9s\n", "procs", "wall", "speedup", "ideal");
+  bench::Hr();
+
+  double one_proc_wall = 0;
+  double proc_speedup_at_4 = 0;
+  for (int procs : {1, 2, 4}) {
+    exec::ProcessReplayExecutorOptions popts;
+    popts.run_prefix = "run";
+    popts.num_partitions = procs;
+    popts.init_mode = InitMode::kWeak;
+    popts.costs = sim::PaperPlatformCosts();
+    exec::ProcessReplayExecutor executor(&real_fs, popts);
+    auto result = executor.Run(real_factory);
+    FLOR_CHECK(result.ok()) << result.status().ToString();
+    FLOR_CHECK(result->deferred.ok)
+        << (result->deferred.anomalies.empty()
+                ? ""
+                : result->deferred.anomalies[0]);
+
+    // Merging is partition-count invariant, so every process row must
+    // reproduce the thread engine's merged bytes exactly.
+    const std::string merged = result->merged_logs.Serialize();
+    FLOR_CHECK(merged == single_thread_logs)
+        << "process engine diverges from thread engine at " << procs
+        << " processes";
+
+    if (procs == 1) one_proc_wall = result->wall_seconds;
+    const double speedup = one_proc_wall / result->wall_seconds;
+    if (procs == 4) proc_speedup_at_4 = speedup;
+    std::printf("%8d %12s %8.2fx %8.2fx\n", procs,
+                HumanSeconds(result->wall_seconds).c_str(), speedup,
+                static_cast<double>(procs));
+    json.Row()
+        .Field("engine", "proc")
+        .Field("workload", real_profile.name)
+        .Field("processes", procs)
+        .Field("partitions", procs)
+        .Field("wall_seconds", result->wall_seconds)
+        .Field("latency_seconds", result->latency_seconds)
+        .Field("speedup_vs_1_process", speedup)
+        .Field("merged_logs_match_thread_engine", true);
+  }
+  bench::Hr();
+  std::printf("proc 4-process speedup: %.2fx (true address-space isolation;"
+              " workers still\nblock on the same modeled device time, so "
+              "the curve matches the thread engine).\n", proc_speedup_at_4);
   return 0;
 }

@@ -41,6 +41,17 @@ if [[ "${FLOR_CCACHE:-0}" != "0" ]] && command -v ccache >/dev/null 2>&1; then
   TSAN_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
 
+echo "== test-seed audit =="
+# New suites must derive their randomness from tests/test_util.h
+# (TestSeed()/SeededRng()) so FLOR_TEST_SEED=<n> reproduces any failure;
+# a literal seed ignores the override. SeededRng(<n>) literals are fine —
+# those are salts layered on the base seed, not seeds.
+if grep -nE 'mt19937[^;]*[({][0-9]|(^|[^A-Za-z_])Rng *[({] *[0-9]|Rng +[A-Za-z_0-9]+ *\( *[0-9]' \
+        tests/*.cc tests/*.h; then
+  echo "error: literal RNG seed in tests/ — use testutil::TestSeed()/SeededRng() (tests/test_util.h)" >&2
+  exit 1
+fi
+
 echo "== configure (${BUILD_DIR}) =="
 cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"
 
@@ -76,14 +87,18 @@ if [[ -n "${BENCH_BASELINE:-}" ]]; then
 fi
 
 if [[ "${FLOR_TSAN:-0}" != "0" ]]; then
-  echo "== ThreadSanitizer: concurrency suites (${BUILD_DIR}-tsan) =="
+  echo "== ThreadSanitizer: concurrency + fork suites (${BUILD_DIR}-tsan) =="
   cmake -B "${BUILD_DIR}-tsan" -S . "${TSAN_ARGS[@]}"
   cmake --build "${BUILD_DIR}-tsan" -j "${JOBS}" \
-        --target replay_executor_test spool_test
-  # The `tsan` ctest label marks every suite exercising real concurrency:
-  # the thread-pool replay engine and the spool/shard batching paths.
+        --target replay_executor_test spool_test \
+                 process_executor_test crash_consistency_test
+  # `tsan` labels the suites exercising real threads (thread-pool replay
+  # engine, spool/shard batching); `proc` labels the fork-heavy suites
+  # (process replay engine, SIGKILL crash harness). Both run instrumented:
+  # every fork happens from a single-threaded coordinator and the children
+  # stay single-threaded, which ThreadSanitizer supports.
   ctest --test-dir "${BUILD_DIR}-tsan" --output-on-failure \
-        --no-tests=error -j "${JOBS}" -L tsan
+        --no-tests=error -j "${JOBS}" -L 'tsan|proc'
 fi
 
 echo "== OK =="

@@ -1,59 +1,14 @@
 #include "checkpoint/store.h"
 
 #include <algorithm>
-#include <cerrno>
-#include <cstdlib>
 
+// Manifest::Deserialize parses numeric fields with the strict helpers in
+// common/strings.h (whole field consumed, non-empty, in range): the
+// permissive strto* defaults (garbage parses as 0) would silently turn a
+// truncated manifest into a plausible-looking empty one.
 #include "common/strings.h"
 
 namespace flor {
-
-namespace {
-
-// Strict numeric field parsing for Manifest::Deserialize: the whole field
-// must be consumed and non-empty, otherwise the manifest is corrupt. The
-// permissive strto* defaults (garbage parses as 0) would silently turn a
-// truncated manifest into a plausible-looking empty one.
-
-bool ParseI64(const std::string& s, int64_t* out) {
-  if (s.empty()) return false;
-  errno = 0;
-  char* end = nullptr;
-  const long long v = std::strtoll(s.c_str(), &end, 10);
-  if (errno != 0 || end != s.c_str() + s.size()) return false;
-  *out = v;
-  return true;
-}
-
-bool ParseI32(const std::string& s, int32_t* out) {
-  int64_t v = 0;
-  if (!ParseI64(s, &v)) return false;
-  if (v < INT32_MIN || v > INT32_MAX) return false;
-  *out = static_cast<int32_t>(v);
-  return true;
-}
-
-bool ParseU64(const std::string& s, uint64_t* out) {
-  if (s.empty() || s[0] == '-') return false;
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (errno != 0 || end != s.c_str() + s.size()) return false;
-  *out = v;
-  return true;
-}
-
-bool ParseF64(const std::string& s, double* out) {
-  if (s.empty()) return false;
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(s.c_str(), &end);
-  if (errno != 0 || end != s.c_str() + s.size()) return false;
-  *out = v;
-  return true;
-}
-
-}  // namespace
 
 std::vector<int64_t> Manifest::EpochsWithCheckpoint(int32_t loop_id) const {
   std::vector<int64_t> out;

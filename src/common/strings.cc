@@ -1,9 +1,50 @@
 #include "common/strings.h"
 
+#include <cerrno>
+#include <climits>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace flor {
+
+bool ParseI64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseI32(const std::string& s, int32_t* out) {
+  int64_t v = 0;
+  if (!ParseI64(s, &v)) return false;
+  if (v < INT32_MIN || v > INT32_MAX) return false;
+  *out = static_cast<int32_t>(v);
+  return true;
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty() || s[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseF64(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
 
 std::string StrFormat(const char* fmt, ...) {
   va_list ap;

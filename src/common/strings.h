@@ -33,6 +33,17 @@ std::string StrJoin(const std::vector<std::string>& parts,
 bool StartsWith(const std::string& s, const std::string& prefix);
 bool EndsWith(const std::string& s, const std::string& suffix);
 
+/// Strict numeric parsing for durable formats (manifests, worker result
+/// files): the whole string must be consumed, be non-empty, and be in
+/// range — the permissive strto* defaults (garbage parses as 0) would
+/// silently turn a truncated record into a plausible-looking empty one.
+/// ParseF64 accepts everything strtod does, including the hexfloat form
+/// StrFormat("%a") emits, so doubles round-trip bit-exactly.
+bool ParseI64(const std::string& s, int64_t* out);
+bool ParseI32(const std::string& s, int32_t* out);
+bool ParseU64(const std::string& s, uint64_t* out);
+bool ParseF64(const std::string& s, double* out);
+
 /// "51 MB", "1.1 GB", "705 MB" — matches the paper's table style.
 std::string HumanBytes(uint64_t bytes);
 

@@ -1,0 +1,53 @@
+#include "env/result_file.h"
+
+#include "common/strings.h"
+#include "serialize/frame.h"
+
+namespace flor {
+
+namespace {
+
+constexpr const char kMagic[] = "florres1";
+
+}  // namespace
+
+std::string EncodeResultSections(const std::vector<std::string>& sections) {
+  std::string out;
+  AppendFrame(&out, StrCat(kMagic, "\t", sections.size()));
+  for (const std::string& section : sections) AppendFrame(&out, section);
+  return out;
+}
+
+Result<std::vector<std::string>> DecodeResultSections(
+    const std::string& data) {
+  FLOR_ASSIGN_OR_RETURN(std::vector<std::string> frames, ReadFrames(data));
+  if (frames.empty())
+    return Status::Corruption("result file: missing header frame");
+  const std::vector<std::string> header = StrSplit(frames[0], '\t');
+  if (header.size() != 2 || header[0] != kMagic)
+    return Status::Corruption("result file: bad header magic");
+  uint64_t declared = 0;
+  if (!ParseU64(header[1], &declared))
+    return Status::Corruption("result file: unparseable section count");
+  if (declared != frames.size() - 1) {
+    return Status::Corruption(
+        StrCat("result file: header declares ", declared,
+               " sections but ", frames.size() - 1,
+               " are present (truncated at a frame boundary?)"));
+  }
+  frames.erase(frames.begin());
+  return frames;
+}
+
+Status WriteResultFile(FileSystem* fs, const std::string& path,
+                       const std::vector<std::string>& sections) {
+  return fs->WriteFile(path, EncodeResultSections(sections));
+}
+
+Result<std::vector<std::string>> ReadResultFile(const FileSystem* fs,
+                                                const std::string& path) {
+  FLOR_ASSIGN_OR_RETURN(std::string data, fs->ReadFile(path));
+  return DecodeResultSections(data);
+}
+
+}  // namespace flor

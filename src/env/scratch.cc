@@ -1,0 +1,55 @@
+#include "env/scratch.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace flor {
+
+Result<ScratchDir> ScratchDir::Create(const std::string& tag,
+                                      std::string base) {
+  if (base.empty()) {
+    const char* tmpdir = std::getenv("TMPDIR");
+    base = (tmpdir != nullptr && tmpdir[0] != '\0') ? tmpdir : "/tmp";
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(base, ec);
+  if (ec) {
+    return Status::IOError(
+        StrCat("scratch base ", base, ": ", ec.message()));
+  }
+  std::string tmpl =
+      (std::filesystem::path(base) / (tag + "-XXXXXX")).string();
+  if (::mkdtemp(tmpl.data()) == nullptr)
+    return Status::IOError(StrCat("mkdtemp ", tmpl, " failed"));
+  return ScratchDir(std::move(tmpl));
+}
+
+ScratchDir::ScratchDir(ScratchDir&& other) noexcept
+    : path_(std::move(other.path_)), keep_(other.keep_) {
+  other.path_.clear();
+}
+
+ScratchDir& ScratchDir::operator=(ScratchDir&& other) noexcept {
+  if (this != &other) {
+    Remove();
+    path_ = std::move(other.path_);
+    keep_ = other.keep_;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+ScratchDir::~ScratchDir() { Remove(); }
+
+void ScratchDir::Remove() {
+  if (path_.empty() || keep_) return;
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);  // best effort
+  path_.clear();
+}
+
+}  // namespace flor

@@ -1,0 +1,51 @@
+// Posix-backed scratch directories.
+//
+// The process-level replay executor needs a real on-disk rendezvous point:
+// forked workers write result files there, the parent reads them back
+// after waitpid. ScratchDir wraps mkdtemp-created directories with RAII
+// cleanup so a failed replay never litters /tmp, while set_keep(true)
+// preserves the directory for post-mortems.
+
+#ifndef FLOR_ENV_SCRATCH_H_
+#define FLOR_ENV_SCRATCH_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace flor {
+
+/// A uniquely named directory on the real filesystem, removed (recursively)
+/// on destruction unless kept.
+class ScratchDir {
+ public:
+  /// Creates `<base>/<tag>-XXXXXX` via mkdtemp. `base` defaults to $TMPDIR
+  /// (or /tmp); it is created if missing.
+  static Result<ScratchDir> Create(const std::string& tag,
+                                   std::string base = "");
+
+  ScratchDir(ScratchDir&& other) noexcept;
+  ScratchDir& operator=(ScratchDir&& other) noexcept;
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+  ~ScratchDir();
+
+  const std::string& path() const { return path_; }
+
+  /// Keep the directory on destruction (crash-debugging aid).
+  void set_keep(bool keep) { keep_ = keep; }
+
+ private:
+  explicit ScratchDir(std::string path) : path_(std::move(path)) {}
+
+  /// Deletes the directory (unless kept) and resets to the moved-out
+  /// state.
+  void Remove();
+
+  std::string path_;  // empty after move-out
+  bool keep_ = false;
+};
+
+}  // namespace flor
+
+#endif  // FLOR_ENV_SCRATCH_H_

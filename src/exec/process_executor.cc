@@ -1,0 +1,247 @@
+#include "exec/process_executor.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/strings.h"
+#include "env/result_file.h"
+#include "env/scratch.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <string.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace flor {
+namespace exec {
+
+namespace {
+
+/// Child exit codes past the session: the parent maps them back to
+/// partition-level diagnoses. 0 = result file committed.
+constexpr int kChildReplayFailed = 12;  // error file has the Status
+constexpr int kChildWriteFailed = 13;   // could not commit result/error
+
+double WallNowSeconds() {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Error-file payload: the failed Status as (code, message) sections, CRC
+/// framed like everything else in the scratch directory.
+std::string EncodeWorkerError(const Status& status) {
+  return EncodeResultSections(
+      {StrCat(static_cast<int>(status.code())), status.message()});
+}
+
+Status DecodeWorkerError(const std::string& data) {
+  auto sections = DecodeResultSections(data);
+  if (!sections.ok() || sections->size() != 2)
+    return Status::Corruption("worker error file is torn");
+  int64_t code = 0;
+  if (!ParseI64((*sections)[0], &code) || code <= 0 ||
+      code > static_cast<int64_t>(StatusCode::kAborted)) {
+    return Status::Corruption("worker error file: bad status code");
+  }
+  return Status(static_cast<StatusCode>(code), (*sections)[1]);
+}
+
+}  // namespace
+
+ProcessReplayExecutor::ProcessReplayExecutor(
+    FileSystem* shared_fs, ProcessReplayExecutorOptions options)
+    : fs_(shared_fs), options_(std::move(options)) {}
+
+std::string ProcessReplayExecutor::ResultFileName(int worker_id) {
+  return StrCat("worker-", worker_id, ".res");
+}
+
+std::string ProcessReplayExecutor::ErrorFileName(int worker_id) {
+  return StrCat("worker-", worker_id, ".err");
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+namespace {
+
+/// Child-side worker body. Never returns into the parent's code: commits
+/// a result (or error) file and _exit()s, skipping atexit handlers and
+/// the parent's buffered state.
+[[noreturn]] void RunChild(int worker_id, FileSystem* shared_fs,
+                           const ProgramFactory& factory,
+                           const ClusterPlanOptions& plan,
+                           const ProcessReplayExecutorOptions& options,
+                           const std::string& scratch_path) {
+  PosixFileSystem scratch_fs(scratch_path);
+  if (options.child_before_session) options.child_before_session(worker_id);
+
+  auto run_worker = [&]() -> Result<ReplayResult> {
+    Env env(std::make_unique<WallClock>(), shared_fs);
+    FLOR_ASSIGN_OR_RETURN(ProgramInstance instance, factory());
+    ReplaySession session(&env, WorkerReplayOptions(plan, worker_id));
+    exec::Frame frame;
+    return session.Run(instance.program.get(), &frame);
+  };
+  Result<ReplayResult> result = run_worker();
+
+  if (options.child_before_result_write)
+    options.child_before_result_write(worker_id);
+
+  if (result.ok()) {
+    const Status wrote = scratch_fs.WriteFile(
+        ProcessReplayExecutor::ResultFileName(worker_id),
+        EncodeWorkerResult(*result));
+    _exit(wrote.ok() ? 0 : kChildWriteFailed);
+  }
+  const Status wrote =
+      scratch_fs.WriteFile(ProcessReplayExecutor::ErrorFileName(worker_id),
+                           EncodeWorkerError(result.status()));
+  _exit(wrote.ok() ? kChildReplayFailed : kChildWriteFailed);
+}
+
+}  // namespace
+
+Result<ProcessReplayExecutorResult> ProcessReplayExecutor::Run(
+    const ProgramFactory& factory) {
+  const double wall_start = WallNowSeconds();
+
+  ClusterPlanOptions plan;
+  plan.run_prefix = options_.run_prefix;
+  plan.num_workers = options_.num_partitions > 0 ? options_.num_partitions
+                                                 : 1;
+  plan.init_mode = options_.init_mode;
+  plan.costs = options_.costs;
+  plan.sample_epochs = options_.sample_epochs;
+
+  FLOR_ASSIGN_OR_RETURN(const int active,
+                        PlanActiveWorkers(factory, fs_, plan));
+
+  std::optional<ScratchDir> owned_scratch;
+  std::string scratch_path = options_.scratch_dir;
+  if (scratch_path.empty()) {
+    FLOR_ASSIGN_OR_RETURN(ScratchDir scratch,
+                          ScratchDir::Create("flor-procreplay"));
+    scratch_path = scratch.path();
+    owned_scratch.emplace(std::move(scratch));
+  }
+  PosixFileSystem scratch_fs(scratch_path);
+  // A caller-supplied scratch directory may hold a previous run's files;
+  // a stale fragment must never pass for this run's.
+  for (int w = 0; w < active; ++w) {
+    (void)scratch_fs.DeleteFile(ResultFileName(w));
+    (void)scratch_fs.DeleteFile(ErrorFileName(w));
+  }
+
+  // Fork one worker per partition. Flush stdio first so children do not
+  // replay the parent's buffered output on their own streams.
+  std::fflush(nullptr);
+  std::vector<pid_t> pids(static_cast<size_t>(active), -1);
+  for (int w = 0; w < active; ++w) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      // Reap what was already forked before reporting.
+      for (int k = 0; k < w; ++k) {
+        (void)kill(pids[static_cast<size_t>(k)], SIGKILL);
+        int ignored = 0;
+        (void)waitpid(pids[static_cast<size_t>(k)], &ignored, 0);
+      }
+      return Status::IOError(
+          StrCat("fork failed for replay partition ", w));
+    }
+    if (pid == 0)
+      RunChild(w, fs_, factory, plan, options_, scratch_path);
+    pids[static_cast<size_t>(w)] = pid;
+  }
+
+  // Reap every child; collect per-partition outcomes. Surviving result
+  // files are read but never rewritten, so a partial failure leaves the
+  // healthy fragments on disk for inspection or re-merge.
+  ReplayMerger merger;
+  std::vector<std::string> failures;
+  Status first_failure = Status::OK();
+  auto fail = [&](int w, Status status) {
+    failures.push_back(StrCat("partition ", w, "/", active, ": ",
+                              status.message()));
+    if (first_failure.ok()) first_failure = std::move(status);
+  };
+  for (int w = 0; w < active; ++w) {
+    int wstatus = 0;
+    if (waitpid(pids[static_cast<size_t>(w)], &wstatus, 0) !=
+        pids[static_cast<size_t>(w)]) {
+      fail(w, Status::Internal("waitpid failed"));
+      continue;
+    }
+    if (WIFSIGNALED(wstatus)) {
+      const int sig = WTERMSIG(wstatus);
+      const char* name = strsignal(sig);
+      fail(w, Status::Aborted(StrCat("worker process killed by signal ",
+                                     sig, " (",
+                                     name != nullptr ? name : "?", ")")));
+      continue;
+    }
+    const int code = WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1;
+    if (code == kChildReplayFailed) {
+      auto err_bytes = scratch_fs.ReadFile(ErrorFileName(w));
+      fail(w, err_bytes.ok()
+                  ? DecodeWorkerError(*err_bytes)
+                  : Status::Internal("replay failed (error file missing)"));
+      continue;
+    }
+    if (code != 0) {
+      fail(w, Status::Aborted(StrCat(
+                  "worker process exited with status ", code,
+                  code == kChildWriteFailed ? " (result write failed)"
+                                            : "")));
+      continue;
+    }
+    auto result_bytes = scratch_fs.ReadFile(ResultFileName(w));
+    if (!result_bytes.ok()) {
+      fail(w, Status(result_bytes.status().code(),
+                     "result file unreadable: " +
+                         result_bytes.status().message()));
+      continue;
+    }
+    auto decoded = DecodeWorkerResult(*result_bytes);
+    if (!decoded.ok()) {
+      fail(w, Status(decoded.status().code(),
+                     "result file: " + decoded.status().message()));
+      continue;
+    }
+    merger.Add(w, std::move(*decoded));
+  }
+  if (!failures.empty()) {
+    // Keep the fragments inspectable: an auto-created scratch dir is
+    // preserved (and named) instead of being removed on this return.
+    if (owned_scratch) owned_scratch->set_keep(true);
+    return Status(first_failure.code(),
+                  StrCat("process replay: ", StrJoin(failures, "; "),
+                         " [surviving fragments in ", scratch_path, "]"));
+  }
+
+  ProcessReplayExecutorResult result;
+  FLOR_ASSIGN_OR_RETURN(static_cast<MergedClusterReplay&>(result),
+                        merger.Finish(fs_, options_.run_prefix));
+  result.processes_used = active;
+  result.wall_seconds = WallNowSeconds() - wall_start;
+  return result;
+}
+
+#else  // !(__unix__ || __APPLE__)
+
+Result<ProcessReplayExecutorResult> ProcessReplayExecutor::Run(
+    const ProgramFactory&) {
+  return Status::NotSupported(
+      "ProcessReplayExecutor requires fork(); use exec::ReplayExecutor");
+}
+
+#endif
+
+}  // namespace exec
+}  // namespace flor

@@ -1,0 +1,114 @@
+// Process-level parallel replay engine (the paper's flashback deployment:
+// one replay process per GPU/partition).
+//
+// The third engine over the shared plan (flor/replay_plan.h):
+//   * sim::ClusterReplay     — sequential workers, simulated clocks;
+//   * exec::ReplayExecutor   — worker threads, one address space;
+//   * exec::ProcessReplayExecutor — fork one worker *process* per log
+//     partition, true isolation: a worker that segfaults, leaks, or is
+//     OOM-killed takes down only its partition, exactly like a lost GPU
+//     node in the paper's cluster runs.
+//
+// Protocol: the parent plans partitions (the same PlanActiveWorkers every
+// engine uses), forks one child per partition, and blocks in waitpid. Each
+// child runs its ReplaySession against the shared record artifacts and
+// writes its merged-log fragment plus per-worker stats to a length-
+// prefixed, CRC-framed result file (env/result_file.h) in a posix scratch
+// directory — atomically, so a child killed mid-write leaves either
+// nothing or a torn file that fails to parse, never a silently mergeable
+// garbage fragment. The parent reaps every child, reports per-partition
+// death (nonzero exit or signal) without touching surviving fragments,
+// decodes the fragments (flor::DecodeWorkerResult), and merges them via
+// the same ReplayMerger as the other two engines — so the merged replay
+// log is byte-identical to both.
+//
+// The shared FileSystem must be readable in the children: PosixFileSystem
+// shares the on-disk record run across processes; MemFileSystem works too
+// because fork() snapshots it copy-on-write (the record artifacts are
+// read-only during replay). Results always travel through the scratch
+// directory, never through memory.
+
+#ifndef FLOR_EXEC_PROCESS_EXECUTOR_H_
+#define FLOR_EXEC_PROCESS_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "flor/replay_plan.h"
+
+namespace flor {
+namespace exec {
+
+/// Process-engine configuration.
+struct ProcessReplayExecutorOptions {
+  std::string run_prefix = "run";
+  /// Log partitions (the paper's G); one worker process is forked per
+  /// partition. The planner may clamp to fewer when checkpoints are
+  /// sparse.
+  int num_partitions = 4;
+  InitMode init_mode = InitMode::kStrong;
+  /// Carried for parity with the other engines (only charged under
+  /// simulated clocks; wall-clock restores are simply measured).
+  MaterializerCosts costs;
+  /// Non-empty selects iteration-sampling replay on a single worker.
+  std::vector<int64_t> sample_epochs;
+  /// Directory for worker result files. Empty: a fresh mkdtemp scratch
+  /// directory, removed after the run. Non-empty: used as-is (created if
+  /// missing, stale worker files cleared, left in place afterwards) so
+  /// tests and post-mortems can inspect surviving fragments.
+  std::string scratch_dir;
+
+  /// Test-only fault-injection hooks, invoked inside the forked child.
+  /// `before_session` runs before the child's ReplaySession,
+  /// `before_result_write` after the session but before the result file
+  /// is committed — a hook that kills the process at either point models
+  /// a worker lost mid-partition.
+  std::function<void(int worker_id)> child_before_session;
+  std::function<void(int worker_id)> child_before_result_write;
+};
+
+/// Outcome of a process-level replay: the engine-agnostic merge plus
+/// process-side measurements.
+struct ProcessReplayExecutorResult : MergedClusterReplay {
+  /// Measured wall-clock time of the whole replay (plan + fork + children
+  /// + merge), parent perspective.
+  double wall_seconds = 0;
+  /// Worker processes forked (== active partitions).
+  int processes_used = 0;
+};
+
+/// Runs partitioned hindsight replay on forked worker processes. Single-
+/// use per Run call; the executor itself holds no per-run state. Fork
+/// happens on the calling thread — do not call with unrelated threads
+/// live in the parent (the engines' usual single-coordinator discipline).
+class ProcessReplayExecutor {
+ public:
+  /// Does not own `shared_fs` (see file comment for cross-process
+  /// visibility requirements).
+  ProcessReplayExecutor(FileSystem* shared_fs,
+                        ProcessReplayExecutorOptions options);
+
+  /// Plans partitions, forks and reaps one worker per partition, merges,
+  /// deferred-checks. On any partition failure returns an error that
+  /// names each dead partition and its cause; surviving result files are
+  /// left intact in the scratch directory (an auto-created scratch dir is
+  /// preserved on failure and named in the error message).
+  Result<ProcessReplayExecutorResult> Run(const ProgramFactory& factory);
+
+  /// Scratch-relative result file a worker commits ("worker-<id>.res").
+  static std::string ResultFileName(int worker_id);
+  /// Scratch-relative error file a worker leaves when its replay fails
+  /// cleanly ("worker-<id>.err").
+  static std::string ErrorFileName(int worker_id);
+
+ private:
+  FileSystem* fs_;
+  ProcessReplayExecutorOptions options_;
+};
+
+}  // namespace exec
+}  // namespace flor
+
+#endif  // FLOR_EXEC_PROCESS_EXECUTOR_H_

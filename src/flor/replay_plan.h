@@ -92,10 +92,24 @@ struct MergedClusterReplay {
   SkipBlockStats skipblocks;
 };
 
+/// Encodes one worker's ReplayResult for out-of-process transport — the
+/// fork-per-partition engine (exec/process_executor.h) has each child
+/// write this to a CRC-framed result file (env/result_file.h) and the
+/// parent decode it back into the exact ReplayResult an in-process worker
+/// would have handed the merger. The round trip is lossless: doubles
+/// travel as hexfloat, log fragments via LogStream's line encoding.
+std::string EncodeWorkerResult(const ReplayResult& result);
+
+/// Inverse of EncodeWorkerResult. Truncated or mutated bytes fail with
+/// Corruption — a successfully decoded result is safe to merge.
+Result<ReplayResult> DecodeWorkerResult(const std::string& data);
+
 /// Accumulates per-worker ReplayResults (in any completion order), then
 /// merges logs in worker order and runs the merged deferred check against
 /// the record logs. Thread-compatible: callers serialize Add/Finish (both
 /// engines add results from the coordinating thread after workers join).
+/// Results may come from in-process workers or be decoded from another
+/// process's result file (DecodeWorkerResult) — the merge is identical.
 class ReplayMerger {
  public:
   void Add(int worker_id, ReplayResult result);

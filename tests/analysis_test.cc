@@ -10,6 +10,7 @@
 #include "ir/builder.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
+#include "test_util.h"
 #include "nn/scheduler.h"
 
 namespace flor {
@@ -225,7 +226,7 @@ TEST(Instrument, SkippableEpochLoops) {
 }
 
 TEST(Augment, OptimizerPullsModelAndScheduler) {
-  Rng rng(1);
+  Rng rng = testutil::SeededRng(1);
   nn::Linear net("net", 2, 2, &rng);
   nn::Sgd opt(&net, 0.1f);
   nn::StepLr sched(&opt, 2, 0.5f);
@@ -242,7 +243,7 @@ TEST(Augment, OptimizerPullsModelAndScheduler) {
 }
 
 TEST(Augment, SchedulerPullsOptimizerTransitively) {
-  Rng rng(2);
+  Rng rng = testutil::SeededRng(2);
   nn::Linear net("net", 2, 2, &rng);
   nn::Adam opt(&net, 0.1f);
   nn::CosineLr sched(&opt, 10);
@@ -259,7 +260,7 @@ TEST(Augment, SchedulerPullsOptimizerTransitively) {
 }
 
 TEST(Augment, AliasesAllIncluded) {
-  Rng rng(3);
+  Rng rng = testutil::SeededRng(3);
   nn::Linear net("net", 2, 2, &rng);
   nn::Sgd opt(&net, 0.1f);
   exec::Frame frame;

@@ -31,7 +31,7 @@ NamedSnapshots SampleSnapshots() {
   NamedSnapshots snaps;
   snaps.emplace_back("count", ir::SnapshotValue(ir::Value::Int(42)));
   Tensor t(Shape{16});
-  Rng rng(3);
+  Rng rng = testutil::SeededRng(3);
   ops::RandNormal(&t, &rng);
   snaps.emplace_back("weights",
                      ir::SnapshotValue(ir::Value::FromTensor(t)));
@@ -52,7 +52,7 @@ TEST(Checkpoint, EncodeDecodeRoundTrip) {
 }
 
 TEST(Checkpoint, ModuleAndOptimizerSnapshotsRoundTrip) {
-  Rng rng(4);
+  Rng rng = testutil::SeededRng(4);
   nn::Linear fc("fc", 4, 4, &rng);
   nn::Adam adam(&fc, 0.01f);
   ops::Fill(&fc.weight().grad, 0.1f);

@@ -73,12 +73,12 @@ TEST(Result, AssignOrReturnMacro) {
 }
 
 TEST(Rng, Deterministic) {
-  Rng a(123), b(123);
+  Rng a = testutil::SeededRng(123), b = testutil::SeededRng(123);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
 }
 
 TEST(Rng, DifferentSeedsDiffer) {
-  Rng a(1), b(2);
+  Rng a = testutil::SeededRng(1), b = testutil::SeededRng(2);
   int same = 0;
   for (int i = 0; i < 64; ++i)
     if (a.Next() == b.Next()) ++same;
@@ -86,19 +86,19 @@ TEST(Rng, DifferentSeedsDiffer) {
 }
 
 TEST(Rng, UniformInRange) {
-  Rng rng(7);
+  Rng rng = testutil::SeededRng(7);
   for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Uniform(17), 17u);
 }
 
 TEST(Rng, UniformCoversRange) {
-  Rng rng(9);
+  Rng rng = testutil::SeededRng(9);
   std::set<uint64_t> seen;
   for (int i = 0; i < 500; ++i) seen.insert(rng.Uniform(8));
   EXPECT_EQ(seen.size(), 8u);
 }
 
 TEST(Rng, DoubleInUnitInterval) {
-  Rng rng(11);
+  Rng rng = testutil::SeededRng(11);
   for (int i = 0; i < 1000; ++i) {
     double d = rng.NextDouble();
     EXPECT_GE(d, 0.0);
@@ -107,7 +107,7 @@ TEST(Rng, DoubleInUnitInterval) {
 }
 
 TEST(Rng, GaussianMoments) {
-  Rng rng(13);
+  Rng rng = testutil::SeededRng(13);
   double sum = 0, sq = 0;
   const int n = 20000;
   for (int i = 0; i < n; ++i) {
@@ -120,19 +120,19 @@ TEST(Rng, GaussianMoments) {
 }
 
 TEST(Rng, StateRoundTrip) {
-  Rng a(17);
+  Rng a = testutil::SeededRng(17);
   a.Next();
   a.Next();
   uint64_t st[4];
   a.GetState(st);
-  Rng b(0);
+  Rng b = testutil::SeededRng(0);
   b.SetState(st);
   EXPECT_TRUE(a == b);
   for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Next(), b.Next());
 }
 
 TEST(Rng, BernoulliExtremes) {
-  Rng rng(19);
+  Rng rng = testutil::SeededRng(19);
   for (int i = 0; i < 100; ++i) {
     EXPECT_FALSE(rng.Bernoulli(0.0));
     EXPECT_TRUE(rng.Bernoulli(1.0));

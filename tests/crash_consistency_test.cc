@@ -27,6 +27,8 @@
 #include "checkpoint/store.h"
 #include "common/strings.h"
 #include "env/filesystem.h"
+#include "env/result_file.h"
+#include "exec/process_executor.h"
 #include "exec/replay_executor.h"
 #include "flor/record.h"
 #include "sim/parallel_replay.h"
@@ -376,6 +378,108 @@ TEST_F(CrashConsistencyTest, KilledMidGcLeavesReplayableStore) {
   ASSERT_TRUE(real_result.ok()) << real_result.status().ToString();
   EXPECT_TRUE(real_result->deferred.ok);
   EXPECT_EQ(real_result->merged_logs.Serialize(),
+            sim_result->merged_logs.Serialize());
+}
+
+TEST_F(CrashConsistencyTest, ReplayWorkerKilledMidPartitionIsRecoverable) {
+  // The process engine's crash contract: a replay worker SIGKILLed mid-
+  // partition — here after tearing a half-written frame into its result
+  // file's *final* path, the worst-case torn state — must surface as a
+  // partition-level error naming exactly that partition; the torn frame
+  // must fail to parse rather than merge as garbage; and rerunning the
+  // same plan must replay green, byte-identical to the simulated engine.
+  workloads::WorkloadProfile profile;
+  profile.name = "CrashProc";
+  profile.epochs = 12;
+  profile.sim_epoch_seconds = 100;
+  profile.sim_outer_seconds = 2;
+  profile.sim_preamble_seconds = 5;
+  profile.sim_ckpt_raw_bytes = 1 << 20;  // cheap: dense checkpoints
+  profile.task_kind = data::Task::kVision;
+  profile.real_samples = 32;
+  profile.real_batch = 8;
+  profile.real_feature_dim = 12;
+  profile.real_classes = 3;
+  profile.real_hidden = 12;
+  profile.seed = testutil::TestSeed(59);
+
+  PosixFileSystem fs(root());
+  {
+    Env env(std::make_unique<SimClock>(), &fs);
+    auto instance =
+        workloads::MakeWorkloadFactory(profile, workloads::kProbeNone)();
+    ASSERT_TRUE(instance.ok());
+    RecordSession session(
+        &env, workloads::DefaultRecordOptions(profile, "run"));
+    exec::Frame frame;
+    auto result = session.Run(instance->program.get(), &frame);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+
+  auto factory =
+      workloads::MakeWorkloadFactory(profile, workloads::kProbeInner);
+  const std::string scratch = root() + "/proc-scratch";
+
+  exec::ProcessReplayExecutorOptions popts;
+  popts.run_prefix = "run";
+  popts.num_partitions = 4;
+  popts.init_mode = InitMode::kWeak;
+  popts.scratch_dir = scratch;
+  popts.child_before_result_write = [scratch](int worker_id) {
+    if (worker_id != 1) return;
+    // The kill lands while the worker is writing its fragment to the
+    // final path (the in-place shape a naive writer would have): stage
+    // half of a framed result, then die.
+    PosixFileSystem child_fs(scratch);
+    const std::string bytes =
+        EncodeResultSections({"half", "written", "fragment"});
+    (void)child_fs.AppendFile(
+        exec::ProcessReplayExecutor::ResultFileName(1),
+        bytes.substr(0, bytes.size() / 2));
+    raise(SIGKILL);
+  };
+  auto failed = exec::ProcessReplayExecutor(&fs, popts).Run(factory);
+  ASSERT_FALSE(failed.ok());
+  const std::string msg = failed.status().message();
+  EXPECT_NE(msg.find("partition 1/4"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("signal 9"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find("partition 0"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find("partition 2"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find("partition 3"), std::string::npos) << msg;
+
+  // The torn result frame is present but never parses — Corruption, not
+  // a silently merged garbage fragment.
+  PosixFileSystem scratch_fs(scratch);
+  ASSERT_TRUE(scratch_fs.Exists(
+      exec::ProcessReplayExecutor::ResultFileName(1)));
+  auto torn = ReadResultFile(&scratch_fs,
+                             exec::ProcessReplayExecutor::ResultFileName(1));
+  ASSERT_FALSE(torn.ok());
+  EXPECT_TRUE(torn.status().IsCorruption()) << torn.status().ToString();
+  // Surviving fragments are intact and decodable.
+  for (int w : {0, 2, 3}) {
+    auto bytes = scratch_fs.ReadFile(
+        exec::ProcessReplayExecutor::ResultFileName(w));
+    ASSERT_TRUE(bytes.ok()) << "worker " << w;
+    EXPECT_TRUE(DecodeWorkerResult(*bytes).ok()) << "worker " << w;
+  }
+
+  // Rerunning the same plan replays green and byte-identical to the
+  // simulated engine — the crash left no durable damage.
+  exec::ProcessReplayExecutorOptions clean = popts;
+  clean.child_before_result_write = nullptr;
+  auto rerun = exec::ProcessReplayExecutor(&fs, clean).Run(factory);
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+  EXPECT_TRUE(rerun->deferred.ok);
+
+  sim::ClusterReplayOptions copts;
+  copts.run_prefix = "run";
+  copts.cluster.num_machines = 1;
+  copts.init_mode = InitMode::kWeak;
+  auto sim_result = sim::ClusterReplay(factory, &fs, copts);
+  ASSERT_TRUE(sim_result.ok()) << sim_result.status().ToString();
+  EXPECT_TRUE(sim_result->deferred.ok);
+  EXPECT_EQ(rerun->merged_logs.Serialize(),
             sim_result->merged_logs.Serialize());
 }
 

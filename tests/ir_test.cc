@@ -10,6 +10,7 @@
 #include "nn/optimizer.h"
 #include "nn/scheduler.h"
 #include "tensor/ops.h"
+#include "test_util.h"
 
 namespace flor {
 namespace ir {
@@ -24,7 +25,7 @@ TEST(Value, ScalarKinds) {
 }
 
 TEST(Value, FingerprintTracksReferentState) {
-  Rng rng(1);
+  Rng rng = testutil::SeededRng(1);
   nn::Linear fc("fc", 2, 2, &rng);
   Value v = Value::ModuleRef(&fc);
   const uint64_t before = v.Fingerprint();
@@ -56,7 +57,7 @@ TEST(Snapshot, TensorIsDeepCopy) {
 }
 
 TEST(Snapshot, ModuleRestoreInPlace) {
-  Rng rng(2);
+  Rng rng = testutil::SeededRng(2);
   nn::Linear fc("fc", 3, 3, &rng);
   Value v = Value::ModuleRef(&fc);
   ValueSnapshot snap = SnapshotValue(v);
@@ -68,7 +69,7 @@ TEST(Snapshot, ModuleRestoreInPlace) {
 }
 
 TEST(Snapshot, OptimizerRestoreIncludesMomentsAndLr) {
-  Rng rng(3);
+  Rng rng = testutil::SeededRng(3);
   nn::Linear fc("fc", 2, 2, &rng);
   nn::Adam adam(&fc, 0.01f);
   ops::Fill(&fc.weight().grad, 1.0f);
@@ -85,7 +86,7 @@ TEST(Snapshot, OptimizerRestoreIncludesMomentsAndLr) {
 }
 
 TEST(Snapshot, RngStateRoundTrip) {
-  Rng rng(4);
+  Rng rng = testutil::SeededRng(4);
   rng.Next();
   Value v = Value::RngRef(&rng);
   ValueSnapshot snap = SnapshotValue(v);
@@ -96,14 +97,14 @@ TEST(Snapshot, RngStateRoundTrip) {
 
 TEST(Snapshot, KindMismatchRejected) {
   ValueSnapshot snap = SnapshotValue(Value::Int(1));
-  Rng rng(5);
+  Rng rng = testutil::SeededRng(5);
   nn::Linear fc("fc", 2, 2, &rng);
   Value live = Value::ModuleRef(&fc);
   EXPECT_TRUE(RestoreValue(snap, &live).IsCorruption());
 }
 
 TEST(Snapshot, ApproxBytesScalesWithState) {
-  Rng rng(6);
+  Rng rng = testutil::SeededRng(6);
   nn::Linear small("s", 2, 2, &rng);
   nn::Linear big("b", 64, 64, &rng);
   EXPECT_GT(SnapshotValue(Value::ModuleRef(&big)).ApproxBytes(),

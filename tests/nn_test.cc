@@ -11,6 +11,7 @@
 #include "nn/scheduler.h"
 #include "nn/serialize.h"
 #include "tensor/ops.h"
+#include "test_util.h"
 
 namespace flor {
 namespace nn {
@@ -41,7 +42,7 @@ void CheckParamGradient(Module* layer, const Tensor& x, Parameter* param,
 }
 
 TEST(Linear, ForwardShapeAndBias) {
-  Rng rng(1);
+  Rng rng = testutil::SeededRng(1);
   Linear fc("fc", 3, 2, &rng);
   ops::Fill(&fc.weight().value, 0.0f);
   fc.bias().value.f32()[0] = 1.5f;
@@ -55,13 +56,13 @@ TEST(Linear, ForwardShapeAndBias) {
 }
 
 TEST(Linear, RejectsWrongInput) {
-  Rng rng(1);
+  Rng rng = testutil::SeededRng(1);
   Linear fc("fc", 3, 2, &rng);
   EXPECT_FALSE(fc.Forward(Tensor(Shape{4, 5})).ok());
 }
 
 TEST(Linear, GradientCheck) {
-  Rng rng(2);
+  Rng rng = testutil::SeededRng(2);
   Linear fc("fc", 4, 3, &rng);
   Tensor x(Shape{2, 4});
   ops::RandNormal(&x, &rng);
@@ -71,7 +72,7 @@ TEST(Linear, GradientCheck) {
 }
 
 TEST(Conv2d, GradientCheck) {
-  Rng rng(3);
+  Rng rng = testutil::SeededRng(3);
   Conv2d conv("conv", 2, 3, 3, 1, &rng);
   Tensor x(Shape{1, 2, 5, 5});
   ops::RandNormal(&x, &rng);
@@ -81,7 +82,7 @@ TEST(Conv2d, GradientCheck) {
 }
 
 TEST(Embedding, LookupAndGrad) {
-  Rng rng(4);
+  Rng rng = testutil::SeededRng(4);
   Embedding emb("emb", 10, 4, &rng);
   Tensor ids(Shape{2, 3}, std::vector<int64_t>{0, 1, 2, 3, 4, 5});
   auto y = emb.Forward(ids);
@@ -101,7 +102,7 @@ TEST(Embedding, LookupAndGrad) {
 }
 
 TEST(Embedding, RejectsOutOfVocab) {
-  Rng rng(4);
+  Rng rng = testutil::SeededRng(4);
   Embedding emb("emb", 4, 2, &rng);
   Tensor ids(Shape{1, 1}, std::vector<int64_t>{7});
   EXPECT_FALSE(emb.Forward(ids).ok());
@@ -109,7 +110,7 @@ TEST(Embedding, RejectsOutOfVocab) {
 
 TEST(LayerNorm, NormalizesRows) {
   LayerNorm ln("ln", 8);
-  Rng rng(5);
+  Rng rng = testutil::SeededRng(5);
   Tensor x(Shape{3, 8});
   ops::RandNormal(&x, &rng, 5.0f);
   auto y = ln.Forward(x);
@@ -130,7 +131,7 @@ TEST(LayerNorm, NormalizesRows) {
 
 TEST(LayerNorm, GradientCheck) {
   LayerNorm ln("ln", 6);
-  Rng rng(6);
+  Rng rng = testutil::SeededRng(6);
   Tensor x(Shape{2, 6});
   ops::RandNormal(&x, &rng);
   auto params = ln.LocalParameters();
@@ -139,7 +140,7 @@ TEST(LayerNorm, GradientCheck) {
 }
 
 TEST(Dropout, DeterministicWithSeededRng) {
-  Rng r1(7), r2(7);
+  Rng r1 = testutil::SeededRng(7), r2 = testutil::SeededRng(7);
   Dropout d1("d", 0.5f, &r1), d2("d", 0.5f, &r2);
   Tensor x(Shape{64});
   ops::Fill(&x, 1.0f);
@@ -153,7 +154,7 @@ TEST(Dropout, DeterministicWithSeededRng) {
 }
 
 TEST(Sequential, ComposesAndCollectsParams) {
-  Rng rng(8);
+  Rng rng = testutil::SeededRng(8);
   auto mlp = BuildMlp("mlp", {4, 8, 2}, &rng);
   EXPECT_EQ(mlp->Parameters().size(), 4u);  // 2 Linear layers x (W, b)
   EXPECT_EQ(mlp->ParameterCount(), 4 * 8 + 8 + 8 * 2 + 2);
@@ -164,7 +165,7 @@ TEST(Sequential, ComposesAndCollectsParams) {
 }
 
 TEST(Module, FreezeMatching) {
-  Rng rng(9);
+  Rng rng = testutil::SeededRng(9);
   auto mlp = BuildMlp("mlp", {4, 8, 2}, &rng);
   const int frozen = mlp->FreezeMatching(".fc0");
   EXPECT_EQ(frozen, 2);  // weight + bias of first layer
@@ -175,7 +176,7 @@ TEST(Module, FreezeMatching) {
 }
 
 TEST(Loss, SoftmaxCrossEntropyGradSumsToZeroPerRow) {
-  Rng rng(10);
+  Rng rng = testutil::SeededRng(10);
   Tensor logits(Shape{4, 5});
   ops::RandNormal(&logits, &rng);
   Tensor labels(Shape{4}, std::vector<int64_t>{0, 1, 2, 3});
@@ -200,7 +201,7 @@ TEST(Loss, MseKnownValue) {
 
 TEST(Sgd, DescendsQuadratic) {
   // Minimize sum((w - 3)^2) via handmade grads.
-  Rng rng(11);
+  Rng rng = testutil::SeededRng(11);
   Linear fc("fc", 1, 1, &rng);
   Sgd sgd(&fc, 0.1f);
   for (int step = 0; step < 100; ++step) {
@@ -214,7 +215,7 @@ TEST(Sgd, DescendsQuadratic) {
 }
 
 TEST(Sgd, RespectsFrozenParameters) {
-  Rng rng(12);
+  Rng rng = testutil::SeededRng(12);
   Linear fc("fc", 2, 2, &rng);
   fc.weight().frozen = true;
   const Tensor before = fc.weight().value.Clone();
@@ -227,7 +228,7 @@ TEST(Sgd, RespectsFrozenParameters) {
 }
 
 TEST(Sgd, MomentumAccelerates) {
-  Rng rng(13);
+  Rng rng = testutil::SeededRng(13);
   Linear a("a", 1, 1, &rng), b("b", 1, 1, &rng);
   ops::Fill(&a.weight().value, 10.0f);
   ops::Fill(&b.weight().value, 10.0f);
@@ -243,7 +244,7 @@ TEST(Sgd, MomentumAccelerates) {
 }
 
 TEST(Adam, DescendsQuadratic) {
-  Rng rng(14);
+  Rng rng = testutil::SeededRng(14);
   Linear fc("fc", 1, 1, &rng);
   ops::Fill(&fc.weight().value, -4.0f);
   Adam adam(&fc, 0.1f);
@@ -257,7 +258,7 @@ TEST(Adam, DescendsQuadratic) {
 }
 
 TEST(Adam, AdamWDecaysWeights) {
-  Rng rng(15);
+  Rng rng = testutil::SeededRng(15);
   Linear fc("fc", 1, 1, &rng);
   ops::Fill(&fc.weight().value, 5.0f);
   ops::Fill(&fc.bias().value, 5.0f);
@@ -270,7 +271,7 @@ TEST(Adam, AdamWDecaysWeights) {
 }
 
 TEST(Scheduler, StepLrHalves) {
-  Rng rng(16);
+  Rng rng = testutil::SeededRng(16);
   Linear fc("fc", 1, 1, &rng);
   Sgd sgd(&fc, 1.0f);
   StepLr sched(&sgd, 2, 0.5f);
@@ -284,7 +285,7 @@ TEST(Scheduler, StepLrHalves) {
 }
 
 TEST(Scheduler, CosineDecaysToMin) {
-  Rng rng(17);
+  Rng rng = testutil::SeededRng(17);
   Linear fc("fc", 1, 1, &rng);
   Sgd sgd(&fc, 1.0f);
   CosineLr sched(&sgd, 10, 0.0f);
@@ -298,7 +299,7 @@ TEST(Scheduler, CosineDecaysToMin) {
 }
 
 TEST(Scheduler, CyclicOscillates) {
-  Rng rng(18);
+  Rng rng = testutil::SeededRng(18);
   Linear fc("fc", 1, 1, &rng);
   Sgd sgd(&fc, 0.1f);
   CyclicLr sched(&sgd, 1.0f, 4);
@@ -311,9 +312,9 @@ TEST(Scheduler, CyclicOscillates) {
 }
 
 TEST(Serialize, ModuleStateRoundTrip) {
-  Rng rng(19);
+  Rng rng = testutil::SeededRng(19);
   auto src = BuildMlp("mlp", {4, 6, 2}, &rng);
-  Rng rng2(20);  // different init
+  Rng rng2 = testutil::SeededRng(20);  // different init
   auto dst = BuildMlp("mlp", {4, 6, 2}, &rng2);
   EXPECT_NE(src->StateFingerprint(), dst->StateFingerprint());
 
@@ -325,7 +326,7 @@ TEST(Serialize, ModuleStateRoundTrip) {
 }
 
 TEST(Serialize, ModuleStructureMismatchRejected) {
-  Rng rng(21);
+  Rng rng = testutil::SeededRng(21);
   auto src = BuildMlp("mlp", {4, 6, 2}, &rng);
   auto other = BuildMlp("mlp", {4, 8, 2}, &rng);
   std::string bytes;
@@ -335,7 +336,7 @@ TEST(Serialize, ModuleStructureMismatchRejected) {
 }
 
 TEST(Serialize, OptimizerStateRoundTrip) {
-  Rng rng(22);
+  Rng rng = testutil::SeededRng(22);
   Linear fc("fc", 3, 3, &rng);
   Adam src(&fc, 0.01f);
   ops::Fill(&fc.weight().grad, 0.5f);
@@ -352,7 +353,7 @@ TEST(Serialize, OptimizerStateRoundTrip) {
 }
 
 TEST(Serialize, OptimizerKindMismatchRejected) {
-  Rng rng(23);
+  Rng rng = testutil::SeededRng(23);
   Linear fc("fc", 2, 2, &rng);
   Sgd sgd(&fc, 0.1f);
   Adam adam(&fc, 0.1f);
@@ -363,7 +364,7 @@ TEST(Serialize, OptimizerKindMismatchRejected) {
 }
 
 TEST(Serialize, SchedulerStateRoundTrip) {
-  Rng rng(24);
+  Rng rng = testutil::SeededRng(24);
   Linear fc("fc", 2, 2, &rng);
   Sgd sgd(&fc, 1.0f);
   StepLr src(&sgd, 3, 0.1f);
@@ -379,7 +380,7 @@ TEST(Serialize, SchedulerStateRoundTrip) {
 
 TEST(TrainingLoop, MlpLearnsSyntheticTask) {
   // Real end-to-end learning: loss must drop substantially.
-  Rng rng(25);
+  Rng rng = testutil::SeededRng(25);
   auto mlp = BuildMlp("mlp", {8, 16, 3}, &rng);
   Sgd sgd(mlp.get(), 0.1f, 0.9f);
 

@@ -1,0 +1,444 @@
+// Process-level replay engine tests: three-engine byte identity (simulated
+// vs thread pool vs forked processes) over the shared plan, skewed
+// partitions, sampling, partition-level failure reporting, and the
+// corruption-safety of the CRC-framed worker result files.
+
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "env/result_file.h"
+#include "env/scratch.h"
+#include "exec/process_executor.h"
+#include "exec/replay_executor.h"
+#include "flor/record.h"
+#include "sim/parallel_replay.h"
+#include "test_util.h"
+#include "workloads/programs.h"
+
+namespace flor {
+namespace {
+
+using workloads::kProbeInner;
+using workloads::kProbeNone;
+using workloads::MakeWorkloadFactory;
+using workloads::WorkloadProfile;
+
+WorkloadProfile ProcProfile(int64_t epochs = 12) {
+  WorkloadProfile p;
+  p.name = "ProcT";
+  p.epochs = epochs;
+  p.sim_epoch_seconds = 100;
+  p.sim_outer_seconds = 2;
+  p.sim_preamble_seconds = 5;
+  p.sim_ckpt_raw_bytes = 1 << 20;  // cheap: dense checkpoints
+  p.task_kind = data::Task::kVision;
+  p.real_samples = 32;
+  p.real_batch = 8;
+  p.real_feature_dim = 12;
+  p.real_classes = 3;
+  p.real_hidden = 12;
+  p.seed = testutil::TestSeed(29);
+  return p;
+}
+
+void RecordOnto(FileSystem* fs, const WorkloadProfile& profile) {
+  Env env(std::make_unique<SimClock>(), fs);
+  auto instance = MakeWorkloadFactory(profile, kProbeNone)();
+  ASSERT_TRUE(instance.ok());
+  RecordSession session(&env,
+                        workloads::DefaultRecordOptions(profile, "run"));
+  exec::Frame frame;
+  auto result = session.Run(instance->program.get(), &frame);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+Result<exec::ProcessReplayExecutorResult> RunProcesses(
+    FileSystem* fs, const WorkloadProfile& p, int partitions,
+    exec::ProcessReplayExecutorOptions opts = {}) {
+  opts.run_prefix = "run";
+  opts.num_partitions = partitions;
+  opts.init_mode = InitMode::kWeak;
+  exec::ProcessReplayExecutor executor(fs, opts);
+  return executor.Run(MakeWorkloadFactory(p, kProbeInner));
+}
+
+Result<exec::ReplayExecutorResult> RunThreads(FileSystem* fs,
+                                              const WorkloadProfile& p,
+                                              int threads, int partitions) {
+  exec::ReplayExecutorOptions xopts;
+  xopts.run_prefix = "run";
+  xopts.num_threads = threads;
+  xopts.num_partitions = partitions;
+  xopts.init_mode = InitMode::kWeak;
+  exec::ReplayExecutor executor(fs, xopts);
+  return executor.Run(MakeWorkloadFactory(p, kProbeInner));
+}
+
+class ProcessReplayTest : public testutil::ScratchDirTest {};
+
+TEST_F(ProcessReplayTest, ThreeEngineByteIdentityAcrossPartitionCounts) {
+  PosixFileSystem fs(root());
+  const WorkloadProfile profile = ProcProfile();
+  RecordOnto(&fs, profile);
+
+  // Engine 1: simulated cluster (the paper-scale model), G=4.
+  sim::ClusterReplayOptions copts;
+  copts.run_prefix = "run";
+  copts.cluster.num_machines = 1;
+  copts.init_mode = InitMode::kWeak;
+  auto sim_result = sim::ClusterReplay(
+      MakeWorkloadFactory(profile, kProbeInner), &fs, copts);
+  ASSERT_TRUE(sim_result.ok()) << sim_result.status().ToString();
+  ASSERT_TRUE(sim_result->deferred.ok);
+  const std::string baseline = sim_result->merged_logs.Serialize();
+  ASSERT_FALSE(baseline.empty());
+
+  // Engines 2 and 3 must merge the exact same bytes at every partition
+  // count (merging concatenates partitions in epoch order, so G is
+  // invisible in the merged stream).
+  for (int partitions : {1, 2, 4, 8}) {
+    auto threaded = RunThreads(&fs, profile, partitions, partitions);
+    ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+    EXPECT_TRUE(threaded->deferred.ok);
+    EXPECT_EQ(threaded->merged_logs.Serialize(), baseline)
+        << "thread engine diverges at G=" << partitions;
+
+    auto proc = RunProcesses(&fs, profile, partitions);
+    ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+    EXPECT_TRUE(proc->deferred.ok)
+        << (proc->deferred.anomalies.empty() ? ""
+                                             : proc->deferred.anomalies[0]);
+    EXPECT_EQ(proc->merged_logs.Serialize(), baseline)
+        << "process engine diverges at G=" << partitions;
+    EXPECT_EQ(proc->processes_used, proc->workers_used);
+    EXPECT_EQ(proc->workers_used, threaded->workers_used);
+    EXPECT_GT(proc->wall_seconds, 0);
+
+    // Full-stats parity with the thread engine, not just the log bytes:
+    // the result files carried everything across the process boundary.
+    EXPECT_EQ(proc->partition_segments, threaded->partition_segments);
+    EXPECT_EQ(proc->effective_init, threaded->effective_init);
+    EXPECT_EQ(proc->deferred.entries_compared,
+              threaded->deferred.entries_compared);
+    EXPECT_EQ(proc->skipblocks.executed, threaded->skipblocks.executed);
+    EXPECT_EQ(proc->skipblocks.skipped, threaded->skipblocks.skipped);
+    EXPECT_EQ(proc->skipblocks.restores, threaded->skipblocks.restores);
+    ASSERT_EQ(proc->probe_entries.size(), threaded->probe_entries.size());
+    for (size_t i = 0; i < proc->probe_entries.size(); ++i)
+      EXPECT_EQ(proc->probe_entries[i], threaded->probe_entries[i]);
+    ASSERT_EQ(proc->worker_seconds.size(), threaded->worker_seconds.size());
+  }
+}
+
+TEST_F(ProcessReplayTest, SkewedPartitionsStress) {
+  PosixFileSystem fs(root());
+  // Expensive checkpoints make the adaptive controller sparse (the RTE
+  // regime): fewer boundary epochs than requested partitions, so the
+  // planner clamps and the surviving segments are skewed.
+  WorkloadProfile profile = ProcProfile(18);
+  profile.sim_ckpt_raw_bytes = 4ull << 30;
+  RecordOnto(&fs, profile);
+
+  auto threaded = RunThreads(&fs, profile, /*threads=*/2, /*partitions=*/8);
+  ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+
+  auto proc = RunProcesses(&fs, profile, /*partitions=*/8);
+  ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+  EXPECT_TRUE(proc->deferred.ok)
+      << (proc->deferred.anomalies.empty() ? ""
+                                           : proc->deferred.anomalies[0]);
+  EXPECT_LT(proc->workers_used, 8);
+  EXPECT_GE(proc->workers_used, 2);
+  EXPECT_EQ(proc->workers_used, threaded->workers_used);
+  EXPECT_EQ(proc->merged_logs.Serialize(),
+            threaded->merged_logs.Serialize());
+}
+
+TEST_F(ProcessReplayTest, SamplingReplayRunsSingleProcess) {
+  PosixFileSystem fs(root());
+  const WorkloadProfile profile = ProcProfile(12);
+  RecordOnto(&fs, profile);
+
+  exec::ProcessReplayExecutorOptions popts;
+  popts.sample_epochs = {3, 7};
+  auto proc = RunProcesses(&fs, profile, /*partitions=*/4, popts);
+  ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+  EXPECT_EQ(proc->processes_used, 1);
+  EXPECT_EQ(proc->worker_seconds.size(), 1u);
+  EXPECT_TRUE(proc->deferred.ok);
+  // Probe output for exactly the sampled epochs' batches.
+  EXPECT_EQ(proc->probe_entries.size(), 2u * 4u);
+
+  exec::ReplayExecutorOptions xopts;
+  xopts.run_prefix = "run";
+  xopts.num_threads = 4;
+  xopts.sample_epochs = {3, 7};
+  xopts.init_mode = InitMode::kWeak;
+  auto threaded = exec::ReplayExecutor(&fs, xopts)
+                      .Run(MakeWorkloadFactory(profile, kProbeInner));
+  ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+  EXPECT_EQ(proc->merged_logs.Serialize(),
+            threaded->merged_logs.Serialize());
+}
+
+TEST_F(ProcessReplayTest, MemFileSystemRecordReplaysViaForkSnapshot) {
+  // The benches record into a MemFileSystem; children read the record
+  // artifacts through fork's copy-on-write snapshot while results travel
+  // through the posix scratch directory.
+  MemFileSystem fs;
+  const WorkloadProfile profile = ProcProfile();
+  {
+    Env env(std::make_unique<SimClock>(), &fs);
+    auto instance = MakeWorkloadFactory(profile, kProbeNone)();
+    ASSERT_TRUE(instance.ok());
+    RecordSession session(&env,
+                          workloads::DefaultRecordOptions(profile, "run"));
+    exec::Frame frame;
+    auto recorded = session.Run(instance->program.get(), &frame);
+    ASSERT_TRUE(recorded.ok()) << recorded.status().ToString();
+  }
+
+  auto proc = RunProcesses(&fs, profile, /*partitions=*/4);
+  ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+  EXPECT_TRUE(proc->deferred.ok);
+
+  auto threaded = RunThreads(&fs, profile, /*threads=*/4, /*partitions=*/4);
+  ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+  EXPECT_EQ(proc->merged_logs.Serialize(),
+            threaded->merged_logs.Serialize());
+}
+
+TEST_F(ProcessReplayTest, ReportsExactlyWhichPartitionDied) {
+  PosixFileSystem fs(root());
+  const WorkloadProfile profile = ProcProfile();
+  RecordOnto(&fs, profile);
+
+  const std::string scratch = root() + "/scratch";
+  exec::ProcessReplayExecutorOptions popts;
+  popts.scratch_dir = scratch;
+  popts.child_before_session = [](int worker_id) {
+    if (worker_id == 1) raise(SIGKILL);  // a worker lost mid-partition
+  };
+  auto failed = RunProcesses(&fs, profile, /*partitions=*/4, popts);
+  ASSERT_FALSE(failed.ok());
+  const std::string msg = failed.status().message();
+  EXPECT_NE(msg.find("partition 1/4"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("signal 9"), std::string::npos) << msg;
+  // Only the dead partition is reported...
+  EXPECT_EQ(msg.find("partition 0"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find("partition 2"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find("partition 3"), std::string::npos) << msg;
+
+  // ...and the surviving workers' fragments are intact on disk: present,
+  // CRC-clean, and decodable into non-empty log fragments.
+  PosixFileSystem scratch_fs(scratch);
+  for (int w : {0, 2, 3}) {
+    auto bytes = scratch_fs.ReadFile(
+        exec::ProcessReplayExecutor::ResultFileName(w));
+    ASSERT_TRUE(bytes.ok()) << "worker " << w;
+    auto decoded = DecodeWorkerResult(*bytes);
+    ASSERT_TRUE(decoded.ok())
+        << "worker " << w << ": " << decoded.status().ToString();
+    EXPECT_GT(decoded->logs.size(), 0u) << "worker " << w;
+  }
+  EXPECT_FALSE(scratch_fs.Exists(
+      exec::ProcessReplayExecutor::ResultFileName(1)));
+
+  // Rerunning the same plan without the fault replays green.
+  exec::ProcessReplayExecutorOptions clean;
+  clean.scratch_dir = scratch;
+  auto rerun = RunProcesses(&fs, profile, /*partitions=*/4, clean);
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+  EXPECT_TRUE(rerun->deferred.ok);
+}
+
+TEST_F(ProcessReplayTest, AutoScratchIsPreservedOnPartitionFailure) {
+  // With no caller-supplied scratch_dir, the executor mkdtemps its own —
+  // normally removed after the run, but on a partition failure it must be
+  // preserved (and named in the error) so the surviving fragments stay
+  // inspectable.
+  PosixFileSystem fs(root());
+  const WorkloadProfile profile = ProcProfile();
+  RecordOnto(&fs, profile);
+
+  exec::ProcessReplayExecutorOptions popts;  // scratch_dir empty
+  popts.child_before_session = [](int worker_id) {
+    if (worker_id == 1) raise(SIGKILL);
+  };
+  auto failed = RunProcesses(&fs, profile, /*partitions=*/4, popts);
+  ASSERT_FALSE(failed.ok());
+  const std::string msg = failed.status().message();
+  const std::string marker = "[surviving fragments in ";
+  const size_t at = msg.find(marker);
+  ASSERT_NE(at, std::string::npos) << msg;
+  const size_t end = msg.find(']', at);
+  ASSERT_NE(end, std::string::npos) << msg;
+  const std::string scratch =
+      msg.substr(at + marker.size(), end - at - marker.size());
+
+  PosixFileSystem scratch_fs(scratch);
+  for (int w : {0, 2, 3}) {
+    auto bytes = scratch_fs.ReadFile(
+        exec::ProcessReplayExecutor::ResultFileName(w));
+    ASSERT_TRUE(bytes.ok()) << "worker " << w << " in " << scratch;
+    EXPECT_TRUE(DecodeWorkerResult(*bytes).ok()) << "worker " << w;
+  }
+  std::filesystem::remove_all(scratch);  // manual cleanup of the keep
+}
+
+TEST_F(ProcessReplayTest, ChildReplayFailureReturnsPartitionStatus) {
+  PosixFileSystem fs(root());
+  const WorkloadProfile profile = ProcProfile();
+  RecordOnto(&fs, profile);
+
+  // Single-worker (sampling) plan whose child deletes the record logs
+  // before replaying: the session fails inside the child and the status
+  // must cross the process boundary through the framed error file.
+  const std::string run_root = root();
+  exec::ProcessReplayExecutorOptions popts;
+  popts.sample_epochs = {3};
+  popts.child_before_session = [run_root](int) {
+    PosixFileSystem child_fs(run_root);
+    (void)child_fs.DeleteFile("run/logs.tsv");
+    (void)child_fs.DeleteFile("run/manifest.tsv");
+  };
+  auto failed = RunProcesses(&fs, profile, /*partitions=*/1, popts);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.status().message().find("partition 0/1"),
+            std::string::npos)
+      << failed.status().ToString();
+  EXPECT_TRUE(failed.status().IsNotFound()) << failed.status().ToString();
+}
+
+TEST_F(ProcessReplayTest, StaleScratchFilesNeverPassForFreshResults) {
+  PosixFileSystem fs(root());
+  const WorkloadProfile profile = ProcProfile();
+  RecordOnto(&fs, profile);
+
+  // Seed the caller-supplied scratch dir with plausible-looking garbage at
+  // every worker path; the run must clear it and still merge correctly.
+  const std::string scratch = root() + "/scratch";
+  PosixFileSystem scratch_fs(scratch);
+  for (int w = 0; w < 4; ++w) {
+    ASSERT_TRUE(scratch_fs
+                    .WriteFile(
+                        exec::ProcessReplayExecutor::ResultFileName(w),
+                        "stale garbage from a previous run")
+                    .ok());
+  }
+  exec::ProcessReplayExecutorOptions popts;
+  popts.scratch_dir = scratch;
+  auto proc = RunProcesses(&fs, profile, /*partitions=*/4, popts);
+  ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+  EXPECT_TRUE(proc->deferred.ok);
+
+  auto threaded = RunThreads(&fs, profile, /*threads=*/4, /*partitions=*/4);
+  ASSERT_TRUE(threaded.ok());
+  EXPECT_EQ(proc->merged_logs.Serialize(),
+            threaded->merged_logs.Serialize());
+}
+
+// ------------------------------------------- result-file corruption ---
+
+TEST_F(ProcessReplayTest, WorkerResultRoundTripsExactly) {
+  PosixFileSystem fs(root());
+  const WorkloadProfile profile = ProcProfile();
+  RecordOnto(&fs, profile);
+
+  const std::string scratch = root() + "/scratch";
+  exec::ProcessReplayExecutorOptions popts;
+  popts.scratch_dir = scratch;
+  auto proc = RunProcesses(&fs, profile, /*partitions=*/2, popts);
+  ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+
+  PosixFileSystem scratch_fs(scratch);
+  for (int w = 0; w < 2; ++w) {
+    auto bytes = scratch_fs.ReadFile(
+        exec::ProcessReplayExecutor::ResultFileName(w));
+    ASSERT_TRUE(bytes.ok());
+    auto decoded = DecodeWorkerResult(*bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    // Re-encoding the decoded result reproduces the file bit-exactly —
+    // the codec loses nothing (doubles travel as hexfloat).
+    EXPECT_EQ(EncodeWorkerResult(*decoded), *bytes) << "worker " << w;
+  }
+}
+
+TEST_F(ProcessReplayTest, TruncatedOrMutatedResultFileNeverParses) {
+  // Property test mirroring the manifest fuzz suite: any truncation or
+  // byte mutation of a real worker result file must yield Corruption —
+  // never a crash, and never a silently decoded garbage fragment.
+  PosixFileSystem fs(root());
+  const WorkloadProfile profile = ProcProfile(6);
+  RecordOnto(&fs, profile);
+
+  const std::string scratch = root() + "/scratch";
+  exec::ProcessReplayExecutorOptions popts;
+  popts.scratch_dir = scratch;
+  auto proc = RunProcesses(&fs, profile, /*partitions=*/2, popts);
+  ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+
+  PosixFileSystem scratch_fs(scratch);
+  auto bytes = scratch_fs.ReadFile(
+      exec::ProcessReplayExecutor::ResultFileName(0));
+  ASSERT_TRUE(bytes.ok());
+  const std::string& full = *bytes;
+  ASSERT_TRUE(DecodeWorkerResult(full).ok());
+
+  Rng rng = testutil::SeededRng(53);
+  // Every strict-prefix truncation in a window around each end plus a
+  // random sample of interior cuts (O(n^2) over the whole file is slow).
+  std::vector<size_t> cuts;
+  for (size_t n = 0; n < std::min<size_t>(64, full.size()); ++n) {
+    cuts.push_back(n);
+    cuts.push_back(full.size() - 1 - n);
+  }
+  for (int i = 0; i < 200; ++i) cuts.push_back(rng.Uniform(full.size()));
+  for (size_t cut : cuts) {
+    auto got = DecodeWorkerResult(full.substr(0, cut));
+    ASSERT_FALSE(got.ok()) << "cut at " << cut << " parsed";
+    EXPECT_TRUE(got.status().IsCorruption())
+        << "cut at " << cut << ": " << got.status().ToString();
+  }
+  // Random single- and few-byte mutations.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = full;
+    const int flips = 1 + static_cast<int>(rng.Uniform(3));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = rng.Uniform(mutated.size());
+      const char old = mutated[pos];
+      char next = static_cast<char>(rng.Uniform(256));
+      while (next == old) next = static_cast<char>(rng.Uniform(256));
+      mutated[pos] = next;
+    }
+    auto got = DecodeWorkerResult(mutated);
+    ASSERT_FALSE(got.ok()) << "trial " << trial << " parsed";
+    EXPECT_TRUE(got.status().IsCorruption())
+        << "trial " << trial << ": " << got.status().ToString();
+  }
+  // A missing result file is NotFound, not Corruption.
+  auto missing = ReadResultFile(&scratch_fs, "worker-9.res");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound());
+}
+
+TEST_F(ProcessReplayTest, MissingRecordRunFailsCleanly) {
+  PosixFileSystem fs(root());  // nothing recorded
+  const WorkloadProfile profile = ProcProfile();
+  auto result = RunProcesses(&fs, profile, /*partitions=*/2);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace flor
+
+#endif  // __unix__ || __APPLE__

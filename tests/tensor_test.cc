@@ -6,6 +6,7 @@
 
 #include "tensor/ops.h"
 #include "tensor/serialize.h"
+#include "test_util.h"
 
 namespace flor {
 namespace {
@@ -72,7 +73,7 @@ TEST(Ops, FillAndScale) {
 
 TEST(Ops, RandDeterministic) {
   Tensor a(Shape{64}), b(Shape{64});
-  Rng r1(5), r2(5);
+  Rng r1 = testutil::SeededRng(5), r2 = testutil::SeededRng(5);
   ops::RandNormal(&a, &r1);
   ops::RandNormal(&b, &r2);
   EXPECT_TRUE(a.Equals(b));

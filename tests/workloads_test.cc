@@ -5,6 +5,7 @@
 
 #include "exec/interpreter.h"
 #include "flor/instrument.h"
+#include "test_util.h"
 #include "workloads/programs.h"
 
 namespace flor {
@@ -84,7 +85,7 @@ TEST(Models, FreezeBackboneFreezesMajority) {
 
 TEST(Models, OptimizerAndSchedulerKinds) {
   auto rte = *WorkloadByName("RTE");
-  Rng rng(1);
+  Rng rng = testutil::SeededRng(1);
   auto net = BuildModel(rte, &rng);
   auto opt = BuildOptimizer(rte, net.get());
   EXPECT_EQ(opt->Kind(), "adamw");
