@@ -1,18 +1,34 @@
 // Figure 14 — cost comparison for performing the same amount of work
-// serially vs. in parallel.
+// serially vs. in parallel, plus the tiered-retention cost/latency
+// frontier that the local->bucket checkpoint store opens up.
 //
-// Serial: one P3.2xLarge (1 GPU) runs the full re-execution. Parallel: N
-// P3.8xLarge machines (4 GPUs each) run the partitioned replay. "Parallel
+// Part 1 (the paper's figure): serial on one P3.2xLarge (1 GPU) vs the
+// partitioned replay on N P3.8xLarge machines (4 GPUs each). "Parallel
 // executions take less time but run on more expensive hardware"; because
 // Flor's parallelism is nearly ideal, the dollar costs come out almost
 // equal while wall-clock time drops ~Nx.
+//
+// Part 2 (tiered frontier): sweep local keep-last-K (demotion to the
+// bucket mirror) x bucket keep-last-K' (final-tier retirement). Each
+// point records with spool-as-you-materialize, applies both retention
+// tiers, then replays through the tiered store with rehydration off so
+// every bucket fault is visible. Reported per point: bytes held on each
+// tier, the S3 monthly bill for the bucket tier, replay latency (bucket
+// restores are charged at s3_read_bps by the cost model), bucket fault
+// count, and cluster cost — the storage-vs-replay-latency trade-off an
+// operator tunes K/K' against. Merged replay logs must stay
+// byte-identical to the unretired baseline at every point.
 
 #include <cstdio>
 
 #include "bench_util.h"
+#include "checkpoint/gc.h"
+#include "checkpoint/spool.h"
 
 int main() {
   using namespace flor;
+
+  bench::BenchJson json("fig14_cost");
 
   std::printf("Figure 14: Cost of the same work, serial (P3.2xLarge) vs "
               "parallel (N x P3.8xLarge).\n\n");
@@ -59,11 +75,146 @@ int main() {
                 HumanSeconds(result->latency_seconds).c_str(),
                 HumanDollars(result->total_cost_dollars).c_str(),
                 result->total_cost_dollars / serial_cost);
+    json.Row()
+        .Field("stage", "serial_vs_parallel")
+        .Field("workload", c.name)
+        .Field("machines", c.machines)
+        .Field("serial_seconds", vanilla)
+        .Field("serial_cost_dollars", serial_cost)
+        .Field("parallel_seconds", result->latency_seconds)
+        .Field("parallel_cost_dollars", result->total_cost_dollars);
   }
   bench::Hr();
   std::printf("Paper shape: parallel replay costs about the same as serial "
               "(near-ideal\nparallelism) while cutting wall-clock time by "
               "roughly the worker count; the\nmarginal cost of parallelism "
               "stays under a few dollars.\n");
+
+  // --- Part 2: tiered-retention frontier -------------------------------
+  // One workload, swept over local K x bucket K'. K=0 keeps every
+  // checkpoint local (no demotion, zero faults); K>0 demotes all but the
+  // newest K epochs to the bucket, so replay restores fault back in over
+  // the modeled S3 link. K'>0 additionally prunes the manifest to the
+  // newest K' epochs, shrinking both tiers at the price of fewer restore
+  // boundaries (more re-execution).
+  const Case frontier_case = cases.front();
+  auto frontier_profile_or = workloads::WorkloadByName(frontier_case.name);
+  FLOR_CHECK(frontier_profile_or.ok());
+  const auto& frontier_profile = *frontier_profile_or;
+
+  std::vector<int64_t> local_ks = {0, 1, 2};
+  const std::vector<int64_t> bucket_ks = {0, 4};
+  if (bench::SmokeMode()) local_ks = {0, 1};
+
+  std::printf("\nTiered retention frontier (%s-%d, bucket fall-through, "
+              "rehydration off):\n\n", frontier_case.name,
+              frontier_case.machines);
+  std::printf("%4s %4s %10s %10s %10s %12s %7s %10s\n", "K", "K'", "local",
+              "bucket", "S3/mo", "latency", "faults", "cost");
+  bench::Hr();
+
+  std::string baseline_logs;  // merged logs of the K=0, K'=0 point
+  double baseline_latency = 0;
+  for (int64_t local_k : local_ks) {
+    for (int64_t bucket_k : bucket_ks) {
+      MemFileSystem fs;
+      Env env(std::make_unique<SimClock>(), &fs);
+      auto instance = workloads::MakeWorkloadFactory(
+          frontier_profile, workloads::kProbeNone)();
+      FLOR_CHECK(instance.ok()) << instance.status().ToString();
+      RecordOptions opts =
+          workloads::DefaultRecordOptions(frontier_profile, "run");
+      opts.spool_prefix = "s3";     // bucket mirror, spooled as materialized
+      opts.gc.keep_last_k = local_k;  // end-of-run demotion
+      RecordSession session(&env, opts);
+      exec::Frame frame;
+      auto recorded = session.Run(instance->program.get(), &frame);
+      FLOR_CHECK(recorded.ok()) << recorded.status().ToString();
+
+      if (bucket_k > 0) {
+        BucketGcPolicy bpolicy;
+        bpolicy.keep_last_k = bucket_k;
+        auto pruned = RetireBucketRun(&fs, "run/manifest.tsv", "run/ckpt",
+                                      "s3", bpolicy);
+        FLOR_CHECK(pruned.ok()) << pruned.status().ToString();
+        FLOR_CHECK(pruned->ok());
+      }
+
+      // Tier footprints at paper scale: nominal per-checkpoint size x
+      // objects held, the same convention as the Table 4 bench (the tiny
+      // test-model snapshots themselves are a few KB).
+      const uint64_t nominal = frontier_profile.NominalStoredBytes();
+      const uint64_t local_bytes =
+          nominal * fs.ListPrefix("run/ckpt/").size();
+      const uint64_t bucket_bytes =
+          nominal * fs.ListPrefix("s3/run/ckpt/").size();
+      const double s3_monthly = S3MonthlyCost(bucket_bytes);
+
+      sim::ClusterReplayOptions copts;
+      copts.run_prefix = "run";
+      copts.cluster.num_machines = frontier_case.machines;
+      copts.cluster.instance = sim::kP3_8xLarge;
+      copts.init_mode = InitMode::kWeak;
+      copts.costs = sim::PaperPlatformCosts();
+      copts.bucket_prefix = "s3";
+      copts.bucket_rehydrate = false;  // every bucket restore stays visible
+      auto replay = sim::ClusterReplay(
+          workloads::MakeWorkloadFactory(frontier_profile,
+                                         workloads::kProbeInner),
+          &fs, copts);
+      FLOR_CHECK(replay.ok()) << replay.status().ToString();
+      FLOR_CHECK(replay->deferred.ok);
+
+      // Retention must never change what hindsight replay computes: every
+      // point's merged logs are byte-identical to the unretired baseline.
+      const std::string logs = replay->merged_logs.Serialize();
+      if (local_k == 0 && bucket_k == 0) {
+        baseline_logs = logs;
+        baseline_latency = replay->latency_seconds;
+      }
+      FLOR_CHECK(logs == baseline_logs);
+
+      if (local_k == 0) {
+        // Nothing was demoted; surviving records all have local copies.
+        FLOR_CHECK(replay->bucket_faults == 0);
+      } else if (bucket_k == 0) {
+        // Dense manifest, local tier pruned to K epochs: restores below
+        // the local horizon must fault in from the bucket.
+        FLOR_CHECK(replay->bucket_faults > 0);
+      }
+      if (replay->bucket_faults > 0) {
+        // Faulted restores are charged at the S3 read link; the frontier
+        // never beats the all-local baseline on latency.
+        FLOR_CHECK(replay->latency_seconds >= baseline_latency - 1e-9);
+      }
+
+      std::printf("%4lld %4lld %10s %10s %10s %12s %7lld %10s\n",
+                  static_cast<long long>(local_k),
+                  static_cast<long long>(bucket_k),
+                  HumanBytes(local_bytes).c_str(),
+                  HumanBytes(bucket_bytes).c_str(),
+                  HumanDollars(s3_monthly).c_str(),
+                  HumanSeconds(replay->latency_seconds).c_str(),
+                  static_cast<long long>(replay->bucket_faults),
+                  HumanDollars(replay->total_cost_dollars).c_str());
+      json.Row()
+          .Field("stage", "tiered_frontier")
+          .Field("workload", frontier_case.name)
+          .Field("machines", frontier_case.machines)
+          .Field("local_keep_k", local_k)
+          .Field("bucket_keep_k", bucket_k)
+          .Field("local_bytes", static_cast<int64_t>(local_bytes))
+          .Field("bucket_bytes", static_cast<int64_t>(bucket_bytes))
+          .Field("s3_monthly_cost_dollars", s3_monthly)
+          .Field("bucket_faults", replay->bucket_faults)
+          .Field("latency_seconds", replay->latency_seconds)
+          .Field("cluster_cost_dollars", replay->total_cost_dollars);
+    }
+  }
+  bench::Hr();
+  std::printf("Demotion (K) trades local disk for replay latency at equal "
+              "durability; bucket\nretirement (K') caps the S3 bill at the "
+              "price of fewer restore boundaries.\nMerged replay logs stay "
+              "byte-identical at every point.\n");
   return 0;
 }

@@ -138,7 +138,7 @@ int main() {
   std::printf("\nBackground lifecycle sweep (record+spool+gc, automatic):"
               "\n\n");
   std::printf("%-5s %7s %7s %7s %9s %9s %9s %12s\n", "Name", "shards",
-              "keepK", "ckpts", "spooled", "retired", "left", "record");
+              "keepK", "ckpts", "spooled", "demoted", "local", "record");
   bench::Hr();
 
   const int kLifecycleShards[] = {1, 4};
@@ -185,11 +185,14 @@ int main() {
         FLOR_CHECK(result.ok()) << result.status().ToString();
 
         // The pipeline was automatic: every materialized checkpoint is in
-        // the bucket (spooled before retirement — the durable archive),
-        // and the local store holds exactly the survivors.
+        // the bucket (the durable archive), and — because the spool mirror
+        // is the store's bucket tier — the GC *demoted*: the manifest
+        // stays complete while the local store keeps only the newest K
+        // epochs per loop.
         const int64_t materialized =
-            result->gc_report.retired_objects() +
             static_cast<int64_t>(result->manifest.records.size());
+        const int64_t local_objects =
+            materialized - result->gc_report.retired_objects();
         FLOR_CHECK(result->spool_report.ok())
             << result->spool_report.first_error;
         FLOR_CHECK_EQ(result->spool_report.objects, materialized);
@@ -198,7 +201,7 @@ int main() {
             materialized);
         FLOR_CHECK_EQ(
             static_cast<int64_t>(fs.ListPrefix("run/ckpt/").size()),
-            static_cast<int64_t>(result->manifest.records.size()));
+            local_objects);
 
         if (keep_k == 0) {
           // Retention disabled: a guaranteed no-op.
@@ -214,12 +217,18 @@ int main() {
                 << "lifecycle changed the shard-1 manifest bytes";
           }
         } else {
-          // Keep-last-K held: at most K epochs per loop survive locally.
-          std::map<int32_t, std::set<int64_t>> epochs;
+          // Demotion held keep-last-K *locally*: at most K epochs per
+          // loop still have a local object; the rest are bucket-only.
+          FLOR_CHECK(result->gc_report.demoted_to_bucket);
+          FLOR_CHECK_EQ(result->gc_report.skipped_unspooled(), 0);
+          CheckpointStore local_store(&fs, "run/ckpt",
+                                      result->manifest.shard_count);
+          std::map<int32_t, std::set<int64_t>> local_epochs;
           for (const auto& r : result->manifest.records) {
-            if (r.epoch >= 0) epochs[r.key.loop_id].insert(r.epoch);
+            if (r.epoch >= 0 && local_store.Exists(r.key))
+              local_epochs[r.key.loop_id].insert(r.epoch);
           }
-          for (const auto& [loop_id, set] : epochs) {
+          for (const auto& [loop_id, set] : local_epochs) {
             FLOR_CHECK_LE(static_cast<int64_t>(set.size()), keep_k)
                 << "loop " << loop_id;
           }
@@ -233,9 +242,8 @@ int main() {
             .Field("checkpoints", materialized)
             .Field("spooled_objects", result->spool_report.objects)
             .Field("spool_batches", result->spool_report.batches)
-            .Field("retired_objects", result->gc_report.retired_objects())
-            .Field("surviving_objects",
-                   static_cast<int64_t>(result->manifest.records.size()))
+            .Field("demoted_objects", result->gc_report.retired_objects())
+            .Field("local_objects", local_objects)
             .Field("seconds", seconds);
 
         std::printf("%-5s %7d %7lld %7lld %9lld %9lld %9lld %12s\n",
@@ -245,7 +253,7 @@ int main() {
                     static_cast<long long>(result->spool_report.objects),
                     static_cast<long long>(
                         result->gc_report.retired_objects()),
-                    static_cast<long long>(result->manifest.records.size()),
+                    static_cast<long long>(local_objects),
                     HumanSeconds(seconds).c_str());
       }
     }

@@ -66,18 +66,20 @@ echo "== bench smoke (BENCH_SMOKE=1) =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure --no-tests=error \
       -j "${JOBS}" -L bench_smoke
 
-echo "== bench JSON capture (BENCH_fig10/fig13/table4.json) =="
+echo "== bench JSON capture (BENCH_fig10/fig13/fig14/table4.json) =="
 BENCH_SMOKE=1 BENCH_JSON=BENCH_fig10.json \
     "${BUILD_DIR}/bench_fig10_parallel_replay" > /dev/null
 BENCH_SMOKE=1 BENCH_JSON=BENCH_fig13.json \
     "${BUILD_DIR}/bench_fig13_scaleout" > /dev/null
+BENCH_SMOKE=1 BENCH_JSON=BENCH_fig14.json \
+    "${BUILD_DIR}/bench_fig14_cost" > /dev/null
 BENCH_SMOKE=1 BENCH_JSON=BENCH_table4.json \
     "${BUILD_DIR}/bench_table4_storage" > /dev/null
-echo "wrote BENCH_fig10.json BENCH_fig13.json BENCH_table4.json"
+echo "wrote BENCH_fig10.json BENCH_fig13.json BENCH_fig14.json BENCH_table4.json"
 
 if [[ -n "${BENCH_BASELINE:-}" ]]; then
   echo "== bench regression diff vs ${BENCH_BASELINE} =="
-  for f in BENCH_fig10.json BENCH_fig13.json BENCH_table4.json; do
+  for f in BENCH_fig10.json BENCH_fig13.json BENCH_fig14.json BENCH_table4.json; do
     if [[ -f "${BENCH_BASELINE}/${f}" ]]; then
       python3 scripts/bench_diff.py "${BENCH_BASELINE}/${f}" "${f}"
     else
@@ -91,14 +93,17 @@ if [[ "${FLOR_TSAN:-0}" != "0" ]]; then
   cmake -B "${BUILD_DIR}-tsan" -S . "${TSAN_ARGS[@]}"
   cmake --build "${BUILD_DIR}-tsan" -j "${JOBS}" \
         --target replay_executor_test spool_test \
-                 process_executor_test crash_consistency_test
+                 process_executor_test crash_consistency_test \
+                 tiered_store_test
   # `tsan` labels the suites exercising real threads (thread-pool replay
   # engine, spool/shard batching); `proc` labels the fork-heavy suites
-  # (process replay engine, SIGKILL crash harness). Both run instrumented:
-  # every fork happens from a single-threaded coordinator and the children
-  # stay single-threaded, which ThreadSanitizer supports.
+  # (process replay engine, SIGKILL crash harness); `tiered` labels the
+  # tiered-store suite racing bucket fault-in against local GC demotion.
+  # All run instrumented: every fork happens from a single-threaded
+  # coordinator and the children stay single-threaded, which
+  # ThreadSanitizer supports.
   ctest --test-dir "${BUILD_DIR}-tsan" --output-on-failure \
-        --no-tests=error -j "${JOBS}" -L 'tsan|proc'
+        --no-tests=error -j "${JOBS}" -L 'tsan|proc|tiered'
 fi
 
 echo "== OK =="

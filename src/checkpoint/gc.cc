@@ -3,9 +3,23 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <unordered_set>
 #include <utility>
 
 namespace flor {
+
+namespace {
+
+/// True when `rec` is an epoch-level checkpoint — its ctx is a single
+/// "e=N" segment, i.e. a direct child of the main loop. Init-mode restore
+/// only ever targets these (restoring an epoch-level loop *skips* its
+/// body, so deeper nested loops are never entered during init), which is
+/// why epoch pins protect exactly this class of records.
+bool IsEpochLevel(const CheckpointRecord& rec) {
+  return rec.key.ctx.find('/') == std::string::npos;
+}
+
+}  // namespace
 
 std::vector<size_t> PlanRetirement(const Manifest& manifest,
                                    const GcPolicy& policy) {
@@ -22,7 +36,10 @@ std::vector<size_t> PlanRetirement(const Manifest& manifest,
     if (rec.epoch >= 0) epochs_by_loop[rec.key.loop_id].insert(rec.epoch);
   }
 
-  // Keep set per loop: the K most recent epochs plus every pinned one.
+  // Keep set per loop: the K most recent epochs. Pins are applied per
+  // record below — only to epoch-level records, the init-restore targets;
+  // pinning them into every loop's keep-set here would keep nested-loop
+  // checkpoints at pinned epochs forever.
   std::map<int32_t, std::set<int64_t>> keep_by_loop;
   for (const auto& [loop_id, epochs] : epochs_by_loop) {
     std::set<int64_t>& keep = keep_by_loop[loop_id];
@@ -31,15 +48,14 @@ std::vector<size_t> PlanRetirement(const Manifest& manifest,
          ++k, ++it) {
       keep.insert(*it);
     }
-    for (int64_t e : epochs) {
-      if (pinned.count(e)) keep.insert(e);
-    }
   }
 
   for (size_t i = 0; i < manifest.records.size(); ++i) {
     const CheckpointRecord& rec = manifest.records[i];
     if (rec.epoch < 0) continue;  // not on the epoch timeline: eternal
-    if (!keep_by_loop[rec.key.loop_id].count(rec.epoch)) retire.push_back(i);
+    if (keep_by_loop[rec.key.loop_id].count(rec.epoch)) continue;
+    if (IsEpochLevel(rec) && pinned.count(rec.epoch)) continue;
+    retire.push_back(i);
   }
   return retire;
 }
@@ -66,6 +82,36 @@ Result<GcReport> RetireCheckpoints(CheckpointStore* store,
   for (size_t idx : retire) {
     const CheckpointRecord& rec = manifest->records[idx];
     by_shard[static_cast<size_t>(rec.shard)].push_back(rec);
+  }
+
+  if (store->has_bucket()) {
+    // Demotion: the bucket mirror keeps every retired record readable, so
+    // the manifest stays intact and only local copies are reclaimed.
+    // Objects the bucket does not hold (unspooled, or the spool failed)
+    // are skipped — demotion never makes a record unreadable.
+    report.demoted_to_bucket = true;
+    report.surviving_records =
+        static_cast<int64_t>(manifest->records.size());
+    for (int shard = 0; shard < store->num_shards(); ++shard) {
+      GcShardStats& stats = report.shards[static_cast<size_t>(shard)];
+      for (const CheckpointRecord& rec :
+           by_shard[static_cast<size_t>(shard)]) {
+        if (!store->fs()->Exists(store->BucketPathFor(rec.key))) {
+          ++stats.skipped_unspooled;
+          continue;
+        }
+        Status s = store->DeleteObject(rec.key);
+        if (s.ok()) {
+          ++stats.retired_objects;
+          stats.retired_bytes += rec.stored_bytes;
+        } else if (s.IsNotFound()) {
+          ++stats.already_absent;
+        } else {
+          ++stats.failed_deletes;
+        }
+      }
+    }
+    return report;
   }
 
   // Prune the manifest and persist it FIRST: from this atomic write on, no
@@ -111,15 +157,160 @@ Result<GcReport> RetireCheckpoints(CheckpointStore* store,
   return report;
 }
 
+Result<GcReport> RetireBucketCheckpoints(CheckpointStore* store,
+                                         Manifest* manifest,
+                                         const std::string& manifest_path,
+                                         const BucketGcPolicy& policy) {
+  if (!store->has_bucket()) {
+    return Status::InvalidArgument(
+        "bucket retirement requires a store with a bucket tier attached");
+  }
+  GcReport report;
+  report.shards.resize(static_cast<size_t>(store->num_shards()));
+
+  GcPolicy local_shape;
+  local_shape.keep_last_k = policy.keep_last_k;
+  local_shape.pinned_epochs = policy.pinned_epochs;
+  const std::vector<size_t> retire = PlanRetirement(*manifest, local_shape);
+  if (retire.empty()) {
+    report.surviving_records =
+        static_cast<int64_t>(manifest->records.size());
+    return report;
+  }
+
+  std::vector<std::vector<CheckpointRecord>> by_shard(
+      static_cast<size_t>(store->num_shards()));
+  for (size_t idx : retire) {
+    const CheckpointRecord& rec = manifest->records[idx];
+    by_shard[static_cast<size_t>(rec.shard)].push_back(rec);
+  }
+
+  // Same ordering contract as the local tier: the pruned manifest lands
+  // first (one atomic WriteFile), deletes follow. A crash mid-delete
+  // leaves orphans in either tier, never a dangling record.
+  std::vector<CheckpointRecord> pruned;
+  pruned.reserve(manifest->records.size() - retire.size());
+  {
+    std::set<size_t> retire_set(retire.begin(), retire.end());
+    for (size_t i = 0; i < manifest->records.size(); ++i) {
+      if (!retire_set.count(i)) pruned.push_back(manifest->records[i]);
+    }
+  }
+  std::vector<CheckpointRecord> original = std::move(manifest->records);
+  manifest->records = std::move(pruned);
+  Status persisted =
+      store->fs()->WriteFile(manifest_path, manifest->Serialize());
+  if (!persisted.ok()) {
+    manifest->records = std::move(original);
+    return persisted;
+  }
+  report.manifest_rewritten = true;
+  report.surviving_records = static_cast<int64_t>(manifest->records.size());
+
+  // Per record, reclaim both tiers: the bucket object and any local copy
+  // demotion has not yet removed. A hard failure on either tier leaks an
+  // orphan for the reconciliation sweep; both tiers already gone means a
+  // prior pass (or crash) got here first.
+  for (int shard = 0; shard < store->num_shards(); ++shard) {
+    GcShardStats& stats = report.shards[static_cast<size_t>(shard)];
+    for (const CheckpointRecord& rec :
+         by_shard[static_cast<size_t>(shard)]) {
+      Status bucket =
+          store->DeleteShardPath(rec.shard, store->BucketPathFor(rec.key));
+      Status local = store->DeleteObject(rec.key);
+      if ((!bucket.ok() && !bucket.IsNotFound()) ||
+          (!local.ok() && !local.IsNotFound())) {
+        ++stats.failed_deletes;
+      } else if (bucket.IsNotFound() && local.IsNotFound()) {
+        ++stats.already_absent;
+      } else {
+        ++stats.retired_objects;
+        stats.retired_bytes += rec.stored_bytes;
+      }
+    }
+  }
+  return report;
+}
+
+ReconcileReport ReconcileOrphans(CheckpointStore* store,
+                                 const Manifest& manifest) {
+  ReconcileReport report;
+  report.shards.resize(static_cast<size_t>(store->num_shards()));
+
+  // Every path a manifest record is allowed to occupy, in either tier.
+  std::unordered_set<std::string> referenced;
+  referenced.reserve(manifest.records.size() * 2);
+  for (const auto& rec : manifest.records) {
+    referenced.insert(store->PathFor(rec.key));
+    if (store->has_bucket()) referenced.insert(store->BucketPathFor(rec.key));
+  }
+
+  // Shard prefixes partition both namespaces, so per-shard listings cover
+  // every object exactly once.
+  for (int shard = 0; shard < store->num_shards(); ++shard) {
+    ReconcileShardStats& stats = report.shards[static_cast<size_t>(shard)];
+    auto sweep = [&](const std::string& prefix, int64_t* orphans,
+                     uint64_t* orphan_bytes) {
+      for (const std::string& path :
+           store->fs()->ListPrefix(prefix + "/")) {
+        if (referenced.count(path)) continue;
+        auto size = store->fs()->FileSize(path);
+        if (!store->DeleteShardPath(shard, path).ok()) {
+          ++stats.failed_deletes;
+          continue;
+        }
+        ++*orphans;
+        if (size.ok()) *orphan_bytes += *size;
+      }
+    };
+    sweep(store->ShardPrefix(shard), &stats.local_orphans,
+          &stats.local_orphan_bytes);
+    if (store->has_bucket()) {
+      sweep(store->BucketShardPrefix(shard), &stats.bucket_orphans,
+            &stats.bucket_orphan_bytes);
+    }
+  }
+  return report;
+}
+
 Result<GcReport> RetireRun(FileSystem* fs, const std::string& manifest_path,
                            const std::string& ckpt_prefix,
-                           const GcPolicy& policy) {
+                           const GcPolicy& policy,
+                           const std::string& bucket_prefix) {
   FLOR_ASSIGN_OR_RETURN(std::string manifest_bytes,
                         fs->ReadFile(manifest_path));
   FLOR_ASSIGN_OR_RETURN(Manifest manifest,
                         Manifest::Deserialize(manifest_bytes));
   CheckpointStore store(fs, ckpt_prefix, manifest.shard_count);
+  if (!bucket_prefix.empty()) store.AttachBucket(bucket_prefix);
   return RetireCheckpoints(&store, &manifest, manifest_path, policy);
+}
+
+Result<GcReport> RetireBucketRun(FileSystem* fs,
+                                 const std::string& manifest_path,
+                                 const std::string& ckpt_prefix,
+                                 const std::string& bucket_prefix,
+                                 const BucketGcPolicy& policy) {
+  FLOR_ASSIGN_OR_RETURN(std::string manifest_bytes,
+                        fs->ReadFile(manifest_path));
+  FLOR_ASSIGN_OR_RETURN(Manifest manifest,
+                        Manifest::Deserialize(manifest_bytes));
+  CheckpointStore store(fs, ckpt_prefix, manifest.shard_count);
+  store.AttachBucket(bucket_prefix);
+  return RetireBucketCheckpoints(&store, &manifest, manifest_path, policy);
+}
+
+Result<ReconcileReport> ReconcileRun(FileSystem* fs,
+                                     const std::string& manifest_path,
+                                     const std::string& ckpt_prefix,
+                                     const std::string& bucket_prefix) {
+  FLOR_ASSIGN_OR_RETURN(std::string manifest_bytes,
+                        fs->ReadFile(manifest_path));
+  FLOR_ASSIGN_OR_RETURN(Manifest manifest,
+                        Manifest::Deserialize(manifest_bytes));
+  CheckpointStore store(fs, ckpt_prefix, manifest.shard_count);
+  if (!bucket_prefix.empty()) store.AttachBucket(bucket_prefix);
+  return ReconcileOrphans(&store, manifest);
 }
 
 }  // namespace flor

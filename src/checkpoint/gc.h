@@ -22,7 +22,27 @@
 // Epochs a live replay plan restores from can be pinned
 // (GcPolicy::pinned_epochs, typically from flor::PlannedRestoreEpochs) so
 // retention never deletes a checkpoint a planned-but-not-yet-run replay
-// needs.
+// needs. Pins protect *epoch-level* records only (ctx is a single "e=N"
+// segment): worker init restores the epoch-level loops and skips their
+// bodies, so nested-loop checkpoints are never init-restore targets and
+// retire by recency alone.
+//
+// With a bucket tier attached to the store, retirement is *tiered*:
+//
+//   * RetireCheckpoints demotes — it deletes only the local copy of each
+//     retired object (after verifying the bucket mirror holds it) and
+//     leaves the manifest intact, because the record is still readable
+//     through the bucket fall-through. Unspooled objects are skipped, so
+//     demotion never makes a record unreadable.
+//   * RetireBucketCheckpoints is the final-tier GC (keep-newest-K',
+//     unpinned): it follows the same manifest-first ordering contract —
+//     prune + persist the manifest atomically, then delete the bucket
+//     object and any lingering local copy.
+//   * ReconcileOrphans is the off-hot-path sweep reclaiming the orphans
+//     both passes leak by design on failed deletes (and the ones
+//     rehydration resurrects when it races local GC). Run it between
+//     sessions, not concurrently with a record run: a mid-materialize
+//     object is not yet in the manifest and would be swept as an orphan.
 
 #ifndef FLOR_CHECKPOINT_GC_H_
 #define FLOR_CHECKPOINT_GC_H_
@@ -43,8 +63,20 @@ struct GcPolicy {
   int64_t keep_last_k = 0;
   /// Main-loop epochs that must survive regardless of recency — the epochs
   /// a concurrently planned replay will restore from (sorted or not; the
-  /// GC treats it as a set). Applies to every loop's checkpoint at those
-  /// epochs.
+  /// GC treats it as a set). Protects epoch-level records (single-segment
+  /// ctx) at those epochs; nested-loop records are not init-restore
+  /// targets and retire by recency regardless of pins.
+  std::vector<int64_t> pinned_epochs;
+};
+
+/// Retention policy for the bucket tier (the durable archive). Same shape
+/// as GcPolicy, separate type: local K and bucket K' are tuned
+/// independently (K' >= K keeps the bucket a superset of the local tier).
+struct BucketGcPolicy {
+  /// Keep the bucket checkpoints of the K' most recent epochs per loop;
+  /// 0 disables bucket retirement (guaranteed no-op).
+  int64_t keep_last_k = 0;
+  /// Epoch pins, same semantics as GcPolicy::pinned_epochs.
   std::vector<int64_t> pinned_epochs;
 };
 
@@ -58,6 +90,10 @@ struct GcShardStats {
   /// Objects the manifest referenced but the store no longer had (e.g. a
   /// prior GC's delete landed but its crash lost nothing else).
   int64_t already_absent = 0;
+  /// Demotion only: retired records whose local copy was kept because the
+  /// bucket mirror does not hold them yet (not spooled, or the spool
+  /// failed). Demotion never makes a record unreadable.
+  int64_t skipped_unspooled = 0;
 };
 
 /// Outcome of one retirement pass.
@@ -65,6 +101,9 @@ struct GcReport {
   std::vector<GcShardStats> shards;  ///< indexed by shard
   int64_t surviving_records = 0;     ///< manifest records after the pass
   bool manifest_rewritten = false;   ///< false when nothing retired
+  /// True when the pass demoted (bucket tier attached: local deletes only,
+  /// manifest intact) rather than retired outright.
+  bool demoted_to_bucket = false;
 
   int64_t retired_objects() const {
     int64_t n = 0;
@@ -81,36 +120,128 @@ struct GcReport {
     for (const auto& s : shards) n += s.failed_deletes;
     return n;
   }
+  int64_t skipped_unspooled() const {
+    int64_t n = 0;
+    for (const auto& s : shards) n += s.skipped_unspooled;
+    return n;
+  }
   /// True when every planned delete landed (orphan-free pass).
+  bool ok() const { return failed_deletes() == 0; }
+};
+
+/// One shard's orphan-reconciliation outcome.
+struct ReconcileShardStats {
+  int64_t local_orphans = 0;        ///< unreferenced local objects deleted
+  uint64_t local_orphan_bytes = 0;
+  int64_t bucket_orphans = 0;       ///< unreferenced bucket objects deleted
+  uint64_t bucket_orphan_bytes = 0;
+  int64_t failed_deletes = 0;       ///< orphans that survived (still orphans)
+};
+
+/// Outcome of one ReconcileOrphans sweep.
+struct ReconcileReport {
+  std::vector<ReconcileShardStats> shards;  ///< indexed by shard
+
+  int64_t local_orphans() const {
+    int64_t n = 0;
+    for (const auto& s : shards) n += s.local_orphans;
+    return n;
+  }
+  int64_t bucket_orphans() const {
+    int64_t n = 0;
+    for (const auto& s : shards) n += s.bucket_orphans;
+    return n;
+  }
+  uint64_t orphan_bytes() const {
+    uint64_t n = 0;
+    for (const auto& s : shards)
+      n += s.local_orphan_bytes + s.bucket_orphan_bytes;
+    return n;
+  }
+  int64_t failed_deletes() const {
+    int64_t n = 0;
+    for (const auto& s : shards) n += s.failed_deletes;
+    return n;
+  }
   bool ok() const { return failed_deletes() == 0; }
 };
 
 /// Pure planning: indices into `manifest.records` that `policy` retires,
 /// in record order. Keeps, per loop: the K most recent distinct epochs,
-/// every pinned epoch, and every record without an epoch index (top-level
-/// loops, ctx-less checkpoints — they are not part of the epoch timeline).
+/// every pinned epoch on epoch-level records (single-segment ctx — the
+/// only records init-mode restores), and every record without an epoch
+/// index (top-level loops, ctx-less checkpoints — they are not part of
+/// the epoch timeline).
 std::vector<size_t> PlanRetirement(const Manifest& manifest,
                                    const GcPolicy& policy);
 
 /// Retires checkpoints of the run whose manifest is `*manifest` and whose
-/// objects live in `*store`: prunes the manifest in place, persists it
+/// objects live in `*store`.
+///
+/// Without a bucket tier: prunes the manifest in place, persists it
 /// atomically at `manifest_path`, then deletes the retired objects shard
-/// by shard. With `policy.keep_last_k == 0` this is a guaranteed no-op.
-/// Delete failures do not fail the pass (see GcReport::failed_deletes);
-/// only a manifest persist failure returns non-OK (nothing is deleted in
-/// that case).
+/// by shard. Delete failures do not fail the pass (see
+/// GcReport::failed_deletes); only a manifest persist failure returns
+/// non-OK (nothing is deleted in that case).
+///
+/// With a bucket tier (store->has_bucket()): *demotes* instead — deletes
+/// only the local copies of retired objects whose bucket mirror copy
+/// exists (GcShardStats::skipped_unspooled counts the rest) and leaves the
+/// manifest untouched, since every record stays readable through the
+/// bucket fall-through. Final-tier reclamation is RetireBucketCheckpoints.
+///
+/// With `policy.keep_last_k == 0` this is a guaranteed no-op either way.
 Result<GcReport> RetireCheckpoints(CheckpointStore* store,
                                    Manifest* manifest,
                                    const std::string& manifest_path,
                                    const GcPolicy& policy);
 
+/// Final-tier retirement (requires store->has_bucket()): prunes the
+/// manifest of records older than the newest K' epochs per loop (pins
+/// honored, same planner as the local tier) and persists it FIRST — the
+/// same ordering contract as local GC — then deletes each retired
+/// record's bucket object and any lingering local copy through the
+/// per-shard writer locks. Per record: a hard delete failure on either
+/// tier counts as failed_deletes (the orphan sweep reclaims it); both
+/// tiers already gone counts as already_absent; otherwise retired.
+Result<GcReport> RetireBucketCheckpoints(CheckpointStore* store,
+                                         Manifest* manifest,
+                                         const std::string& manifest_path,
+                                         const BucketGcPolicy& policy);
+
+/// Off-hot-path orphan sweep: diffs the manifest against ListPrefix of
+/// every shard (local tier and, when attached, bucket tier) and deletes
+/// unreferenced objects through the per-shard writer locks. Reclaims what
+/// retirement leaks by design on failed deletes or crashes, and what
+/// rehydration resurrects when it races local GC. Must not run
+/// concurrently with a record session (mid-materialize objects are not in
+/// the manifest yet).
+ReconcileReport ReconcileOrphans(CheckpointStore* store,
+                                 const Manifest& manifest);
+
 /// Convenience: loads the manifest at `manifest_path` from `fs`, opens the
-/// store at `ckpt_prefix` with the manifest's recorded shard count, and
-/// retires. (The run-prefix → path layout lives with the record session;
-/// this layer takes the two paths explicitly.)
+/// store at `ckpt_prefix` with the manifest's recorded shard count
+/// (attaching `bucket_prefix` when non-empty, which makes the pass a
+/// demotion), and retires. (The run-prefix → path layout lives with the
+/// record session; this layer takes the paths explicitly.)
 Result<GcReport> RetireRun(FileSystem* fs, const std::string& manifest_path,
                            const std::string& ckpt_prefix,
-                           const GcPolicy& policy);
+                           const GcPolicy& policy,
+                           const std::string& bucket_prefix = "");
+
+/// Convenience wrapper for RetireBucketCheckpoints, mirroring RetireRun.
+Result<GcReport> RetireBucketRun(FileSystem* fs,
+                                 const std::string& manifest_path,
+                                 const std::string& ckpt_prefix,
+                                 const std::string& bucket_prefix,
+                                 const BucketGcPolicy& policy);
+
+/// Convenience wrapper for ReconcileOrphans, mirroring RetireRun. Empty
+/// `bucket_prefix` sweeps the local tier only.
+Result<ReconcileReport> ReconcileRun(FileSystem* fs,
+                                     const std::string& manifest_path,
+                                     const std::string& ckpt_prefix,
+                                     const std::string& bucket_prefix = "");
 
 }  // namespace flor
 

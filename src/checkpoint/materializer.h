@@ -66,9 +66,21 @@ struct MaterializerCosts {
     return static_cast<double>(bytes) / serialize_bps +
            static_cast<double>(bytes) / io_bps;
   }
+  /// Bucket reads run at S3 GET throughput instead of EBS: scale the I/O
+  /// leg of a bucket-tier restore by io_bps / s3_read_bps (~2.1 Gbps,
+  /// same order as the paper's spool pricing platform).
+  double s3_read_bps = 262.5e6;
+
   /// Ri = c * Mi.
   double RestoreSeconds(uint64_t bytes) const {
     return restore_factor * MaterializeSeconds(bytes);
+  }
+
+  /// Ri for a restore served by the bucket tier: the serialize leg is
+  /// unchanged, the I/O leg runs at bucket read throughput.
+  double BucketRestoreSeconds(uint64_t bytes) const {
+    return restore_factor * (static_cast<double>(bytes) / serialize_bps +
+                             static_cast<double>(bytes) / s3_read_bps);
   }
 };
 

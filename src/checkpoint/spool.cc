@@ -167,9 +167,11 @@ SpoolReport SpoolStore(const CheckpointStore& store,
          store.fs()->ListPrefix(store.ShardPrefix(shard) + "/")) {
       // Preserve the shard layout under the destination: the bucket
       // mirrors the store, so a shard-aware reader finds objects the same
-      // way on either side.
+      // way on either side. JoinObjectPath normalizes slashes so the
+      // mirror layout is byte-identical to SpoolToS3's for the same
+      // destination, trailing slash or not.
       const std::string rel = path.substr(base.size());
-      queue.Enqueue(shard, path, dst_prefix + "/" + rel);
+      queue.Enqueue(shard, path, JoinObjectPath(dst_prefix, rel));
     }
   }
   queue.Drain();
@@ -179,9 +181,17 @@ SpoolReport SpoolStore(const CheckpointStore& store,
 Result<SpoolReport> SpoolToS3(FileSystem* fs, const std::string& src_prefix,
                               const std::string& dst_prefix) {
   SpoolQueue queue(fs, /*num_shards=*/1);
-  for (const auto& path : fs->ListPrefix(src_prefix)) {
-    const std::string rel = path.substr(src_prefix.size());
-    queue.Enqueue(/*shard=*/0, path, dst_prefix + rel);
+  // Normalize the source base to exactly one trailing slash before taking
+  // relative paths: a caller passing "run/ckpt" and one passing
+  // "run/ckpt/" must produce the same mirror layout (the un-normalized
+  // substr either swallowed the leading character of every relative path
+  // or emitted "dst//…" double-slash keys, diverging from SpoolStore).
+  std::string base = src_prefix;
+  while (!base.empty() && base.back() == '/') base.pop_back();
+  base += '/';
+  for (const auto& path : fs->ListPrefix(base)) {
+    const std::string rel = path.substr(base.size());
+    queue.Enqueue(/*shard=*/0, path, JoinObjectPath(dst_prefix, rel));
   }
   queue.Drain();
   SpoolReport report = queue.TotalReport();

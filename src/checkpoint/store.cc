@@ -10,6 +10,19 @@
 
 namespace flor {
 
+std::string JoinObjectPath(const std::string& prefix,
+                           const std::string& rel) {
+  std::string out = prefix;
+  while (!out.empty() && out.back() == '/') out.pop_back();
+  size_t start = 0;
+  while (start < rel.size() && rel[start] == '/') ++start;
+  if (out.empty()) return rel.substr(start);
+  if (start >= rel.size()) return out;
+  out += '/';
+  out.append(rel, start, std::string::npos);
+  return out;
+}
+
 std::vector<int64_t> Manifest::EpochsWithCheckpoint(int32_t loop_id) const {
   std::vector<int64_t> out;
   for (const auto& rec : records)
@@ -133,24 +146,73 @@ Status CheckpointStore::PutBytes(const CheckpointKey& key,
   return Status::OK();
 }
 
-Result<std::string> CheckpointStore::GetBytes(
-    const CheckpointKey& key) const {
-  return fs_->ReadFile(PathFor(key));
+void CheckpointStore::AttachBucket(std::string bucket_prefix,
+                                   bool rehydrate_on_fault) {
+  bucket_prefix_ = std::move(bucket_prefix);
+  rehydrate_on_fault_ = rehydrate_on_fault;
 }
 
-Result<NamedSnapshots> CheckpointStore::Get(const CheckpointKey& key) const {
-  FLOR_ASSIGN_OR_RETURN(std::string bytes, GetBytes(key));
+Result<std::string> CheckpointStore::GetBytes(const CheckpointKey& key,
+                                              bool* from_bucket) const {
+  if (from_bucket) *from_bucket = false;
+  const std::string local_path = PathFor(key);
+  auto local = fs_->ReadFile(local_path);
+  if (local.ok() || !local.status().IsNotFound() || !has_bucket())
+    return local;
+
+  // Local miss with a bucket attached: fall through to the mirror. Any
+  // bucket error other than NotFound (torn object, IO) propagates as-is;
+  // a miss in both tiers is reported against the key with both probed
+  // paths, so aggressive-GC-without-spool failures are diagnosable.
+  const std::string bucket_path = BucketPathFor(key);
+  auto remote = fs_->ReadFile(bucket_path);
+  if (!remote.ok()) {
+    if (!remote.status().IsNotFound()) return remote;
+    return Status::NotFound(
+        StrCat("checkpoint ", key.ToString(), " missing in both tiers (",
+               local_path, ", ", bucket_path, ")"));
+  }
+  bucket_faults_.fetch_add(1, std::memory_order_relaxed);
+  if (from_bucket) *from_bucket = true;
+
+  if (rehydrate_on_fault_) {
+    // Write-back under the shard's writer lock, like any other write to
+    // the shard. Failure is non-fatal: the read already succeeded.
+    Shard& shard = *shards_[static_cast<size_t>(router_.ShardOf(key))];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (fs_->WriteFile(local_path, *remote).ok())
+      rehydrated_objects_.fetch_add(1, std::memory_order_relaxed);
+    else
+      rehydrate_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return remote;
+}
+
+Result<NamedSnapshots> CheckpointStore::Get(const CheckpointKey& key,
+                                            bool* from_bucket) const {
+  FLOR_ASSIGN_OR_RETURN(std::string bytes, GetBytes(key, from_bucket));
   return DecodeCheckpoint(bytes);
 }
 
 bool CheckpointStore::Exists(const CheckpointKey& key) const {
-  return fs_->Exists(PathFor(key));
+  if (fs_->Exists(PathFor(key))) return true;
+  return has_bucket() && fs_->Exists(BucketPathFor(key));
 }
 
 Status CheckpointStore::DeleteObject(const CheckpointKey& key) {
   Shard& shard = *shards_[static_cast<size_t>(router_.ShardOf(key))];
   std::lock_guard<std::mutex> lock(shard.mu);
   return fs_->DeleteFile(PathFor(key));
+}
+
+Status CheckpointStore::DeleteShardPath(int shard, const std::string& path) {
+  if (shard < 0 || shard >= router_.num_shards())
+    return Status::InvalidArgument(
+        StrCat("shard ", shard, " out of range for ", router_.num_shards(),
+               " shard(s)"));
+  Shard& s = *shards_[static_cast<size_t>(shard)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return fs_->DeleteFile(path);
 }
 
 uint64_t CheckpointStore::TotalBytes() const {
@@ -168,6 +230,16 @@ std::vector<ShardWriteStats> CheckpointStore::WriteStatsByShard() const {
     out.push_back(shard->stats);
   }
   return out;
+}
+
+TierStats CheckpointStore::tier_stats() const {
+  TierStats stats;
+  stats.bucket_faults = bucket_faults_.load(std::memory_order_relaxed);
+  stats.rehydrated_objects =
+      rehydrated_objects_.load(std::memory_order_relaxed);
+  stats.rehydrate_failures =
+      rehydrate_failures_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace flor

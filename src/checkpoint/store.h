@@ -14,6 +14,7 @@
 #ifndef FLOR_CHECKPOINT_STORE_H_
 #define FLOR_CHECKPOINT_STORE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -25,6 +26,13 @@
 #include "env/filesystem.h"
 
 namespace flor {
+
+/// Joins an object-store prefix and a relative path with exactly one '/',
+/// regardless of trailing slashes on `prefix` or leading slashes on `rel`.
+/// Every bucket/spool path in the system goes through this helper so the
+/// local shard layout and its bucket mirror stay byte-identical.
+std::string JoinObjectPath(const std::string& prefix,
+                           const std::string& rel);
 
 /// One materialized checkpoint, as recorded in the manifest.
 struct CheckpointRecord {
@@ -74,35 +82,72 @@ struct ShardWriteStats {
   uint64_t bytes = 0;
 };
 
+/// Read-side accounting for the bucket tier.
+struct TierStats {
+  int64_t bucket_faults = 0;        ///< reads served from the bucket
+  int64_t rehydrated_objects = 0;   ///< bucket reads written back locally
+  int64_t rehydrate_failures = 0;   ///< write-backs that failed (non-fatal)
+};
+
 /// Filesystem-backed checkpoint storage: a facade routing each key onto one
-/// of `num_shards` per-shard stores under a common prefix.
+/// of `num_shards` per-shard stores under a common prefix, with an optional
+/// read-through bucket tier mirroring the same shard layout (the mirror
+/// SpoolStore / the record session's spool queue write).
 ///
 /// Thread-safe: writes serialize per shard (not globally), reads go
 /// straight to the (thread-safe) FileSystem without taking shard locks, so
 /// concurrent replay workers never contend with each other or with the
-/// background materializer unless they hit the same shard's writer.
+/// background materializer unless they hit the same shard's writer. A
+/// bucket fault-in that re-hydrates the local shard takes that shard's
+/// writer lock, like any other write.
 class CheckpointStore {
  public:
   /// Does not own `fs`. Typical prefix: "run1/ckpt". `num_shards` == 1
   /// reproduces the legacy flat layout.
   CheckpointStore(FileSystem* fs, std::string prefix, int num_shards = 1);
 
+  /// Attaches the bucket tier: reads that miss locally fall through to the
+  /// mirror of this store's layout under `bucket_prefix` (objects live at
+  /// JoinObjectPath(bucket_prefix, PathFor(key))). With
+  /// `rehydrate_on_fault`, a successful bucket read is written back to the
+  /// local shard under its writer lock so repeated restores stay fast; a
+  /// write-back racing local GC merely resurrects an orphan, which the
+  /// reconciliation sweep reclaims. Empty `bucket_prefix` detaches.
+  void AttachBucket(std::string bucket_prefix, bool rehydrate_on_fault =
+                                                   true);
+  bool has_bucket() const { return !bucket_prefix_.empty(); }
+  const std::string& bucket_prefix() const { return bucket_prefix_; }
+
   /// Writes encoded checkpoint bytes for `key` on its shard.
   Status PutBytes(const CheckpointKey& key, const std::string& bytes);
 
-  Result<std::string> GetBytes(const CheckpointKey& key) const;
+  /// Reads `key`, falling through to the bucket tier on a local NotFound.
+  /// A miss in *both* tiers returns NotFound naming the key and the paths
+  /// probed. `from_bucket`, when non-null, reports which tier served the
+  /// read.
+  Result<std::string> GetBytes(const CheckpointKey& key,
+                               bool* from_bucket = nullptr) const;
 
-  /// Decoded convenience read.
-  Result<NamedSnapshots> Get(const CheckpointKey& key) const;
+  /// Decoded convenience read (same tier fall-through as GetBytes).
+  Result<NamedSnapshots> Get(const CheckpointKey& key,
+                             bool* from_bucket = nullptr) const;
 
+  /// True when `key` is readable through *any* tier.
   bool Exists(const CheckpointKey& key) const;
 
   /// Deletes `key`'s object on its shard (same per-shard writer lock as
   /// PutBytes — retirement never races a materializer on the same shard).
-  /// NotFound when the object is already gone.
+  /// NotFound when the object is already gone. Local tier only: the bucket
+  /// copy, if any, is untouched.
   Status DeleteObject(const CheckpointKey& key);
 
-  /// Total bytes currently stored across all shards.
+  /// Deletes an arbitrary object path belonging to `shard` (local or
+  /// bucket tier) under that shard's writer lock. This is the reclamation
+  /// primitive for GC and orphan sweeps, which delete by listed path
+  /// rather than by key.
+  Status DeleteShardPath(int shard, const std::string& path);
+
+  /// Total bytes currently stored across all shards (local tier).
   uint64_t TotalBytes() const;
 
   /// Shard index `key` routes to.
@@ -120,8 +165,21 @@ class CheckpointStore {
     return router_.ShardPrefix(prefix_, shard);
   }
 
+  /// Bucket-tier object path for `key` (requires has_bucket()).
+  std::string BucketPathFor(const CheckpointKey& key) const {
+    return JoinObjectPath(bucket_prefix_, PathFor(key));
+  }
+
+  /// Bucket-tier prefix of one shard (requires has_bucket()).
+  std::string BucketShardPrefix(int shard) const {
+    return JoinObjectPath(bucket_prefix_, ShardPrefix(shard));
+  }
+
   /// Snapshot of per-shard write counters, indexed by shard.
   std::vector<ShardWriteStats> WriteStatsByShard() const;
+
+  /// Snapshot of bucket-tier read counters.
+  TierStats tier_stats() const;
 
   int num_shards() const { return router_.num_shards(); }
   const ShardRouter& router() const { return router_; }
@@ -141,6 +199,14 @@ class CheckpointStore {
   std::string prefix_;
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Bucket tier. Empty prefix means no bucket attached. Counters are
+  /// atomics so the read path stays lock-free.
+  std::string bucket_prefix_;
+  bool rehydrate_on_fault_ = true;
+  mutable std::atomic<int64_t> bucket_faults_{0};
+  mutable std::atomic<int64_t> rehydrated_objects_{0};
+  mutable std::atomic<int64_t> rehydrate_failures_{0};
 };
 
 }  // namespace flor

@@ -54,6 +54,11 @@ struct ProcessReplayExecutorOptions {
   MaterializerCosts costs;
   /// Non-empty selects iteration-sampling replay on a single worker.
   std::vector<int64_t> sample_epochs;
+  /// Bucket tier of the run's checkpoint store (spool mirror prefix):
+  /// restores missing locally fall through to the bucket in every child.
+  std::string bucket_prefix;
+  /// Write bucket fault-ins back to the local shard.
+  bool bucket_rehydrate = true;
   /// Directory for worker result files. Empty: a fresh mkdtemp scratch
   /// directory, removed after the run. Non-empty: used as-is (created if
   /// missing, stale worker files cleared, left in place afterwards) so

@@ -60,6 +60,11 @@ struct ReplayExecutorOptions {
   MaterializerCosts costs;
   /// Non-empty selects iteration-sampling replay on a single worker.
   std::vector<int64_t> sample_epochs;
+  /// Bucket tier of the run's checkpoint store (spool mirror prefix):
+  /// restores missing locally fall through to the bucket.
+  std::string bucket_prefix;
+  /// Write bucket fault-ins back to the local shard.
+  bool bucket_rehydrate = true;
 };
 
 /// Outcome of a real parallel replay: the engine-agnostic merge (latency,

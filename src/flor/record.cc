@@ -11,6 +11,11 @@ RecordSession::RecordSession(Env* env, RecordOptions options)
   store_ = std::make_unique<CheckpointStore>(env_->fs(), paths_.CkptPrefix(),
                                              options_.ckpt_shards);
   if (!options_.spool_prefix.empty()) {
+    // The spool mirror doubles as the store's bucket tier: end-of-run GC
+    // then demotes (deletes local copies, keeps the manifest) instead of
+    // retiring outright, and replay configured with the same bucket
+    // prefix faults demoted checkpoints back in.
+    store_->AttachBucket(options_.spool_prefix);
     // Spool-as-you-materialize: the materializer hands each durably stored
     // checkpoint to the spooler's shard-local batch. In wall mode this
     // runs on the materializer's worker thread, and a full spool queue
@@ -22,8 +27,8 @@ RecordSession::RecordSession(Env* env, RecordOptions options)
     options_.materializer.on_durable = [this](const CheckpointKey& key,
                                               uint64_t stored_bytes) {
       const std::string src = store_->PathFor(key);
-      spool_->Enqueue(store_->ShardOf(key), src,
-                      options_.spool_prefix + "/" + src, stored_bytes);
+      spool_->Enqueue(store_->ShardOf(key), src, store_->BucketPathFor(key),
+                      stored_bytes);
     };
   }
   materializer_ = std::make_unique<Materializer>(env_, options_.materializer);
@@ -75,10 +80,12 @@ Result<RecordResult> RecordSession::Run(ir::Program* program,
   FLOR_RETURN_IF_ERROR(
       env_->fs()->WriteFile(paths_.Manifest(), manifest_.Serialize()));
 
-  // Retirement closes the lifecycle: the full manifest is durable above,
-  // then the GC prunes it (atomic rewrite first, shard-local deletes
-  // after), so replay plans only ever see surviving epochs. The spooled
-  // bucket mirror keeps its copies.
+  // Retirement closes the lifecycle: the full manifest is durable above.
+  // With a spool mirror the store has a bucket tier attached, so this pass
+  // *demotes* — local copies of old epochs are deleted, the manifest stays
+  // complete, and replay faults them back in from the bucket. Without one
+  // it prunes outright (atomic manifest rewrite first, shard-local deletes
+  // after), so replay plans only ever see surviving epochs.
   if (options_.gc.keep_last_k > 0) {
     FLOR_ASSIGN_OR_RETURN(
         result.gc_report,

@@ -17,7 +17,10 @@
 // backpressure through the spooler's bounded queue depth; with
 // RecordOptions::gc.keep_last_k set, old checkpoints are retired per shard
 // after the run's artifacts are persisted (keep-last-K-per-loop,
-// checkpoint/gc.h) and the result's manifest reflects the survivors.
+// checkpoint/gc.h). Without a spool mirror the result's manifest reflects
+// the survivors; with one, the mirror is the store's bucket tier, so GC
+// demotes instead — local copies go, the manifest stays complete, and
+// replay configured with the same bucket prefix faults old epochs back in.
 
 #ifndef FLOR_FLOR_RECORD_H_
 #define FLOR_FLOR_RECORD_H_
@@ -62,8 +65,9 @@ struct RecordOptions {
   /// Checkpoint retention, applied after logs + manifest are persisted:
   /// keep_last_k == 0 (default) keeps everything and leaves the store
   /// byte-identical; K > 0 retires older epochs per loop, shard-locally
-  /// (checkpoint/gc.h). Spooled bucket copies are never retired — the
-  /// bucket is the durable archive.
+  /// (checkpoint/gc.h). With spool_prefix set this pass demotes to the
+  /// bucket tier (local deletes only, manifest intact); bucket copies are
+  /// only reclaimed by the separate bucket GC (RetireBucketCheckpoints).
   GcPolicy gc;
   /// Nominal (paper-scale) raw bytes per checkpoint for the simulated cost
   /// model; 0 = use actual snapshot sizes.

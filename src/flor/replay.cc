@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
 #include "common/strings.h"
 #include "flor/instrument.h"
 #include "flor/replay_plan.h"
@@ -35,6 +36,8 @@ Result<ReplayResult> ReplaySession::Run(ir::Program* current_program,
   FLOR_ASSIGN_OR_RETURN(manifest_, Manifest::Deserialize(manifest_bytes));
   store_ = std::make_unique<CheckpointStore>(
       env_->fs(), paths_.CkptPrefix(), manifest_.shard_count);
+  if (!options_.bucket_prefix.empty())
+    store_->AttachBucket(options_.bucket_prefix, options_.bucket_rehydrate);
   for (const auto& rec : manifest_.records)
     records_by_key_[rec.key.ToString()] = &rec;
 
@@ -71,7 +74,17 @@ Result<ReplayResult> ReplaySession::Run(ir::Program* current_program,
 Status ReplaySession::RestoreSkipBlock(ir::Loop* loop,
                                        const CheckpointKey& key,
                                        exec::Frame* frame) {
-  FLOR_ASSIGN_OR_RETURN(NamedSnapshots snaps, store_->Get(key));
+  // result_ is only non-null while Run() is live, and RestoreSkipBlock is
+  // only reached through the interpreter Run() drives — it used to guard
+  // the timing accumulation on result_ but dereference the stats counter
+  // unconditionally six lines later. Make the invariant explicit instead
+  // of half-guarded.
+  FLOR_CHECK(result_ != nullptr)
+      << "RestoreSkipBlock outside a live ReplaySession::Run";
+  bool from_bucket = false;
+  FLOR_ASSIGN_OR_RETURN(NamedSnapshots snaps,
+                        store_->Get(key, &from_bucket));
+  if (from_bucket) ++result_->bucket_faults;
   for (const auto& [name, snap] : snaps) {
     if (!frame->Has(name)) {
       return Status::ReplayAnomaly(
@@ -82,15 +95,18 @@ Status ReplaySession::RestoreSkipBlock(ir::Loop* loop,
   }
 
   // Charge the restore latency (Ri) under a simulated clock and refine c.
+  // A bucket-served restore pays the slower bucket read throughput.
   auto it = records_by_key_.find(key.ToString());
   if (it != records_by_key_.end()) {
     const CheckpointRecord& rec = *it->second;
     const uint64_t bytes =
         rec.nominal_raw_bytes ? rec.nominal_raw_bytes : rec.raw_bytes;
-    const double ri = options_.costs.RestoreSeconds(bytes);
+    const double ri = from_bucket
+                          ? options_.costs.BucketRestoreSeconds(bytes)
+                          : options_.costs.RestoreSeconds(bytes);
     if (env_->clock()->is_simulated())
       env_->clock()->AdvanceMicros(SecondsToMicros(ri));
-    if (result_) result_->restore_seconds += ri;
+    result_->restore_seconds += ri;
     if (rec.materialize_seconds > 0) {
       restore_ratio_sum_ += ri / rec.materialize_seconds;
       ++restore_ratio_count_;

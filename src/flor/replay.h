@@ -49,6 +49,13 @@ struct ReplayOptions {
   /// Skip the deferred log check (used when a caller merges worker logs and
   /// checks once).
   bool run_deferred_check = true;
+  /// Bucket tier of the run's checkpoint store (the spool mirror prefix).
+  /// Non-empty makes restores survive aggressive local GC: a local miss
+  /// falls through to the bucket instead of failing the replay.
+  std::string bucket_prefix;
+  /// Write bucket fault-ins back to the local shard (under its writer
+  /// lock) so repeated restores stay fast.
+  bool bucket_rehydrate = true;
 };
 
 /// Outcome of one worker's replay.
@@ -71,6 +78,8 @@ struct ReplayResult {
   double restore_seconds = 0;
   /// Mean observed restore/materialize ratio (refines c, §5.3.2).
   double observed_c = 0;
+  /// Restores served by the bucket tier (local store miss, bucket hit).
+  int64_t bucket_faults = 0;
 };
 
 /// Executes one replay worker. Single-use.

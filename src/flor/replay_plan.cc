@@ -116,6 +116,8 @@ ReplayOptions WorkerReplayOptions(const ClusterPlanOptions& options,
   ropts.sample_epochs = options.sample_epochs;
   ropts.costs = options.costs;
   ropts.run_deferred_check = false;  // merged check in ReplayMerger
+  ropts.bucket_prefix = options.bucket_prefix;
+  ropts.bucket_rehydrate = options.bucket_rehydrate;
   return ropts;
 }
 
@@ -181,6 +183,7 @@ std::string EncodeWorkerResult(const ReplayResult& result) {
   AppendMetaInt(&meta, "sb_skipped", result.skipblocks.skipped);
   AppendMetaInt(&meta, "sb_restores", result.skipblocks.restores);
   AppendMetaInt(&meta, "sb_materialized", result.skipblocks.materialized);
+  AppendMetaInt(&meta, "bucket_faults", result.bucket_faults);
   AppendMetaInt(&meta, "preamble_probed",
                 result.probes.preamble_probed ? 1 : 0);
 
@@ -249,6 +252,7 @@ Result<ReplayResult> DecodeWorkerResult(const std::string& data) {
   FLOR_ASSIGN_OR_RETURN(out.skipblocks.restores, take_int("sb_restores"));
   FLOR_ASSIGN_OR_RETURN(out.skipblocks.materialized,
                         take_int("sb_materialized"));
+  FLOR_ASSIGN_OR_RETURN(out.bucket_faults, take_int("bucket_faults"));
   FLOR_ASSIGN_OR_RETURN(const int64_t preamble,
                         take_int("preamble_probed"));
   out.probes.preamble_probed = preamble != 0;
@@ -295,6 +299,7 @@ Result<MergedClusterReplay> ReplayMerger::Finish(
     out.skipblocks.executed += wres.skipblocks.executed;
     out.skipblocks.skipped += wres.skipblocks.skipped;
     out.skipblocks.restores += wres.skipblocks.restores;
+    out.bucket_faults += wres.bucket_faults;
   }
   out.latency_seconds = *std::max_element(out.worker_seconds.begin(),
                                           out.worker_seconds.end());

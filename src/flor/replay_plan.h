@@ -39,6 +39,12 @@ struct ClusterPlanOptions {
   MaterializerCosts costs;
   /// Non-empty selects iteration-sampling replay on a single worker.
   std::vector<int64_t> sample_epochs;
+  /// Bucket tier of the run's checkpoint store (spool mirror prefix).
+  /// Copied into every worker's ReplayOptions: restores missing locally
+  /// fall through to the bucket instead of failing the worker.
+  std::string bucket_prefix;
+  /// Write bucket fault-ins back to the local shard.
+  bool bucket_rehydrate = true;
 };
 
 /// Main-loop epochs usable as partition boundaries for `program`: every
@@ -90,6 +96,8 @@ struct MergedClusterReplay {
   std::vector<exec::LogEntry> probe_entries;
   DeferredCheckReport deferred;
   SkipBlockStats skipblocks;
+  /// Total restores served by the bucket tier across workers.
+  int64_t bucket_faults = 0;
 };
 
 /// Encodes one worker's ReplayResult for out-of-process transport — the

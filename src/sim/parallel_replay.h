@@ -38,6 +38,11 @@ struct ClusterReplayOptions {
   MaterializerCosts costs;
   /// Optional iteration sampling (single worker) instead of partitioning.
   std::vector<int64_t> sample_epochs;
+  /// Bucket tier of the run's checkpoint store (spool mirror prefix):
+  /// restores missing locally fall through to the bucket.
+  std::string bucket_prefix;
+  /// Write bucket fault-ins back to the local shard.
+  bool bucket_rehydrate = true;
 };
 
 /// Aggregate outcome of a cluster replay: the engine-agnostic merge

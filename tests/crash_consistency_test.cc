@@ -381,6 +381,118 @@ TEST_F(CrashConsistencyTest, KilledMidGcLeavesReplayableStore) {
             sim_result->merged_logs.Serialize());
 }
 
+TEST_F(CrashConsistencyTest, KilledMidBucketRetirementKeepsTiersReadable) {
+  // Bucket-tier GC inherits the manifest-first crash contract: a process
+  // SIGKILLed between the (atomic, already-landed) manifest prune and the
+  // two-tier deletes leaves (a) a manifest that parses, (b) every record
+  // it references readable through the tiers, (c) a run that replays green
+  // with the bucket attached — the half-deleted epochs are orphans in
+  // either tier, which the reconciliation sweep then reclaims exactly.
+  workloads::WorkloadProfile profile;
+  profile.name = "CrashBkt";
+  profile.epochs = 10;
+  profile.sim_epoch_seconds = 100;
+  profile.sim_outer_seconds = 2;
+  profile.sim_preamble_seconds = 5;
+  profile.sim_ckpt_raw_bytes = 1 << 20;  // cheap: dense checkpoints
+  profile.ckpt_shards = 4;
+  profile.task_kind = data::Task::kVision;
+  profile.real_samples = 32;
+  profile.real_batch = 8;
+  profile.real_feature_dim = 12;
+  profile.real_classes = 3;
+  profile.real_hidden = 12;
+  profile.seed = testutil::TestSeed(53);
+
+  // Parent stages a record run with its spool mirror on disk.
+  {
+    PosixFileSystem fs(root());
+    Env env(std::make_unique<SimClock>(), &fs);
+    auto instance =
+        workloads::MakeWorkloadFactory(profile, workloads::kProbeNone)();
+    ASSERT_TRUE(instance.ok());
+    RecordOptions opts = workloads::DefaultRecordOptions(profile, "run");
+    opts.spool_prefix = "s3";
+    RecordSession session(&env, opts);
+    exec::Frame frame;
+    auto result = session.Run(instance->program.get(), &frame);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_GT(result->manifest.records.size(), 4u);
+    ASSERT_TRUE(result->spool_report.ok());
+  }
+
+  const size_t objects_before = [&] {
+    PosixFileSystem fs(root());
+    return fs.ListPrefix("run/ckpt/").size() +
+           fs.ListPrefix("s3/run/ckpt/").size();
+  }();
+
+  KillChildMidWrite([&](PosixFileSystem* fs, int wfd) {
+    // Park on the third delete: the pruned manifest is durable, a record
+    // or two is half-reclaimed (bucket copy gone, local copy not, or vice
+    // versa) when the SIGKILL lands.
+    ParkOnDeleteFileSystem parked(fs, /*park_at=*/3, wfd);
+    BucketGcPolicy policy;
+    policy.keep_last_k = 2;
+    auto report = RetireBucketRun(&parked, "run/manifest.tsv", "run/ckpt",
+                                  "s3", policy);
+    (void)report;
+  });
+
+  PosixFileSystem fs(root());
+  // (a) The manifest parses and was pruned.
+  auto manifest_bytes = fs.ReadFile("run/manifest.tsv");
+  ASSERT_TRUE(manifest_bytes.ok());
+  auto manifest = Manifest::Deserialize(*manifest_bytes);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+
+  // (b) Every referenced record reads through the tiers; the interrupted
+  // deletes left orphans behind (more objects than two tiers' worth of
+  // records), never a dangling record.
+  CheckpointStore store(&fs, "run/ckpt", manifest->shard_count);
+  store.AttachBucket("s3");
+  for (const auto& rec : manifest->records) {
+    auto got = store.Get(rec.key);
+    EXPECT_TRUE(got.ok()) << rec.key.ToString() << ": "
+                          << got.status().ToString();
+  }
+  const auto count_objects = [&fs] {
+    return fs.ListPrefix("run/ckpt/").size() +
+           fs.ListPrefix("s3/run/ckpt/").size();
+  };
+  EXPECT_LT(count_objects(), objects_before);  // some deletes landed
+  EXPECT_GT(count_objects(), manifest->records.size() * 2);  // orphans
+
+  // (c) The crashed-GC run replays green with the bucket attached.
+  auto factory =
+      workloads::MakeWorkloadFactory(profile, workloads::kProbeInner);
+  sim::ClusterReplayOptions copts;
+  copts.run_prefix = "run";
+  copts.cluster.num_machines = 1;
+  copts.init_mode = InitMode::kWeak;
+  copts.bucket_prefix = "s3";
+  auto sim_result = sim::ClusterReplay(factory, &fs, copts);
+  ASSERT_TRUE(sim_result.ok()) << sim_result.status().ToString();
+  EXPECT_TRUE(sim_result->deferred.ok);
+
+  // The sweep reclaims exactly the leftovers: afterwards each tier holds
+  // one object per referenced record, and a rerun of the same bucket GC
+  // completes as a no-op.
+  auto sweep = ReconcileRun(&fs, "run/manifest.tsv", "run/ckpt", "s3");
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  EXPECT_TRUE(sweep->ok());
+  EXPECT_GT(sweep->local_orphans() + sweep->bucket_orphans(), 0);
+  EXPECT_EQ(count_objects(), manifest->records.size() * 2);
+
+  BucketGcPolicy policy;
+  policy.keep_last_k = 2;
+  auto rerun = RetireBucketRun(&fs, "run/manifest.tsv", "run/ckpt", "s3",
+                               policy);
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+  EXPECT_EQ(rerun->retired_objects(), 0);
+  EXPECT_EQ(count_objects(), manifest->records.size() * 2);
+}
+
 TEST_F(CrashConsistencyTest, ReplayWorkerKilledMidPartitionIsRecoverable) {
   // The process engine's crash contract: a replay worker SIGKILLed mid-
   // partition — here after tearing a half-written frame into its result

@@ -127,6 +127,51 @@ TEST(PlanRetirement, KeepsLastKPerLoopAndPinnedEpochs) {
   EXPECT_TRUE(PlanRetirement(m, policy).empty());
 }
 
+TEST(PlanRetirement, PinsScopePerLoopNestedRecordsRetire) {
+  // Pins come from PlannedRestoreEpochs and protect the checkpoints worker
+  // init restores — the *epoch-level* records (single-segment "e=N" ctx).
+  // Nested-loop records (ctx "e=N/i=M") are never init-restore targets:
+  // restoring an epoch-level loop skips its body, so nested loops are not
+  // entered during init. They must retire by recency even at pinned
+  // epochs — pinning them in every loop's keep-set kept them forever.
+  Manifest m;
+  // Epoch-level loop 2 and nested loop 7, both at epochs 0..5.
+  for (int64_t e = 0; e < 6; ++e) {
+    CheckpointRecord epoch_level;
+    epoch_level.key = {2, StrCat("e=", e)};
+    epoch_level.epoch = e;
+    m.records.push_back(epoch_level);
+    CheckpointRecord nested;
+    nested.key = {7, StrCat("e=", e, "/i=1")};
+    nested.epoch = e;
+    m.records.push_back(nested);
+  }
+
+  GcPolicy policy;
+  policy.keep_last_k = 1;
+  policy.pinned_epochs = {0, 2};
+  const std::vector<size_t> retired = PlanRetirement(m, policy);
+
+  std::set<std::string> retired_keys;
+  for (size_t idx : retired)
+    retired_keys.insert(m.records[idx].key.ToString());
+  // Epoch-level loop 2: keeps e=5 (recency) and e=0, e=2 (pins).
+  EXPECT_EQ(retired_keys.count(CheckpointKey{2, "e=5"}.ToString()), 0u);
+  EXPECT_EQ(retired_keys.count(CheckpointKey{2, "e=0"}.ToString()), 0u);
+  EXPECT_EQ(retired_keys.count(CheckpointKey{2, "e=2"}.ToString()), 0u);
+  EXPECT_EQ(retired_keys.count(CheckpointKey{2, "e=1"}.ToString()), 1u);
+  // Nested loop 7: keeps only e=5 — the pinned epochs retire with the
+  // rest of its timeline.
+  EXPECT_EQ(retired_keys.count(
+                CheckpointKey{7, "e=5/i=1"}.ToString()), 0u);
+  EXPECT_EQ(retired_keys.count(
+                CheckpointKey{7, "e=0/i=1"}.ToString()), 1u);
+  EXPECT_EQ(retired_keys.count(
+                CheckpointKey{7, "e=2/i=1"}.ToString()), 1u);
+  // 12 records, kept: 3 epoch-level + 1 nested.
+  EXPECT_EQ(retired.size(), 8u);
+}
+
 TEST(CheckpointGc, KeepLastKRetiresOldEpochsShardLocally) {
   MemFileSystem fs;
   const WorkloadProfile profile = GcProfile();
@@ -343,27 +388,39 @@ TEST(CheckpointGc, DeleteFailuresLeakOrphansNeverBreakReplay) {
   EXPECT_TRUE(result->deferred.ok);
 }
 
-TEST(CheckpointGc, RecordSessionLifecycleSpoolsThenRetires) {
+TEST(CheckpointGc, RecordSessionLifecycleSpoolsThenDemotes) {
   // The full pipeline through RecordSession alone: record + spool-as-you-
-  // materialize + keep-last-K retirement, no bench-side spool or GC calls.
+  // materialize + keep-last-K retirement. With the spool mirror attached
+  // as the store's bucket tier, the end-of-run GC *demotes*: local copies
+  // of old epochs are deleted, the manifest stays complete, and replay
+  // faults demoted checkpoints back in from the bucket.
   MemFileSystem fs;
   const WorkloadProfile profile = GcProfile(/*epochs=*/12, /*shards=*/4);
   const RecordResult rec =
       RecordOnto(&fs, profile, /*spool_prefix=*/"s3", /*keep_last_k=*/2);
 
-  // Spooling covered every materialized checkpoint (pre-retirement), with
-  // per-shard reports summing to the aggregate.
+  // Spooling covered every materialized checkpoint, with per-shard
+  // reports summing to the aggregate. Demotion keeps the manifest
+  // complete, so the record count equals the spool count.
   EXPECT_EQ(rec.spool_shard_reports.size(), 4u);
   EXPECT_TRUE(rec.spool_report.ok()) << rec.spool_report.first_error;
   EXPECT_EQ(rec.spool_report.objects,
-            rec.gc_report.retired_objects() +
-                static_cast<int64_t>(rec.manifest.records.size()));
+            static_cast<int64_t>(rec.manifest.records.size()));
   int64_t shard_sum = 0;
   for (const auto& r : rec.spool_shard_reports) shard_sum += r.objects;
   EXPECT_EQ(shard_sum, rec.spool_report.objects);
 
+  // The GC demoted: local deletes only, no manifest rewrite, and every
+  // demoted object had already been spooled (end-of-run GC runs after the
+  // spool drain).
+  EXPECT_TRUE(rec.gc_report.demoted_to_bucket);
+  EXPECT_FALSE(rec.gc_report.manifest_rewritten);
+  EXPECT_GT(rec.gc_report.retired_objects(), 0);
+  EXPECT_EQ(rec.gc_report.skipped_unspooled(), 0);
+  EXPECT_TRUE(rec.gc_report.ok());
+
   // The bucket is the durable archive: it mirrors every spooled object
-  // byte-for-byte, including ones retirement later deleted locally.
+  // byte-for-byte, including ones demotion deleted locally.
   size_t bucket_objects = 0;
   for (const auto& path : fs.ListPrefix("s3/run/ckpt/")) {
     ++bucket_objects;
@@ -377,35 +434,52 @@ TEST(CheckpointGc, RecordSessionLifecycleSpoolsThenRetires) {
   }
   EXPECT_EQ(static_cast<int64_t>(bucket_objects), rec.spool_report.objects);
 
-  // Retirement ran and the result manifest reflects the survivors.
-  EXPECT_GT(rec.gc_report.retired_objects(), 0);
-  EXPECT_TRUE(rec.gc_report.ok());
-  CheckpointStore store(&fs, "run/ckpt", rec.manifest.shard_count);
-  for (const auto& r : rec.manifest.records)
-    EXPECT_TRUE(store.Exists(r.key)) << r.key.ToString();
-  for (const auto& [loop_id, epochs] : EpochsByLoop(rec.manifest))
+  // Locally, only records.size() - retired objects remain, at most the
+  // two newest epochs per loop; through the tiers, every manifest record
+  // is still readable.
+  EXPECT_EQ(fs.ListPrefix("run/ckpt/").size(),
+            rec.manifest.records.size() -
+                static_cast<size_t>(rec.gc_report.retired_objects()));
+  CheckpointStore local_only(&fs, "run/ckpt", rec.manifest.shard_count);
+  std::map<int32_t, std::set<int64_t>> local_epochs;
+  for (const auto& r : rec.manifest.records) {
+    if (r.epoch >= 0 && local_only.Exists(r.key))
+      local_epochs[r.key.loop_id].insert(r.epoch);
+  }
+  for (const auto& [loop_id, epochs] : local_epochs)
     EXPECT_LE(epochs.size(), 2u) << "loop " << loop_id;
+  CheckpointStore tiered(&fs, "run/ckpt", rec.manifest.shard_count);
+  tiered.AttachBucket("s3", /*rehydrate_on_fault=*/false);
+  for (const auto& r : rec.manifest.records)
+    EXPECT_TRUE(tiered.Exists(r.key)) << r.key.ToString();
 
-  // And the retired run replays green, byte-identically on both engines.
+  // And the demoted run replays green, byte-identically on both engines,
+  // faulting old epochs in from the bucket.
   sim::ClusterReplayOptions copts;
   copts.run_prefix = "run";
   copts.cluster.num_machines = 1;
   copts.init_mode = InitMode::kWeak;
+  copts.bucket_prefix = "s3";
+  copts.bucket_rehydrate = false;
   auto sim_result = sim::ClusterReplay(MakeWorkloadFactory(profile,
                                                            kProbeInner),
                                        &fs, copts);
   ASSERT_TRUE(sim_result.ok()) << sim_result.status().ToString();
   EXPECT_TRUE(sim_result->deferred.ok);
+  EXPECT_GT(sim_result->bucket_faults, 0);
 
   exec::ReplayExecutorOptions xopts;
   xopts.run_prefix = "run";
   xopts.num_threads = 4;
   xopts.num_partitions = 4;
   xopts.init_mode = InitMode::kWeak;
+  xopts.bucket_prefix = "s3";
+  xopts.bucket_rehydrate = false;
   auto real_result = exec::ReplayExecutor(&fs, xopts)
                          .Run(MakeWorkloadFactory(profile, kProbeInner));
   ASSERT_TRUE(real_result.ok()) << real_result.status().ToString();
   EXPECT_TRUE(real_result->deferred.ok);
+  EXPECT_EQ(real_result->bucket_faults, sim_result->bucket_faults);
   EXPECT_EQ(real_result->merged_logs.Serialize(),
             sim_result->merged_logs.Serialize());
 }

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "checkpoint/gc.h"
 #include "env/result_file.h"
 #include "env/scratch.h"
 #include "exec/process_executor.h"
@@ -137,6 +138,81 @@ TEST_F(ProcessReplayTest, ThreeEngineByteIdentityAcrossPartitionCounts) {
       EXPECT_EQ(proc->probe_entries[i], threaded->probe_entries[i]);
     ASSERT_EQ(proc->worker_seconds.size(), threaded->worker_seconds.size());
   }
+}
+
+TEST_F(ProcessReplayTest, ThreeEngineByteIdentityOnDemotedStore) {
+  // A store GC'd down to keep_last_k=1 with a populated bucket mirror must
+  // replay green and byte-identical across all three engines, every one
+  // faulting retired checkpoints back from the bucket.
+  PosixFileSystem fs(root());
+  const WorkloadProfile profile = ProcProfile();
+  {
+    Env env(std::make_unique<SimClock>(), &fs);
+    auto instance = MakeWorkloadFactory(profile, kProbeNone)();
+    ASSERT_TRUE(instance.ok());
+    RecordOptions opts = workloads::DefaultRecordOptions(profile, "run");
+    opts.spool_prefix = "s3";
+    RecordSession session(&env, opts);
+    exec::Frame frame;
+    auto recorded = session.Run(instance->program.get(), &frame);
+    ASSERT_TRUE(recorded.ok()) << recorded.status().ToString();
+  }
+
+  // Pre-GC baseline, no bucket involvement.
+  sim::ClusterReplayOptions copts;
+  copts.run_prefix = "run";
+  copts.cluster.num_machines = 1;
+  copts.init_mode = InitMode::kWeak;
+  auto before = sim::ClusterReplay(
+      MakeWorkloadFactory(profile, kProbeInner), &fs, copts);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  ASSERT_TRUE(before->deferred.ok);
+  const std::string baseline = before->merged_logs.Serialize();
+
+  GcPolicy policy;
+  policy.keep_last_k = 1;
+  auto gc = RetireRun(&fs, "run/manifest.tsv", "run/ckpt", policy, "s3");
+  ASSERT_TRUE(gc.ok()) << gc.status().ToString();
+  ASSERT_TRUE(gc->demoted_to_bucket);
+  ASSERT_GT(gc->retired_objects(), 0);
+
+  // Rehydration off everywhere so the store stays demoted between engines
+  // and each one observes the same fault set.
+  copts.bucket_prefix = "s3";
+  copts.bucket_rehydrate = false;
+  auto sim_result = sim::ClusterReplay(
+      MakeWorkloadFactory(profile, kProbeInner), &fs, copts);
+  ASSERT_TRUE(sim_result.ok()) << sim_result.status().ToString();
+  EXPECT_TRUE(sim_result->deferred.ok);
+  EXPECT_GT(sim_result->bucket_faults, 0);
+  EXPECT_EQ(sim_result->merged_logs.Serialize(), baseline);
+
+  exec::ReplayExecutorOptions xopts;
+  xopts.run_prefix = "run";
+  xopts.num_threads = 4;
+  xopts.num_partitions = 4;
+  xopts.init_mode = InitMode::kWeak;
+  xopts.bucket_prefix = "s3";
+  xopts.bucket_rehydrate = false;
+  auto threaded = exec::ReplayExecutor(&fs, xopts)
+                      .Run(MakeWorkloadFactory(profile, kProbeInner));
+  ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+  EXPECT_TRUE(threaded->deferred.ok);
+  EXPECT_GT(threaded->bucket_faults, 0);
+  EXPECT_EQ(threaded->merged_logs.Serialize(), baseline);
+
+  exec::ProcessReplayExecutorOptions popts;
+  popts.bucket_prefix = "s3";
+  popts.bucket_rehydrate = false;
+  auto proc = RunProcesses(&fs, profile, /*partitions=*/4, popts);
+  ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+  EXPECT_TRUE(proc->deferred.ok)
+      << (proc->deferred.anomalies.empty() ? ""
+                                           : proc->deferred.anomalies[0]);
+  EXPECT_EQ(proc->merged_logs.Serialize(), baseline);
+  // The fault count crossed the process boundary through the framed
+  // result files and matches the same-plan thread engine exactly.
+  EXPECT_EQ(proc->bucket_faults, threaded->bucket_faults);
 }
 
 TEST_F(ProcessReplayTest, SkewedPartitionsStress) {

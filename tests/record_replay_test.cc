@@ -254,6 +254,32 @@ TEST(Replay, SamplingReplayRandomAccessesEpochs) {
   EXPECT_EQ(contexts, (std::set<std::string>{"e=1", "e=4"}));
 }
 
+TEST(Replay, RestoreAccountingMovesTogether) {
+  // Regression: RestoreSkipBlock used to guard the restore-latency
+  // accumulation on result_ but bump the restores counter through the same
+  // pointer unconditionally — the two could only ever diverge by crashing.
+  // The invariant is now checked once up front, and every restore charges
+  // its Ri: one restore per skipped block, nonzero accumulated latency,
+  // and (no bucket configured) zero bucket faults.
+  auto env = Env::NewSimEnv();
+  RecordTiny(env.get(), nullptr);
+
+  auto instance = MakeWorkloadFactory(TinyProfile(), kProbeNone)();
+  ASSERT_TRUE(instance.ok());
+  ReplayOptions ropts;
+  ropts.run_prefix = "run";
+  ReplaySession session(env.get(), ropts);
+  exec::Frame frame;
+  auto result = session.Run(instance->program.get(), &frame);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(result->skipblocks.restores, result->skipblocks.skipped);
+  EXPECT_GT(result->skipblocks.restores, 0);
+  EXPECT_GT(result->restore_seconds, 0);
+  EXPECT_GT(result->observed_c, 0);
+  EXPECT_EQ(result->bucket_faults, 0);
+}
+
 TEST(Replay, ObservedCMatchesCostModel) {
   auto env = Env::NewSimEnv();
   RecordTiny(env.get(), nullptr);

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
+#include <string>
 #include <thread>
 
 #include "checkpoint/materializer.h"
@@ -105,6 +107,49 @@ TEST(SpoolQueue, ShardedStoreLayoutPreservedInBucket) {
     EXPECT_TRUE(fs.Exists(mirrored)) << mirrored;
   }
   EXPECT_EQ(fs.TotalBytesUnder("s3/run/ckpt/"), store.TotalBytes());
+}
+
+TEST(SpoolQueue, SpoolToS3MirrorsSpoolStoreLayoutRegardlessOfSlashes) {
+  // The two spool entry points must land byte-identical mirror layouts —
+  // the bucket tier reads objects at JoinObjectPath(bucket_prefix,
+  // PathFor(key)), so a spool that shifts keys by a slash strands every
+  // demoted checkpoint. Stray trailing slashes on either prefix used to do
+  // exactly that to SpoolToS3.
+  MemFileSystem fs;
+  CheckpointStore store(&fs, "run/ckpt", /*num_shards=*/4);
+  FillStore(&store, 12, 50);
+
+  SpoolReport by_store = SpoolStore(store, "mirror/a/run/ckpt");
+  ASSERT_TRUE(by_store.ok());
+
+  /// Byte image under `prefix`, keyed by path relative to it.
+  auto image = [&fs](const std::string& prefix) {
+    std::map<std::string, std::string> out;
+    for (const auto& path : fs.ListPrefix(prefix)) {
+      auto data = fs.ReadFile(path);
+      EXPECT_TRUE(data.ok()) << path;
+      out[path.substr(prefix.size())] = *data;
+    }
+    return out;
+  };
+  const auto want = image("mirror/a/");
+  ASSERT_EQ(want.size(), 12u);
+
+  const struct {
+    const char* src;
+    const char* dst;
+    const char* out;
+  } kVariants[] = {
+      {"run/ckpt", "mirror/b/run/ckpt", "mirror/b/"},
+      {"run/ckpt/", "mirror/c/run/ckpt/", "mirror/c/"},
+      {"run/ckpt//", "mirror/d/run/ckpt//", "mirror/d/"},
+  };
+  for (const auto& v : kVariants) {
+    auto report = SpoolToS3(&fs, v.src, v.dst);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->objects, 12) << v.src;
+    EXPECT_EQ(image(v.out), want) << v.src << " -> " << v.dst;
+  }
 }
 
 TEST(SpoolQueue, TransientWriteFailuresAreRetried) {
