@@ -175,6 +175,10 @@ int main() {
     exec::ProcessReplayExecutorOptions popts;
     popts.run_prefix = "run";
     popts.num_partitions = procs;
+    // One pool slot per partition, as on a cluster with one node per
+    // modeled GPU: the scheduler must not serialize device-bound
+    // partitions behind this host's core count.
+    popts.max_concurrent_children = procs;
     popts.init_mode = InitMode::kWeak;
     popts.costs = sim::PaperPlatformCosts();
     exec::ProcessReplayExecutor executor(&real_fs, popts);

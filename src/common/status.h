@@ -34,6 +34,32 @@ enum class StatusCode : uint8_t {
 /// Returns a stable human-readable name ("OK", "Corruption", ...).
 const char* StatusCodeName(StatusCode code);
 
+/// True exactly when `code` is the numeric value of a StatusCode
+/// enumerator. Decoders that transport a StatusCode as an integer (e.g.
+/// the process replay engine's worker error files) must validate through
+/// this rather than comparing against the numerically-last enumerator, so
+/// adding a code means updating only this switch — which -Wswitch keeps in
+/// sync with the enum.
+constexpr bool IsValidStatusCode(int64_t code) {
+  if (code < 0 || code > 255) return false;
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kCorruption:
+    case StatusCode::kIOError:
+    case StatusCode::kNotSupported:
+    case StatusCode::kInternal:
+    case StatusCode::kReplayAnomaly:
+    case StatusCode::kAborted:
+      return true;
+  }
+  return false;
+}
+
 /// Outcome of a fallible operation: a code plus a context message.
 ///
 /// `Status` is cheap to copy in the OK case (empty message) and is used

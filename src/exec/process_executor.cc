@@ -1,9 +1,14 @@
 #include "exec/process_executor.h"
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <deque>
+#include <map>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "common/strings.h"
@@ -47,7 +52,7 @@ Status DecodeWorkerError(const std::string& data) {
     return Status::Corruption("worker error file is torn");
   int64_t code = 0;
   if (!ParseI64((*sections)[0], &code) || code <= 0 ||
-      code > static_cast<int64_t>(StatusCode::kAborted)) {
+      !IsValidStatusCode(code)) {
     return Status::Corruption("worker error file: bad status code");
   }
   return Status(static_cast<StatusCode>(code), (*sections)[1]);
@@ -59,28 +64,42 @@ ProcessReplayExecutor::ProcessReplayExecutor(
     FileSystem* shared_fs, ProcessReplayExecutorOptions options)
     : fs_(shared_fs), options_(std::move(options)) {}
 
-std::string ProcessReplayExecutor::ResultFileName(int worker_id) {
-  return StrCat("worker-", worker_id, ".res");
+std::string ProcessReplayExecutor::ResultFileName(int worker_id,
+                                                  int attempt) {
+  if (attempt <= 1) return StrCat("worker-", worker_id, ".res");
+  return StrCat("worker-", worker_id, ".attempt-", attempt, ".res");
 }
 
-std::string ProcessReplayExecutor::ErrorFileName(int worker_id) {
-  return StrCat("worker-", worker_id, ".err");
+std::string ProcessReplayExecutor::ErrorFileName(int worker_id,
+                                                 int attempt) {
+  if (attempt <= 1) return StrCat("worker-", worker_id, ".err");
+  return StrCat("worker-", worker_id, ".attempt-", attempt, ".err");
 }
 
 #if defined(__unix__) || defined(__APPLE__)
 
 namespace {
 
+/// EINTR-safe waitpid: a signal delivered to the coordinator must never
+/// diagnose a healthy partition as dead.
+pid_t WaitPidRetry(pid_t pid, int* wstatus, int flags) {
+  for (;;) {
+    const pid_t got = waitpid(pid, wstatus, flags);
+    if (got >= 0 || errno != EINTR) return got;
+  }
+}
+
 /// Child-side worker body. Never returns into the parent's code: commits
 /// a result (or error) file and _exit()s, skipping atexit handlers and
 /// the parent's buffered state.
-[[noreturn]] void RunChild(int worker_id, FileSystem* shared_fs,
+[[noreturn]] void RunChild(int worker_id, int attempt, FileSystem* shared_fs,
                            const ProgramFactory& factory,
                            const ClusterPlanOptions& plan,
                            const ProcessReplayExecutorOptions& options,
                            const std::string& scratch_path) {
   PosixFileSystem scratch_fs(scratch_path);
-  if (options.child_before_session) options.child_before_session(worker_id);
+  if (options.child_before_session)
+    options.child_before_session(worker_id, attempt);
 
   auto run_worker = [&]() -> Result<ReplayResult> {
     Env env(std::make_unique<WallClock>(), shared_fs);
@@ -92,17 +111,17 @@ namespace {
   Result<ReplayResult> result = run_worker();
 
   if (options.child_before_result_write)
-    options.child_before_result_write(worker_id);
+    options.child_before_result_write(worker_id, attempt);
 
   if (result.ok()) {
     const Status wrote = scratch_fs.WriteFile(
-        ProcessReplayExecutor::ResultFileName(worker_id),
+        ProcessReplayExecutor::ResultFileName(worker_id, attempt),
         EncodeWorkerResult(*result));
     _exit(wrote.ok() ? 0 : kChildWriteFailed);
   }
-  const Status wrote =
-      scratch_fs.WriteFile(ProcessReplayExecutor::ErrorFileName(worker_id),
-                           EncodeWorkerError(result.status()));
+  const Status wrote = scratch_fs.WriteFile(
+      ProcessReplayExecutor::ErrorFileName(worker_id, attempt),
+      EncodeWorkerError(result.status()));
   _exit(wrote.ok() ? kChildReplayFailed : kChildWriteFailed);
 }
 
@@ -125,6 +144,14 @@ Result<ProcessReplayExecutorResult> ProcessReplayExecutor::Run(
   FLOR_ASSIGN_OR_RETURN(const int active,
                         PlanActiveWorkers(factory, fs_, plan));
 
+  const int max_attempts = std::max(1, options_.max_attempts);
+  int pool = options_.max_concurrent_children;
+  if (pool <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    pool = std::min(active, static_cast<int>(hw > 0 ? hw : 1));
+  }
+  pool = std::max(1, pool);
+
   std::optional<ScratchDir> owned_scratch;
   std::string scratch_path = options_.scratch_dir;
   if (scratch_path.empty()) {
@@ -134,94 +161,232 @@ Result<ProcessReplayExecutorResult> ProcessReplayExecutor::Run(
     owned_scratch.emplace(std::move(scratch));
   }
   PosixFileSystem scratch_fs(scratch_path);
-  // A caller-supplied scratch directory may hold a previous run's files;
-  // a stale fragment must never pass for this run's.
-  for (int w = 0; w < active; ++w) {
-    (void)scratch_fs.DeleteFile(ResultFileName(w));
-    (void)scratch_fs.DeleteFile(ErrorFileName(w));
-  }
+  // A caller-supplied scratch directory may hold a previous run's files —
+  // possibly from a run with *more* partitions or more attempts than this
+  // one — and a stale fragment must never pass for this run's. Clear by
+  // listing, not by iterating this run's worker ids.
+  for (const std::string& stale : scratch_fs.ListPrefix("worker-"))
+    (void)scratch_fs.DeleteFile(stale);
 
-  // Fork one worker per partition. Flush stdio first so children do not
-  // replay the parent's buffered output on their own streams.
-  std::fflush(nullptr);
-  std::vector<pid_t> pids(static_cast<size_t>(active), -1);
-  for (int w = 0; w < active; ++w) {
+  // ---- scheduler state ----------------------------------------------
+  struct LiveAttempt {
+    int worker = 0;
+    int attempt = 0;
+    bool speculative = false;
+  };
+  std::map<pid_t, LiveAttempt> running;
+  std::deque<int> ready;  // partitions awaiting a pool slot
+  for (int w = 0; w < active; ++w) ready.push_back(w);
+
+  std::vector<int> forks_per_partition(static_cast<size_t>(active), 0);
+  std::vector<int> committed_attempt(static_cast<size_t>(active), 0);
+  std::vector<Status> partition_error(static_cast<size_t>(active),
+                                      Status::OK());
+  std::vector<bool> partition_failed(static_cast<size_t>(active), false);
+  std::vector<bool> death_retried(static_cast<size_t>(active), false);
+  std::vector<bool> speculated(static_cast<size_t>(active), false);
+  int completed = 0;  // partitions committed or failed for good
+  int total_forks = 0;
+  int speculative_forks = 0;
+  int speculative_wins = 0;
+  int max_children = 0;
+  ReplayMerger merger;
+
+  const auto terminal = [&](int w) {
+    return committed_attempt[static_cast<size_t>(w)] > 0 ||
+           partition_failed[static_cast<size_t>(w)];
+  };
+  const auto live_attempts_of = [&](int w) {
+    int n = 0;
+    for (const auto& [pid, la] : running) {
+      (void)pid;
+      if (la.worker == w) ++n;
+    }
+    return n;
+  };
+  const auto kill_other_attempts = [&](int w, pid_t except) {
+    for (const auto& [pid, la] : running)
+      if (la.worker == w && pid != except) (void)kill(pid, SIGKILL);
+  };
+  // Tear down every live child (fork/waitpid failure paths and the final
+  // sweep that reaps speculation losers), EINTR-safe.
+  const auto kill_and_reap_all = [&] {
+    for (const auto& [pid, la] : running) {
+      (void)la;
+      (void)kill(pid, SIGKILL);
+    }
+    for (const auto& [pid, la] : running) {
+      (void)la;
+      int ignored = 0;
+      (void)WaitPidRetry(pid, &ignored, 0);
+    }
+    running.clear();
+  };
+  const auto fork_attempt = [&](int w, bool speculative) -> Status {
+    const int attempt = ++forks_per_partition[static_cast<size_t>(w)];
+    // Flush stdio so children do not replay the parent's buffered output
+    // on their own streams.
+    std::fflush(nullptr);
     const pid_t pid = fork();
-    if (pid < 0) {
-      // Reap what was already forked before reporting.
-      for (int k = 0; k < w; ++k) {
-        (void)kill(pids[static_cast<size_t>(k)], SIGKILL);
-        int ignored = 0;
-        (void)waitpid(pids[static_cast<size_t>(k)], &ignored, 0);
-      }
+    if (pid < 0)
       return Status::IOError(
           StrCat("fork failed for replay partition ", w));
-    }
     if (pid == 0)
-      RunChild(w, fs_, factory, plan, options_, scratch_path);
-    pids[static_cast<size_t>(w)] = pid;
-  }
-
-  // Reap every child; collect per-partition outcomes. Surviving result
-  // files are read but never rewritten, so a partial failure leaves the
-  // healthy fragments on disk for inspection or re-merge.
-  ReplayMerger merger;
-  std::vector<std::string> failures;
-  Status first_failure = Status::OK();
-  auto fail = [&](int w, Status status) {
-    failures.push_back(StrCat("partition ", w, "/", active, ": ",
-                              status.message()));
-    if (first_failure.ok()) first_failure = std::move(status);
+      RunChild(w, attempt, fs_, factory, plan, options_, scratch_path);
+    running.emplace(pid, LiveAttempt{w, attempt, speculative});
+    ++total_forks;
+    if (speculative) ++speculative_forks;
+    max_children = std::max(max_children, static_cast<int>(running.size()));
+    return Status::OK();
   };
-  for (int w = 0; w < active; ++w) {
+  const auto record_failure = [&](int w, Status status) {
+    partition_failed[static_cast<size_t>(w)] = true;
+    partition_error[static_cast<size_t>(w)] = std::move(status);
+    ++completed;
+    kill_other_attempts(w, /*except=*/-1);
+  };
+
+  // ---- scheduling loop ----------------------------------------------
+  // Fill free pool slots, maybe speculate on the last straggler, reap one
+  // child (in whatever order children finish), map its exit to
+  // commit/retry/fail — until every partition is terminal. Surviving
+  // result files are read but never rewritten, so a partial failure
+  // leaves the healthy fragments on disk for inspection or re-merge.
+  Status scheduler_error = Status::OK();
+  while (completed < active) {
+    while (!ready.empty() && static_cast<int>(running.size()) < pool) {
+      const int w = ready.front();
+      ready.pop_front();
+      scheduler_error = fork_attempt(w, /*speculative=*/false);
+      if (!scheduler_error.ok()) break;
+    }
+    if (!scheduler_error.ok()) break;
+
+    // Straggler speculation: every other partition has finished, exactly
+    // one attempt is still running, and a pool slot is free — race a twin
+    // against it; first committed result wins.
+    if (options_.speculate_stragglers && ready.empty() &&
+        completed == active - 1 && running.size() == 1 &&
+        static_cast<int>(running.size()) < pool) {
+      const int last = running.begin()->second.worker;
+      if (!terminal(last) && !speculated[static_cast<size_t>(last)]) {
+        speculated[static_cast<size_t>(last)] = true;
+        scheduler_error = fork_attempt(last, /*speculative=*/true);
+        if (!scheduler_error.ok()) break;
+      }
+    }
+
+    if (running.empty()) {
+      scheduler_error =
+          Status::Internal("process replay scheduler stalled");
+      break;
+    }
     int wstatus = 0;
-    if (waitpid(pids[static_cast<size_t>(w)], &wstatus, 0) !=
-        pids[static_cast<size_t>(w)]) {
-      fail(w, Status::Internal("waitpid failed"));
+    const pid_t pid = WaitPidRetry(-1, &wstatus, 0);
+    if (pid < 0) {
+      scheduler_error = Status::Internal(
+          StrCat("waitpid failed: ", strerror(errno)));
+      break;
+    }
+    const auto it = running.find(pid);
+    if (it == running.end()) continue;  // not one of ours; status discarded
+    const LiveAttempt la = it->second;
+    running.erase(it);
+    const int w = la.worker;
+
+    if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0) {
+      // The attempt committed a result file. A losing speculative twin
+      // that commits after the winner is ignored — first commit wins.
+      if (terminal(w)) continue;
+      auto result_bytes = scratch_fs.ReadFile(ResultFileName(w, la.attempt));
+      if (!result_bytes.ok()) {
+        record_failure(w, Status(result_bytes.status().code(),
+                                 "result file unreadable: " +
+                                     result_bytes.status().message()));
+        continue;
+      }
+      auto decoded = DecodeWorkerResult(*result_bytes);
+      if (!decoded.ok()) {
+        record_failure(w, Status(decoded.status().code(),
+                                 "result file: " +
+                                     decoded.status().message()));
+        continue;
+      }
+      committed_attempt[static_cast<size_t>(w)] = la.attempt;
+      ++completed;
+      if (la.speculative) ++speculative_wins;
+      merger.Add(w, std::move(*decoded));
+      kill_other_attempts(w, pid);  // reaped (and ignored) by this loop
       continue;
     }
+
+    // The attempt did not commit: diagnose, then retry or fail. Worker
+    // *death* (signal, or a result that could not be committed) is
+    // retryable — the SIGKILL suites prove surviving fragments stay
+    // intact, so re-forking just the dead partition is safe. A replay
+    // that failed cleanly inside the child is deterministic: retrying
+    // would fail identically.
+    Status cause = Status::OK();
+    bool retryable = false;
     if (WIFSIGNALED(wstatus)) {
       const int sig = WTERMSIG(wstatus);
       const char* name = strsignal(sig);
-      fail(w, Status::Aborted(StrCat("worker process killed by signal ",
+      cause = Status::Aborted(StrCat("worker process killed by signal ",
                                      sig, " (",
-                                     name != nullptr ? name : "?", ")")));
+                                     name != nullptr ? name : "?", ")"));
+      retryable = true;
+    } else {
+      const int code = WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1;
+      if (code == kChildReplayFailed) {
+        auto err_bytes = scratch_fs.ReadFile(ErrorFileName(w, la.attempt));
+        cause = err_bytes.ok()
+                    ? DecodeWorkerError(*err_bytes)
+                    : Status::Internal("replay failed (error file missing)");
+      } else {
+        cause = Status::Aborted(StrCat(
+            "worker process exited with status ", code,
+            code == kChildWriteFailed ? " (result write failed)" : ""));
+        retryable = (code == kChildWriteFailed);
+      }
+    }
+    if (terminal(w)) continue;  // twin of a partition already settled
+    if (live_attempts_of(w) > 0) continue;  // a racing twin carries it on
+    if (retryable &&
+        forks_per_partition[static_cast<size_t>(w)] < max_attempts) {
+      death_retried[static_cast<size_t>(w)] = true;
+      ready.push_back(w);
       continue;
     }
-    const int code = WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1;
-    if (code == kChildReplayFailed) {
-      auto err_bytes = scratch_fs.ReadFile(ErrorFileName(w));
-      fail(w, err_bytes.ok()
-                  ? DecodeWorkerError(*err_bytes)
-                  : Status::Internal("replay failed (error file missing)"));
-      continue;
+    if (forks_per_partition[static_cast<size_t>(w)] > 1) {
+      cause = Status(cause.code(),
+                     StrCat(cause.message(), " (",
+                            forks_per_partition[static_cast<size_t>(w)],
+                            " attempts)"));
     }
-    if (code != 0) {
-      fail(w, Status::Aborted(StrCat(
-                  "worker process exited with status ", code,
-                  code == kChildWriteFailed ? " (result write failed)"
-                                            : "")));
-      continue;
-    }
-    auto result_bytes = scratch_fs.ReadFile(ResultFileName(w));
-    if (!result_bytes.ok()) {
-      fail(w, Status(result_bytes.status().code(),
-                     "result file unreadable: " +
-                         result_bytes.status().message()));
-      continue;
-    }
-    auto decoded = DecodeWorkerResult(*result_bytes);
-    if (!decoded.ok()) {
-      fail(w, Status(decoded.status().code(),
-                     "result file: " + decoded.status().message()));
-      continue;
-    }
-    merger.Add(w, std::move(*decoded));
+    record_failure(w, std::move(cause));
   }
-  if (!failures.empty()) {
+
+  // Reap whatever is still alive: speculation losers we killed above, or
+  // every child when the scheduler itself failed.
+  kill_and_reap_all();
+  if (!scheduler_error.ok()) return scheduler_error;
+
+  bool any_failed = false;
+  for (int w = 0; w < active; ++w)
+    any_failed = any_failed || partition_failed[static_cast<size_t>(w)];
+  if (any_failed) {
     // Keep the fragments inspectable: an auto-created scratch dir is
     // preserved (and named) instead of being removed on this return.
     if (owned_scratch) owned_scratch->set_keep(true);
+    std::vector<std::string> failures;
+    Status first_failure = Status::OK();
+    for (int w = 0; w < active; ++w) {
+      if (!partition_failed[static_cast<size_t>(w)]) continue;
+      const Status& status = partition_error[static_cast<size_t>(w)];
+      failures.push_back(StrCat("partition ", w, "/", active, ": ",
+                                status.message()));
+      if (first_failure.ok()) first_failure = status;
+    }
     return Status(first_failure.code(),
                   StrCat("process replay: ", StrJoin(failures, "; "),
                          " [surviving fragments in ", scratch_path, "]"));
@@ -231,6 +396,14 @@ Result<ProcessReplayExecutorResult> ProcessReplayExecutor::Run(
   FLOR_ASSIGN_OR_RETURN(static_cast<MergedClusterReplay&>(result),
                         merger.Finish(fs_, options_.run_prefix));
   result.processes_used = active;
+  result.pool_size = pool;
+  result.total_forks = total_forks;
+  result.max_observed_children = max_children;
+  for (const bool retried : death_retried)
+    result.retried_partitions += retried ? 1 : 0;
+  result.speculative_forks = speculative_forks;
+  result.speculative_wins = speculative_wins;
+  result.partition_attempts = std::move(forks_per_partition);
   result.wall_seconds = WallNowSeconds() - wall_start;
   return result;
 }

@@ -4,23 +4,38 @@
 // The third engine over the shared plan (flor/replay_plan.h):
 //   * sim::ClusterReplay     — sequential workers, simulated clocks;
 //   * exec::ReplayExecutor   — worker threads, one address space;
-//   * exec::ProcessReplayExecutor — fork one worker *process* per log
-//     partition, true isolation: a worker that segfaults, leaks, or is
-//     OOM-killed takes down only its partition, exactly like a lost GPU
-//     node in the paper's cluster runs.
+//   * exec::ProcessReplayExecutor — forked worker *processes*, true
+//     isolation: a worker that segfaults, leaks, or is OOM-killed takes
+//     down only its partition, exactly like a lost GPU node in the
+//     paper's cluster runs.
+//
+// The executor is a small cluster scheduler, not a fork-all barrier: a
+// bounded pool of at most `max_concurrent_children` worker processes runs
+// at once, queued partitions are forked as slots free up (so G partitions
+// replay on fewer slots, just slower — the elastic scale-out shape), and a
+// partition whose worker *dies* (killed by a signal, or unable to commit
+// its result file) is automatically re-forked up to `max_attempts` times.
+// Every attempt writes to its own attempt-suffixed result/error file name,
+// so a torn attempt-1 file can never shadow a clean attempt-2 fragment.
+// Optionally, once every other partition has finished, the last running
+// straggler is speculatively re-forked and raced against itself: the first
+// attempt to commit wins, the loser is killed, reaped, and its file
+// ignored.
 //
 // Protocol: the parent plans partitions (the same PlanActiveWorkers every
-// engine uses), forks one child per partition, and blocks in waitpid. Each
-// child runs its ReplaySession against the shared record artifacts and
-// writes its merged-log fragment plus per-worker stats to a length-
-// prefixed, CRC-framed result file (env/result_file.h) in a posix scratch
-// directory — atomically, so a child killed mid-write leaves either
-// nothing or a torn file that fails to parse, never a silently mergeable
-// garbage fragment. The parent reaps every child, reports per-partition
-// death (nonzero exit or signal) without touching surviving fragments,
-// decodes the fragments (flor::DecodeWorkerResult), and merges them via
-// the same ReplayMerger as the other two engines — so the merged replay
-// log is byte-identical to both.
+// engine uses) and forks worker processes as described above. Each child
+// runs its ReplaySession against the shared record artifacts and writes
+// its merged-log fragment plus per-worker stats to a length-prefixed,
+// CRC-framed result file (env/result_file.h) in a posix scratch directory
+// — atomically, so a child killed mid-write leaves either nothing or a
+// torn file that fails to parse, never a silently mergeable garbage
+// fragment. The parent reaps children as they exit (EINTR-safe
+// waitpid(-1)), maps death (nonzero exit or signal) into retry-or-fail per
+// partition without touching surviving fragments, decodes committed
+// fragments (flor::DecodeWorkerResult) in completion order, and merges
+// them via the same ReplayMerger as the other two engines — merging is
+// order-insensitive, so the merged replay log is byte-identical to both
+// no matter how out-of-order partitions complete or how often they retry.
 //
 // The shared FileSystem must be readable in the children: PosixFileSystem
 // shares the on-disk record run across processes; MemFileSystem works too
@@ -44,7 +59,7 @@ namespace exec {
 /// Process-engine configuration.
 struct ProcessReplayExecutorOptions {
   std::string run_prefix = "run";
-  /// Log partitions (the paper's G); one worker process is forked per
+  /// Log partitions (the paper's G); one worker process replays each
   /// partition. The planner may clamp to fewer when checkpoints are
   /// sparse.
   int num_partitions = 4;
@@ -65,29 +80,69 @@ struct ProcessReplayExecutorOptions {
   /// tests and post-mortems can inspect surviving fragments.
   std::string scratch_dir;
 
-  /// Test-only fault-injection hooks, invoked inside the forked child.
+  /// Scheduler pool size: at most this many worker processes are alive at
+  /// once; partitions beyond it queue and fork as slots free up. <= 0
+  /// (the default) means min(active partitions, hardware_concurrency).
+  /// Benches replaying device-bound partitions (one slot per modeled GPU)
+  /// should pin this to the partition count explicitly.
+  int max_concurrent_children = 0;
+  /// Fork budget per partition. A worker that dies by signal or cannot
+  /// commit its result file is re-forked until its partition commits or
+  /// the budget is exhausted; 1 restores the original fail-fast behavior.
+  /// A replay that fails *cleanly* inside the child (a Status carried
+  /// back through the framed error file) is deterministic and is never
+  /// retried.
+  int max_attempts = 2;
+  /// Once every other partition has finished, re-fork the last running
+  /// straggler (within its remaining pool slot) and race the two
+  /// attempts: the first committed result wins, the loser is killed and
+  /// its file ignored. Models the paper deployment's straggler
+  /// mitigation; off by default because it burns a fork on a healthy
+  /// worker.
+  bool speculate_stragglers = false;
+
+  /// Test-only fault-injection hooks, invoked inside the forked child
+  /// with the worker id and the 1-based attempt number.
   /// `before_session` runs before the child's ReplaySession,
   /// `before_result_write` after the session but before the result file
   /// is committed — a hook that kills the process at either point models
   /// a worker lost mid-partition.
-  std::function<void(int worker_id)> child_before_session;
-  std::function<void(int worker_id)> child_before_result_write;
+  std::function<void(int worker_id, int attempt)> child_before_session;
+  std::function<void(int worker_id, int attempt)> child_before_result_write;
 };
 
 /// Outcome of a process-level replay: the engine-agnostic merge plus
-/// process-side measurements.
+/// process-side measurements and scheduler statistics.
 struct ProcessReplayExecutorResult : MergedClusterReplay {
   /// Measured wall-clock time of the whole replay (plan + fork + children
   /// + merge), parent perspective.
   double wall_seconds = 0;
-  /// Worker processes forked (== active partitions).
+  /// Partitions replayed (== workers_used; kept for bench continuity).
   int processes_used = 0;
+  /// Effective scheduler pool size (after defaulting).
+  int pool_size = 0;
+  /// Worker processes forked in total, including retries and speculative
+  /// twins (== processes_used when nothing died).
+  int total_forks = 0;
+  /// Most worker processes alive at any instant (never exceeds
+  /// pool_size).
+  int max_observed_children = 0;
+  /// Partitions that needed a re-fork after a worker death.
+  int retried_partitions = 0;
+  /// Speculative straggler twins forked / partitions won by the twin.
+  int speculative_forks = 0;
+  int speculative_wins = 0;
+  /// Forks per partition, indexed by worker id.
+  std::vector<int> partition_attempts;
 };
 
 /// Runs partitioned hindsight replay on forked worker processes. Single-
 /// use per Run call; the executor itself holds no per-run state. Fork
 /// happens on the calling thread — do not call with unrelated threads
 /// live in the parent (the engines' usual single-coordinator discipline).
+/// Run reaps with waitpid(-1): it must not race another wait loop in the
+/// same process (statuses of unrelated children reaped here are
+/// discarded).
 class ProcessReplayExecutor {
  public:
   /// Does not own `shared_fs` (see file comment for cross-process
@@ -95,18 +150,22 @@ class ProcessReplayExecutor {
   ProcessReplayExecutor(FileSystem* shared_fs,
                         ProcessReplayExecutorOptions options);
 
-  /// Plans partitions, forks and reaps one worker per partition, merges,
-  /// deferred-checks. On any partition failure returns an error that
-  /// names each dead partition and its cause; surviving result files are
-  /// left intact in the scratch directory (an auto-created scratch dir is
-  /// preserved on failure and named in the error message).
+  /// Plans partitions, schedules worker processes over the bounded pool
+  /// (retrying dead workers up to the attempt budget), merges, deferred-
+  /// checks. When a partition exhausts its attempts the error names each
+  /// dead partition and its cause; surviving result files are left intact
+  /// in the scratch directory (an auto-created scratch dir is preserved
+  /// on failure and named in the error message).
   Result<ProcessReplayExecutorResult> Run(const ProgramFactory& factory);
 
-  /// Scratch-relative result file a worker commits ("worker-<id>.res").
-  static std::string ResultFileName(int worker_id);
+  /// Scratch-relative result file a worker commits. Attempt 1 keeps the
+  /// legacy name ("worker-<id>.res"); retries and speculative twins get
+  /// attempt-suffixed names ("worker-<id>.attempt-<n>.res") so no torn
+  /// earlier attempt can shadow a clean later one.
+  static std::string ResultFileName(int worker_id, int attempt = 1);
   /// Scratch-relative error file a worker leaves when its replay fails
-  /// cleanly ("worker-<id>.err").
-  static std::string ErrorFileName(int worker_id);
+  /// cleanly ("worker-<id>.err", attempt-suffixed like ResultFileName).
+  static std::string ErrorFileName(int worker_id, int attempt = 1);
 
  private:
   FileSystem* fs_;

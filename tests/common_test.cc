@@ -34,6 +34,27 @@ TEST(Status, AllCodesHaveNames) {
   }
 }
 
+TEST(Status, IsValidStatusCodeMatchesEnumeratorsExactly) {
+  // Every named code is valid; IsValidStatusCode and StatusCodeName agree
+  // over the whole 0..255 underlying range, so integer-transported codes
+  // (worker error files) decode any enumerator — including ones added
+  // after the numerically-last of today — and nothing else.
+  int valid = 0;
+  for (int c = 0; c <= 255; ++c) {
+    const bool named =
+        std::string(StatusCodeName(static_cast<StatusCode>(c))) != "Unknown";
+    EXPECT_EQ(IsValidStatusCode(c), named) << "code " << c;
+    valid += IsValidStatusCode(c) ? 1 : 0;
+  }
+  EXPECT_EQ(valid, static_cast<int>(StatusCode::kAborted) + 1);
+  EXPECT_TRUE(IsValidStatusCode(static_cast<int>(StatusCode::kAborted)));
+  EXPECT_FALSE(IsValidStatusCode(-1));
+  EXPECT_FALSE(IsValidStatusCode(static_cast<int>(StatusCode::kAborted) + 1));
+  EXPECT_FALSE(IsValidStatusCode(256));
+  static_assert(IsValidStatusCode(static_cast<int>(StatusCode::kOk)),
+                "constexpr-usable");
+}
+
 TEST(Status, Equality) {
   EXPECT_EQ(Status::OK(), Status());
   EXPECT_EQ(Status::IOError("x"), Status::IOError("x"));

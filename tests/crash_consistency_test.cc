@@ -537,7 +537,11 @@ TEST_F(CrashConsistencyTest, ReplayWorkerKilledMidPartitionIsRecoverable) {
   popts.num_partitions = 4;
   popts.init_mode = InitMode::kWeak;
   popts.scratch_dir = scratch;
-  popts.child_before_result_write = [scratch](int worker_id) {
+  // Pre-scheduler fail-fast contract, preserved verbatim at
+  // max_attempts=1; KilledMidResultWriteIsRetriedToSuccess below covers
+  // the retrying default.
+  popts.max_attempts = 1;
+  popts.child_before_result_write = [scratch](int worker_id, int) {
     if (worker_id != 1) return;
     // The kill lands while the worker is writing its fragment to the
     // final path (the in-place shape a naive writer would have): stage
@@ -592,6 +596,90 @@ TEST_F(CrashConsistencyTest, ReplayWorkerKilledMidPartitionIsRecoverable) {
   ASSERT_TRUE(sim_result.ok()) << sim_result.status().ToString();
   EXPECT_TRUE(sim_result->deferred.ok);
   EXPECT_EQ(rerun->merged_logs.Serialize(),
+            sim_result->merged_logs.Serialize());
+}
+
+TEST_F(CrashConsistencyTest, KilledMidResultWriteIsRetriedToSuccess) {
+  // The scheduler's recovery contract: the same worst-case loss as above —
+  // a worker SIGKILLed after tearing half a frame into its attempt-1
+  // result path — but with the default retry budget, the scheduler
+  // re-forks the partition, the clean attempt-2 fragment commits under its
+  // own attempt-suffixed name (the torn attempt-1 file cannot shadow it),
+  // and the replay completes byte-identical to the simulated engine.
+  workloads::WorkloadProfile profile;
+  profile.name = "CrashProcRetry";
+  profile.epochs = 12;
+  profile.sim_epoch_seconds = 100;
+  profile.sim_outer_seconds = 2;
+  profile.sim_preamble_seconds = 5;
+  profile.sim_ckpt_raw_bytes = 1 << 20;  // cheap: dense checkpoints
+  profile.task_kind = data::Task::kVision;
+  profile.real_samples = 32;
+  profile.real_batch = 8;
+  profile.real_feature_dim = 12;
+  profile.real_classes = 3;
+  profile.real_hidden = 12;
+  profile.seed = testutil::TestSeed(61);
+
+  PosixFileSystem fs(root());
+  {
+    Env env(std::make_unique<SimClock>(), &fs);
+    auto instance =
+        workloads::MakeWorkloadFactory(profile, workloads::kProbeNone)();
+    ASSERT_TRUE(instance.ok());
+    RecordSession session(
+        &env, workloads::DefaultRecordOptions(profile, "run"));
+    exec::Frame frame;
+    auto result = session.Run(instance->program.get(), &frame);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+
+  auto factory =
+      workloads::MakeWorkloadFactory(profile, workloads::kProbeInner);
+  const std::string scratch = root() + "/proc-scratch";
+
+  exec::ProcessReplayExecutorOptions popts;  // default max_attempts = 2
+  popts.run_prefix = "run";
+  popts.num_partitions = 4;
+  popts.init_mode = InitMode::kWeak;
+  popts.scratch_dir = scratch;
+  popts.child_before_result_write = [scratch](int worker_id, int attempt) {
+    if (worker_id != 1 || attempt != 1) return;
+    PosixFileSystem child_fs(scratch);
+    const std::string bytes =
+        EncodeResultSections({"half", "written", "fragment"});
+    (void)child_fs.AppendFile(
+        exec::ProcessReplayExecutor::ResultFileName(1, 1),
+        bytes.substr(0, bytes.size() / 2));
+    raise(SIGKILL);
+  };
+  auto result = exec::ProcessReplayExecutor(&fs, popts).Run(factory);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->deferred.ok);
+  EXPECT_EQ(result->retried_partitions, 1);
+  ASSERT_EQ(result->partition_attempts.size(), 4u);
+  EXPECT_EQ(result->partition_attempts[1], 2);
+
+  // The torn attempt-1 file is still on disk and still refuses to parse;
+  // the committed fragment lives at the attempt-2 name.
+  PosixFileSystem scratch_fs(scratch);
+  auto torn = ReadResultFile(
+      &scratch_fs, exec::ProcessReplayExecutor::ResultFileName(1, 1));
+  ASSERT_FALSE(torn.ok());
+  EXPECT_TRUE(torn.status().IsCorruption()) << torn.status().ToString();
+  auto committed = scratch_fs.ReadFile(
+      exec::ProcessReplayExecutor::ResultFileName(1, 2));
+  ASSERT_TRUE(committed.ok());
+  EXPECT_TRUE(DecodeWorkerResult(*committed).ok());
+
+  sim::ClusterReplayOptions copts;
+  copts.run_prefix = "run";
+  copts.cluster.num_machines = 1;
+  copts.init_mode = InitMode::kWeak;
+  auto sim_result = sim::ClusterReplay(factory, &fs, copts);
+  ASSERT_TRUE(sim_result.ok()) << sim_result.status().ToString();
+  EXPECT_TRUE(sim_result->deferred.ok);
+  EXPECT_EQ(result->merged_logs.Serialize(),
             sim_result->merged_logs.Serialize());
 }
 

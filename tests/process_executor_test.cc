@@ -7,7 +7,9 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 
+#include <fcntl.h>
 #include <signal.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -123,6 +125,9 @@ TEST_F(ProcessReplayTest, ThreeEngineByteIdentityAcrossPartitionCounts) {
     EXPECT_EQ(proc->processes_used, proc->workers_used);
     EXPECT_EQ(proc->workers_used, threaded->workers_used);
     EXPECT_GT(proc->wall_seconds, 0);
+    EXPECT_EQ(proc->total_forks, proc->workers_used);
+    EXPECT_LE(proc->max_observed_children, proc->pool_size);
+    EXPECT_EQ(proc->retried_partitions, 0);
 
     // Full-stats parity with the thread engine, not just the log bytes:
     // the result files carried everything across the process boundary.
@@ -138,6 +143,39 @@ TEST_F(ProcessReplayTest, ThreeEngineByteIdentityAcrossPartitionCounts) {
       EXPECT_EQ(proc->probe_entries[i], threaded->probe_entries[i]);
     ASSERT_EQ(proc->worker_seconds.size(), threaded->worker_seconds.size());
   }
+
+  // The invariant must also survive the scheduler: G=8 partitions over a
+  // pool smaller than G complete out of order relative to fork order, and
+  // the merged bytes must not move.
+  for (int pool : {2, 3}) {
+    exec::ProcessReplayExecutorOptions popts;
+    popts.max_concurrent_children = pool;
+    auto proc = RunProcesses(&fs, profile, /*partitions=*/8, popts);
+    ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+    EXPECT_TRUE(proc->deferred.ok);
+    EXPECT_EQ(proc->merged_logs.Serialize(), baseline)
+        << "process engine diverges at G=8 pool=" << pool;
+    EXPECT_EQ(proc->pool_size, pool);
+    EXPECT_LE(proc->max_observed_children, pool);
+  }
+
+  // ...and retried partitions: a worker SIGKILLed on its first attempt is
+  // re-forked, and the attempt-2 fragment merges to the same bytes.
+  exec::ProcessReplayExecutorOptions retry_opts;
+  retry_opts.max_concurrent_children = 2;
+  retry_opts.child_before_session = [](int worker_id, int attempt) {
+    if (worker_id == 5 && attempt == 1) raise(SIGKILL);
+  };
+  auto retried = RunProcesses(&fs, profile, /*partitions=*/8, retry_opts);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_TRUE(retried->deferred.ok);
+  EXPECT_EQ(retried->merged_logs.Serialize(), baseline)
+      << "process engine diverges after a retried partition";
+  EXPECT_EQ(retried->retried_partitions, 1);
+  EXPECT_EQ(retried->total_forks, retried->workers_used + 1);
+  ASSERT_EQ(retried->partition_attempts.size(),
+            static_cast<size_t>(retried->workers_used));
+  EXPECT_EQ(retried->partition_attempts[5], 2);
 }
 
 TEST_F(ProcessReplayTest, ThreeEngineByteIdentityOnDemotedStore) {
@@ -301,7 +339,10 @@ TEST_F(ProcessReplayTest, ReportsExactlyWhichPartitionDied) {
   const std::string scratch = root() + "/scratch";
   exec::ProcessReplayExecutorOptions popts;
   popts.scratch_dir = scratch;
-  popts.child_before_session = [](int worker_id) {
+  // max_attempts=1 is the pre-scheduler contract, preserved verbatim: no
+  // retry, the dead partition fails the replay by name.
+  popts.max_attempts = 1;
+  popts.child_before_session = [](int worker_id, int) {
     if (worker_id == 1) raise(SIGKILL);  // a worker lost mid-partition
   };
   auto failed = RunProcesses(&fs, profile, /*partitions=*/4, popts);
@@ -347,7 +388,8 @@ TEST_F(ProcessReplayTest, AutoScratchIsPreservedOnPartitionFailure) {
   RecordOnto(&fs, profile);
 
   exec::ProcessReplayExecutorOptions popts;  // scratch_dir empty
-  popts.child_before_session = [](int worker_id) {
+  popts.max_attempts = 1;
+  popts.child_before_session = [](int worker_id, int) {
     if (worker_id == 1) raise(SIGKILL);
   };
   auto failed = RunProcesses(&fs, profile, /*partitions=*/4, popts);
@@ -382,7 +424,9 @@ TEST_F(ProcessReplayTest, ChildReplayFailureReturnsPartitionStatus) {
   const std::string run_root = root();
   exec::ProcessReplayExecutorOptions popts;
   popts.sample_epochs = {3};
-  popts.child_before_session = [run_root](int) {
+  // Default max_attempts: a *clean* replay failure is deterministic and
+  // must not be retried even with retry budget left.
+  popts.child_before_session = [run_root](int, int) {
     PosixFileSystem child_fs(run_root);
     (void)child_fs.DeleteFile("run/logs.tsv");
     (void)child_fs.DeleteFile("run/manifest.tsv");
@@ -420,6 +464,228 @@ TEST_F(ProcessReplayTest, StaleScratchFilesNeverPassForFreshResults) {
   auto threaded = RunThreads(&fs, profile, /*threads=*/4, /*partitions=*/4);
   ASSERT_TRUE(threaded.ok());
   EXPECT_EQ(proc->merged_logs.Serialize(),
+            threaded->merged_logs.Serialize());
+}
+
+// ------------------------------------------------- scheduler behavior ---
+
+TEST_F(ProcessReplayTest, SigkilledPartitionIsRetriedAndReplaySucceeds) {
+  PosixFileSystem fs(root());
+  const WorkloadProfile profile = ProcProfile();
+  RecordOnto(&fs, profile);
+
+  const std::string scratch = root() + "/scratch";
+  exec::ProcessReplayExecutorOptions popts;  // default max_attempts = 2
+  popts.scratch_dir = scratch;
+  popts.max_concurrent_children = 2;
+  popts.child_before_session = [](int worker_id, int attempt) {
+    if (worker_id == 1 && attempt == 1) raise(SIGKILL);
+  };
+  auto proc = RunProcesses(&fs, profile, /*partitions=*/4, popts);
+  ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+  EXPECT_TRUE(proc->deferred.ok);
+  EXPECT_EQ(proc->retried_partitions, 1);
+  EXPECT_EQ(proc->total_forks, proc->workers_used + 1);
+  ASSERT_EQ(proc->partition_attempts.size(), 4u);
+  EXPECT_EQ(proc->partition_attempts[1], 2);
+
+  // The dead attempt committed nothing at its name; the retry committed
+  // at the attempt-2 name.
+  PosixFileSystem scratch_fs(scratch);
+  EXPECT_FALSE(scratch_fs.Exists(
+      exec::ProcessReplayExecutor::ResultFileName(1, 1)));
+  auto bytes = scratch_fs.ReadFile(
+      exec::ProcessReplayExecutor::ResultFileName(1, 2));
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_TRUE(DecodeWorkerResult(*bytes).ok());
+
+  auto threaded = RunThreads(&fs, profile, /*threads=*/4, /*partitions=*/4);
+  ASSERT_TRUE(threaded.ok());
+  EXPECT_EQ(proc->merged_logs.Serialize(),
+            threaded->merged_logs.Serialize());
+}
+
+TEST_F(ProcessReplayTest, RetriesExhaustedFailsNamingAttempts) {
+  PosixFileSystem fs(root());
+  const WorkloadProfile profile = ProcProfile();
+  RecordOnto(&fs, profile);
+
+  const std::string scratch = root() + "/scratch";
+  exec::ProcessReplayExecutorOptions popts;
+  popts.scratch_dir = scratch;
+  popts.max_attempts = 2;
+  popts.child_before_session = [](int worker_id, int) {
+    if (worker_id == 1) raise(SIGKILL);  // every attempt dies
+  };
+  auto failed = RunProcesses(&fs, profile, /*partitions=*/4, popts);
+  ASSERT_FALSE(failed.ok());
+  const std::string msg = failed.status().message();
+  EXPECT_NE(msg.find("partition 1/4"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("signal 9"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("2 attempts"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find("partition 0"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find("partition 2"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find("partition 3"), std::string::npos) << msg;
+
+  // Survivors are intact despite two rounds of carnage on partition 1.
+  PosixFileSystem scratch_fs(scratch);
+  for (int w : {0, 2, 3}) {
+    auto bytes = scratch_fs.ReadFile(
+        exec::ProcessReplayExecutor::ResultFileName(w));
+    ASSERT_TRUE(bytes.ok()) << "worker " << w;
+    EXPECT_TRUE(DecodeWorkerResult(*bytes).ok()) << "worker " << w;
+  }
+}
+
+namespace capstats {
+
+// Cross-process concurrency high-water mark, updated by every child under
+// an exclusive flock on "<scratch>/cap-stats" ("<started> <max>"). A
+// child is concurrent from fork until its committed result file becomes
+// visible (children _exit immediately after committing, and the parent
+// only reuses the slot after reaping that exit), so
+// `started - committed_results_visible` bounds the number of live
+// siblings from above at the instant of the update.
+constexpr char kFile[] = "cap-stats";
+
+void Bump(const std::string& scratch, int partitions) {
+  const std::string path = scratch + "/" + kFile;
+  const int fd = open(path.c_str(), O_CREAT | O_RDWR, 0644);
+  if (fd < 0) _exit(97);
+  if (flock(fd, LOCK_EX) != 0) _exit(97);
+  char buf[64] = {0};
+  int started = 0, high_water = 0;
+  if (pread(fd, buf, sizeof(buf) - 1, 0) > 0)
+    sscanf(buf, "%d %d", &started, &high_water);  // NOLINT(runtime/printf)
+  ++started;
+  PosixFileSystem scratch_fs(scratch);
+  int committed = 0;
+  for (int w = 0; w < partitions; ++w) {
+    if (scratch_fs.Exists(exec::ProcessReplayExecutor::ResultFileName(w)))
+      ++committed;
+  }
+  high_water = std::max(high_water, started - committed);
+  const int n = snprintf(buf, sizeof(buf), "%d %d", started, high_water);
+  if (pwrite(fd, buf, static_cast<size_t>(n), 0) != n) _exit(97);
+  close(fd);  // releases the lock
+}
+
+void Read(const std::string& scratch, int* started, int* high_water) {
+  PosixFileSystem scratch_fs(scratch);
+  auto bytes = scratch_fs.ReadFile(kFile);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_EQ(sscanf(bytes->c_str(), "%d %d", started, high_water), 2);
+}
+
+}  // namespace capstats
+
+TEST_F(ProcessReplayTest, ConcurrentChildrenNeverExceedPoolCap) {
+  PosixFileSystem fs(root());
+  const WorkloadProfile profile = ProcProfile();
+  RecordOnto(&fs, profile);
+
+  const std::string scratch = root() + "/scratch";
+  const int kPartitions = 8;
+  const int kPool = 2;
+  exec::ProcessReplayExecutorOptions popts;
+  popts.scratch_dir = scratch;
+  popts.max_concurrent_children = kPool;
+  popts.child_before_session = [scratch](int, int) {
+    capstats::Bump(scratch, kPartitions);
+  };
+  auto proc = RunProcesses(&fs, profile, kPartitions, popts);
+  ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+  // The planner may clamp below the requested G; what matters is that the
+  // active count exceeds the pool so the scheduler actually queues.
+  EXPECT_GT(proc->workers_used, kPool);
+  EXPECT_EQ(proc->pool_size, kPool);
+  EXPECT_LE(proc->max_observed_children, kPool);
+
+  int started = 0, high_water = 0;
+  capstats::Read(scratch, &started, &high_water);
+  EXPECT_EQ(started, proc->workers_used);  // every partition ran once
+  EXPECT_GE(high_water, 1);
+  EXPECT_LE(high_water, kPool) << "pool cap breached";
+}
+
+TEST_F(ProcessReplayTest, SpeculativeReforkOutpacesStraggler) {
+  PosixFileSystem fs(root());
+  const WorkloadProfile profile = ProcProfile();
+  RecordOnto(&fs, profile);
+
+  const std::string scratch = root() + "/scratch";
+  exec::ProcessReplayExecutorOptions popts;
+  popts.scratch_dir = scratch;
+  popts.max_concurrent_children = 4;
+  popts.speculate_stragglers = true;
+  popts.child_before_result_write = [](int worker_id, int attempt) {
+    // Partition 3's first attempt stalls just before committing — the
+    // lost-in-the-cluster straggler. Its speculative twin (attempt 2)
+    // commits immediately; the sleeper is killed and reaped. If
+    // speculation were broken this would still pass the merge but fail
+    // the stats assertions 60 seconds later.
+    if (worker_id == 3 && attempt == 1) sleep(60);
+  };
+  auto proc = RunProcesses(&fs, profile, /*partitions=*/4, popts);
+  ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+  EXPECT_TRUE(proc->deferred.ok);
+  EXPECT_EQ(proc->speculative_forks, 1);
+  EXPECT_EQ(proc->speculative_wins, 1);
+  EXPECT_EQ(proc->retried_partitions, 0);  // speculation, not death retry
+  ASSERT_EQ(proc->partition_attempts.size(), 4u);
+  EXPECT_EQ(proc->partition_attempts[3], 2);
+
+  // The winner committed at the attempt-2 name; the killed straggler
+  // never committed at its own.
+  PosixFileSystem scratch_fs(scratch);
+  EXPECT_FALSE(scratch_fs.Exists(
+      exec::ProcessReplayExecutor::ResultFileName(3, 1)));
+  EXPECT_TRUE(scratch_fs.Exists(
+      exec::ProcessReplayExecutor::ResultFileName(3, 2)));
+
+  auto threaded = RunThreads(&fs, profile, /*threads=*/4, /*partitions=*/4);
+  ASSERT_TRUE(threaded.ok());
+  EXPECT_EQ(proc->merged_logs.Serialize(),
+            threaded->merged_logs.Serialize());
+}
+
+TEST_F(ProcessReplayTest, ShrinkingPartitionCountClearsAllStaleScratch) {
+  PosixFileSystem fs(root());
+  const WorkloadProfile profile = ProcProfile();
+  RecordOnto(&fs, profile);
+
+  // First run: G=4 with a retried partition, so the caller-owned scratch
+  // holds worker-0..3 results *plus* an attempt-suffixed fragment.
+  const std::string scratch = root() + "/scratch";
+  exec::ProcessReplayExecutorOptions popts;
+  popts.scratch_dir = scratch;
+  popts.child_before_session = [](int worker_id, int attempt) {
+    if (worker_id == 3 && attempt == 1) raise(SIGKILL);
+  };
+  auto first = RunProcesses(&fs, profile, /*partitions=*/4, popts);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  PosixFileSystem scratch_fs(scratch);
+  ASSERT_TRUE(scratch_fs.Exists(
+      exec::ProcessReplayExecutor::ResultFileName(3, 2)));
+
+  // Second run shrinks to G=2: every stale file from the wider run —
+  // including ids past the new active count and attempt-suffixed names
+  // the per-id clearing loop used to miss — must be gone afterwards.
+  exec::ProcessReplayExecutorOptions narrow;
+  narrow.scratch_dir = scratch;
+  auto second = RunProcesses(&fs, profile, /*partitions=*/2, narrow);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->deferred.ok);
+  EXPECT_FALSE(scratch_fs.Exists(
+      exec::ProcessReplayExecutor::ResultFileName(2)));
+  EXPECT_FALSE(scratch_fs.Exists(
+      exec::ProcessReplayExecutor::ResultFileName(3)));
+  EXPECT_FALSE(scratch_fs.Exists(
+      exec::ProcessReplayExecutor::ResultFileName(3, 2)));
+
+  auto threaded = RunThreads(&fs, profile, /*threads=*/2, /*partitions=*/2);
+  ASSERT_TRUE(threaded.ok());
+  EXPECT_EQ(second->merged_logs.Serialize(),
             threaded->merged_logs.Serialize());
 }
 
