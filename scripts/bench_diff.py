@@ -6,10 +6,14 @@ Usage:
                   [--min-seconds 0.001]
 
 Rows are matched by their identity fields: everything except measured
-wall times (fields named "seconds" or ending in "_seconds") and derived
-or run-varying outputs (booleans, and fields mentioning "speedup",
-"steal", "retries", or "fraction" — e.g. speedup_vs_1_thread and steals
-change between any two wall-clock runs and must not break row matching).
+values (fields named "seconds"/"fraction" or ending in "_seconds"/
+"_fraction") and derived or run-varying outputs (booleans, and fields
+mentioning "speedup", "steal", "retries", or "fraction" — e.g.
+speedup_vs_1_thread and steals change between any two wall-clock runs and
+must not break row matching). Fraction-valued measurements (e.g. the
+record-overhead rows of BENCH_fig11.json, which carry no wall seconds)
+are gated exactly like wall times; fields merely *mentioning* fraction
+(fraction_of_vanilla, slowdown_fraction_vs_full_pool) stay derived-only.
 For each matched row, every measured field present on both sides is
 compared; a field counts as a regression when
 
@@ -30,7 +34,8 @@ import sys
 
 
 def is_measured(key):
-    return key == "seconds" or key.endswith("_seconds")
+    return (key == "seconds" or key.endswith("_seconds") or
+            key == "fraction" or key.endswith("_fraction"))
 
 
 # Derived metrics and outcome flags vary run to run (or follow the measured

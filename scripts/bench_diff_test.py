@@ -111,6 +111,41 @@ def main():
         code, out = run(bench_diff, base_derived, cur_derived)
         expect("derived-fields-regression", code, 1, out)
 
+        # Fraction-valued measurements (record-overhead rows carry no wall
+        # seconds) are gated like wall times: a >threshold increase fails...
+        frac_row = {"workload": "RTE", "config": "group_commit",
+                    "overhead_fraction": 0.010}
+        frac_base = write(tmp, "frac_base.json", capture([frac_row]))
+        frac_slow = write(tmp, "frac_slow.json", capture(
+            [{**frac_row, "overhead_fraction": 0.015}]))
+        code, out = run(bench_diff, frac_base, frac_slow)
+        expect("fraction-regression", code, 1, out)
+
+        # ...an improvement or within-threshold drift stays clean...
+        frac_fast = write(tmp, "frac_fast.json", capture(
+            [{**frac_row, "overhead_fraction": 0.004}]))
+        code, out = run(bench_diff, frac_base, frac_fast)
+        expect("fraction-improvement", code, 0, out)
+
+        # ...and a changed fraction must not break row identity (it is a
+        # measurement, not a config field): the same row's seconds still
+        # match and gate.
+        frac_sec_base = write(tmp, "frac_sec_base.json", capture(
+            [{**frac_row, "record_seconds": 1.0}]))
+        frac_sec_cur = write(tmp, "frac_sec_cur.json", capture(
+            [{**frac_row, "overhead_fraction": 0.02, "record_seconds": 1.5}]))
+        code, out = run(bench_diff, frac_sec_base, frac_sec_cur)
+        expect("fraction-not-identity", code, 1, out)
+
+        # Derived fraction *mentions* (fraction_of_vanilla) are still
+        # neither identity nor gated: a big change alone stays clean.
+        dfrac_base = write(tmp, "dfrac_base.json", capture(
+            [{**row, "fraction_of_vanilla": 0.25}]))
+        dfrac_cur = write(tmp, "dfrac_cur.json", capture(
+            [{**row, "fraction_of_vanilla": 0.90}]))
+        code, out = run(bench_diff, dfrac_base, dfrac_cur)
+        expect("derived-fraction-ignored", code, 0, out)
+
         # Malformed JSON: exit 2.
         broken = write(tmp, "broken.json", "{not json")
         code, out = run(bench_diff, base, broken)

@@ -66,20 +66,22 @@ echo "== bench smoke (BENCH_SMOKE=1) =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure --no-tests=error \
       -j "${JOBS}" -L bench_smoke
 
-echo "== bench JSON capture (BENCH_fig10/fig13/fig14/table4.json) =="
+echo "== bench JSON capture (BENCH_fig10/fig11/fig13/fig14/table4.json) =="
 BENCH_SMOKE=1 BENCH_JSON=BENCH_fig10.json \
     "${BUILD_DIR}/bench_fig10_parallel_replay" > /dev/null
+BENCH_SMOKE=1 BENCH_JSON=BENCH_fig11.json \
+    "${BUILD_DIR}/bench_fig11_record_overhead" > /dev/null
 BENCH_SMOKE=1 BENCH_JSON=BENCH_fig13.json \
     "${BUILD_DIR}/bench_fig13_scaleout" > /dev/null
 BENCH_SMOKE=1 BENCH_JSON=BENCH_fig14.json \
     "${BUILD_DIR}/bench_fig14_cost" > /dev/null
 BENCH_SMOKE=1 BENCH_JSON=BENCH_table4.json \
     "${BUILD_DIR}/bench_table4_storage" > /dev/null
-echo "wrote BENCH_fig10.json BENCH_fig13.json BENCH_fig14.json BENCH_table4.json"
+echo "wrote BENCH_fig10.json BENCH_fig11.json BENCH_fig13.json BENCH_fig14.json BENCH_table4.json"
 
 if [[ -n "${BENCH_BASELINE:-}" ]]; then
   echo "== bench regression diff vs ${BENCH_BASELINE} =="
-  for f in BENCH_fig10.json BENCH_fig13.json BENCH_fig14.json BENCH_table4.json; do
+  for f in BENCH_fig10.json BENCH_fig11.json BENCH_fig13.json BENCH_fig14.json BENCH_table4.json; do
     if [[ -f "${BENCH_BASELINE}/${f}" ]]; then
       python3 scripts/bench_diff.py "${BENCH_BASELINE}/${f}" "${f}"
     else
@@ -92,7 +94,7 @@ if [[ "${FLOR_TSAN:-0}" != "0" ]]; then
   echo "== ThreadSanitizer: concurrency + fork suites (${BUILD_DIR}-tsan) =="
   cmake -B "${BUILD_DIR}-tsan" -S . "${TSAN_ARGS[@]}"
   cmake --build "${BUILD_DIR}-tsan" -j "${JOBS}" \
-        --target replay_executor_test spool_test \
+        --target replay_executor_test spool_test bloom_test \
                  process_executor_test crash_consistency_test \
                  tiered_store_test
   # `tsan` labels the suites exercising real threads (thread-pool replay

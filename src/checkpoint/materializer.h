@@ -31,7 +31,10 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "checkpoint/store.h"
 #include "env/background_queue.h"
@@ -60,6 +63,15 @@ struct MaterializerCosts {
   double plasma_copy_bps = 3.0e9;  ///< shm copy slightly below memcpy
   double plasma_per_object_s = 5e-7;  ///< object-table overhead per object
   double restore_factor = 1.38;  ///< c: restore time = c * materialize time
+  /// Cost of making one checkpoint's durability *visible* — the fsync (or
+  /// bucket round trip) behind each durable notification. 0 (the default)
+  /// models buffered writes, reproducing the pre-group-commit timings
+  /// exactly; production-rate benches set an fsync-scale value. The ack
+  /// gates the training thread in every strategy, so the charge lands on
+  /// the main-thread leg, amortized as durable_notify_seconds /
+  /// group_commit_window per checkpoint: one sync per closed slot,
+  /// piggybacked by the slot's followers (WiredTiger log-slot style).
+  double durable_notify_seconds = 0.0;
 
   /// Mi: full background materialization time for `bytes`.
   double MaterializeSeconds(uint64_t bytes) const {
@@ -84,6 +96,20 @@ struct MaterializerCosts {
   }
 };
 
+/// Group-commit slot accounting across a materializer's lifetime.
+struct GroupCommitStats {
+  int64_t slots = 0;           ///< slots closed (incl. the drain flush)
+  int64_t joins = 0;           ///< checkpoints that joined a slot
+  int64_t syncs = 0;           ///< durable syncs paid (one per slot)
+  int64_t max_slot_joins = 0;  ///< largest slot delivered
+
+  double JoinsPerSlot() const {
+    return slots > 0 ? static_cast<double>(joins) /
+                           static_cast<double>(slots)
+                     : 0;
+  }
+};
+
 /// Timing outcome of one Materialize call.
 struct MaterializeReceipt {
   double main_thread_seconds = 0;  ///< blocked training-thread time
@@ -103,6 +129,13 @@ struct MaterializerOptions {
   /// Number of state objects per checkpoint batch (paper: 5000); only the
   /// per-object strategies are sensitive to it.
   int64_t objects_per_batch = 5000;
+  /// Group-commit slot size: durable notifications are batched until a slot
+  /// holds this many checkpoints, then delivered together behind one
+  /// amortized sync (the slot leader pays durable_notify_seconds, followers
+  /// piggyback). 1 (the default) delivers each notification immediately —
+  /// byte-identical to the per-checkpoint path. End-of-run Drain() flushes
+  /// a partial slot, so no acked checkpoint's notification is ever lost.
+  int group_commit_window = 1;
   /// Invoked once a checkpoint's bytes are durably in the store (PutBytes
   /// returned OK): inline on the training thread under a simulated clock
   /// or the Baseline strategy, on the background worker thread otherwise —
@@ -141,6 +174,10 @@ class Materializer {
   double total_background_seconds() const { return total_bg_seconds_; }
   int64_t checkpoint_count() const { return count_; }
 
+  /// Slot accounting. Stable after Drain(); safe to call concurrently with
+  /// background notifications (internally locked).
+  GroupCommitStats group_commit_stats() const;
+
   const MaterializerOptions& options() const { return options_; }
 
  private:
@@ -148,8 +185,28 @@ class Materializer {
   std::pair<double, double> AccountSim(uint64_t nominal_bytes,
                                        double* bg_seconds);
 
+  /// Group-commit entry point for one durably stored checkpoint: joins the
+  /// open slot and, when the slot reaches group_commit_window, delivers the
+  /// slot's on_durable notifications in store order (outside the slot lock,
+  /// so delivery may backpressure on the spooler without holding it).
+  /// Called inline on the training thread (sim / Baseline) or on the
+  /// background worker (wall mode) — same threads that invoked on_durable
+  /// directly before group commit existed.
+  void NotifyDurable(const CheckpointKey& key, uint64_t stored_bytes);
+
+  /// Delivers a partial slot at end of run (one more amortized sync when
+  /// non-empty). Drain() calls this after the queue join, preserving the
+  /// "every acked checkpoint's notification fired before Drain returns"
+  /// contract the record session relies on.
+  void FlushGroupCommitSlot();
+
   Env* env_;
   MaterializerOptions options_;
+
+  /// Open group-commit slot (keys + sizes in store order) and its stats.
+  mutable std::mutex gc_mu_;
+  std::vector<std::pair<CheckpointKey, uint64_t>> gc_slot_;
+  GroupCommitStats gc_stats_;
 
   // Sim-mode background ledger: completion times (seconds) of in-flight
   // jobs, and when the single background worker frees up.

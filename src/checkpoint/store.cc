@@ -138,12 +138,45 @@ CheckpointStore::CheckpointStore(FileSystem* fs, std::string prefix,
 
 Status CheckpointStore::PutBytes(const CheckpointKey& key,
                                  const std::string& bytes) {
-  Shard& shard = *shards_[static_cast<size_t>(router_.ShardOf(key))];
+  const int shard_idx = router_.ShardOf(key);
+  Shard& shard = *shards_[static_cast<size_t>(shard_idx)];
   std::lock_guard<std::mutex> lock(shard.mu);
   FLOR_RETURN_IF_ERROR(fs_->WriteFile(PathFor(key), bytes));
+  // Publish to the bloom filter only after the write landed: a reader that
+  // sees the bit set before the object exists would merely probe and miss
+  // (a false positive), but the reverse order could skip a real object.
+  if (bloom_enabled())
+    filters_[static_cast<size_t>(shard_idx)]->Add(key.ToString());
   ++shard.stats.objects;
   shard.stats.bytes += bytes.size();
   return Status::OK();
+}
+
+void CheckpointStore::EnableBloom(const BloomOptions& options) {
+  filters_.clear();
+  filters_.reserve(static_cast<size_t>(router_.num_shards()));
+  for (int s = 0; s < router_.num_shards(); ++s) {
+    filters_.push_back(std::make_unique<BloomFilter>(
+        options.expected_keys_per_shard, options.target_fpr));
+  }
+}
+
+void CheckpointStore::SeedBloomFromManifest(const Manifest& manifest) {
+  if (!bloom_enabled()) return;
+  for (const auto& rec : manifest.records) {
+    filters_[static_cast<size_t>(router_.ShardOf(rec.key))]->Add(
+        rec.key.ToString());
+  }
+}
+
+bool CheckpointStore::BloomRulesAbsent(const CheckpointKey& key) const {
+  if (!bloom_enabled()) return false;
+  if (filters_[static_cast<size_t>(router_.ShardOf(key))]->MayContain(
+          key.ToString())) {
+    return false;
+  }
+  bloom_skipped_probes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 void CheckpointStore::AttachBucket(std::string bucket_prefix,
@@ -156,9 +189,26 @@ Result<std::string> CheckpointStore::GetBytes(const CheckpointKey& key,
                                               bool* from_bucket) const {
   if (from_bucket) *from_bucket = false;
   const std::string local_path = PathFor(key);
+  if (BloomRulesAbsent(key)) {
+    // Definite miss: answer NotFound without touching any tier, with the
+    // exact bytes the filterless probe would have returned — the both-tier
+    // message is built from the same unprobed paths, and the single-tier
+    // case reproduces the filesystems' uniform "no such file" NotFound
+    // (both MemFileSystem and the POSIX backend use this shape), so
+    // callers matching on messages cannot tell the filter was consulted.
+    if (has_bucket()) {
+      return Status::NotFound(
+          StrCat("checkpoint ", key.ToString(), " missing in both tiers (",
+                 local_path, ", ", BucketPathFor(key), ")"));
+    }
+    return Status::NotFound(StrCat("no such file: ", local_path));
+  }
   auto local = fs_->ReadFile(local_path);
-  if (local.ok() || !local.status().IsNotFound() || !has_bucket())
+  if (local.ok() || !local.status().IsNotFound() || !has_bucket()) {
+    if (!local.ok() && local.status().IsNotFound() && bloom_enabled())
+      bloom_false_positives_.fetch_add(1, std::memory_order_relaxed);
     return local;
+  }
 
   // Local miss with a bucket attached: fall through to the mirror. Any
   // bucket error other than NotFound (torn object, IO) propagates as-is;
@@ -168,6 +218,8 @@ Result<std::string> CheckpointStore::GetBytes(const CheckpointKey& key,
   auto remote = fs_->ReadFile(bucket_path);
   if (!remote.ok()) {
     if (!remote.status().IsNotFound()) return remote;
+    if (bloom_enabled())
+      bloom_false_positives_.fetch_add(1, std::memory_order_relaxed);
     return Status::NotFound(
         StrCat("checkpoint ", key.ToString(), " missing in both tiers (",
                local_path, ", ", bucket_path, ")"));
@@ -195,8 +247,12 @@ Result<NamedSnapshots> CheckpointStore::Get(const CheckpointKey& key,
 }
 
 bool CheckpointStore::Exists(const CheckpointKey& key) const {
+  if (BloomRulesAbsent(key)) return false;
   if (fs_->Exists(PathFor(key))) return true;
-  return has_bucket() && fs_->Exists(BucketPathFor(key));
+  if (has_bucket() && fs_->Exists(BucketPathFor(key))) return true;
+  if (bloom_enabled())
+    bloom_false_positives_.fetch_add(1, std::memory_order_relaxed);
+  return false;
 }
 
 Status CheckpointStore::DeleteObject(const CheckpointKey& key) {
@@ -239,6 +295,10 @@ TierStats CheckpointStore::tier_stats() const {
       rehydrated_objects_.load(std::memory_order_relaxed);
   stats.rehydrate_failures =
       rehydrate_failures_.load(std::memory_order_relaxed);
+  stats.bloom_skipped_probes =
+      bloom_skipped_probes_.load(std::memory_order_relaxed);
+  stats.bloom_false_positives =
+      bloom_false_positives_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -23,6 +23,7 @@
 
 #include "checkpoint/checkpoint.h"
 #include "checkpoint/shard.h"
+#include "common/bloom.h"
 #include "env/filesystem.h"
 
 namespace flor {
@@ -82,11 +83,27 @@ struct ShardWriteStats {
   uint64_t bytes = 0;
 };
 
-/// Read-side accounting for the bucket tier.
+/// Read-side accounting for the bucket tier and the bloom accelerator.
 struct TierStats {
   int64_t bucket_faults = 0;        ///< reads served from the bucket
   int64_t rehydrated_objects = 0;   ///< bucket reads written back locally
   int64_t rehydrate_failures = 0;   ///< write-backs that failed (non-fatal)
+  /// Lookups the bloom filter answered definite-miss without touching any
+  /// tier (Exists / GetBytes / Get short-circuits).
+  int64_t bloom_skipped_probes = 0;
+  /// Lookups the filter passed as maybe-present that turned out NotFound in
+  /// every tier. Observed FPR over absent keys is
+  /// false_positives / (false_positives + skipped_probes).
+  int64_t bloom_false_positives = 0;
+};
+
+/// Sizing knobs for the store's per-shard bloom filters (EnableBloom).
+struct BloomOptions {
+  /// Expected live keys per shard; the filter degrades (higher FPR, never
+  /// false negatives) past this load.
+  int64_t expected_keys_per_shard = 4096;
+  /// Target false-positive rate at the expected load.
+  double target_fpr = 0.01;
 };
 
 /// Filesystem-backed checkpoint storage: a facade routing each key onto one
@@ -117,6 +134,23 @@ class CheckpointStore {
                                                    true);
   bool has_bucket() const { return !bucket_prefix_.empty(); }
   const std::string& bucket_prefix() const { return bucket_prefix_; }
+
+  /// Attaches one bloom filter per shard (sized by `options`) so Exists and
+  /// Get/GetBytes answer definite-miss without probing any tier. Keys
+  /// written through PutBytes are added automatically; keys that already
+  /// exist (a store opened over a finished record run) must be seeded with
+  /// SeedBloomFromManifest or the filter would wrongly rule them absent.
+  /// Deletes leave filter bits set — the filter tracks a superset of live
+  /// keys, so a deleted key degrades to a (counted) false positive, never a
+  /// false negative. Call before concurrent use, like AttachBucket.
+  void EnableBloom(const BloomOptions& options = BloomOptions());
+  bool bloom_enabled() const { return !filters_.empty(); }
+
+  /// Adds every manifest record's key to its shard's filter (requires
+  /// EnableBloom). Rebuilding from the manifest is the recovery story: the
+  /// filter is in-memory only, so a store opened on an existing run seeds
+  /// from the same index replay plans from.
+  void SeedBloomFromManifest(const Manifest& manifest);
 
   /// Writes encoded checkpoint bytes for `key` on its shard.
   Status PutBytes(const CheckpointKey& key, const std::string& bytes);
@@ -200,6 +234,10 @@ class CheckpointStore {
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
+  /// True when the bloom filter rules `key` definitely absent (and counts
+  /// the skipped probe); false when filtering is off or the key may exist.
+  bool BloomRulesAbsent(const CheckpointKey& key) const;
+
   /// Bucket tier. Empty prefix means no bucket attached. Counters are
   /// atomics so the read path stays lock-free.
   std::string bucket_prefix_;
@@ -207,6 +245,13 @@ class CheckpointStore {
   mutable std::atomic<int64_t> bucket_faults_{0};
   mutable std::atomic<int64_t> rehydrated_objects_{0};
   mutable std::atomic<int64_t> rehydrate_failures_{0};
+
+  /// Per-shard bloom filters; empty when EnableBloom was never called.
+  /// Filter bits are internally atomic, so the lock-free read path stays
+  /// lock-free.
+  std::vector<std::unique_ptr<BloomFilter>> filters_;
+  mutable std::atomic<int64_t> bloom_skipped_probes_{0};
+  mutable std::atomic<int64_t> bloom_false_positives_{0};
 };
 
 }  // namespace flor

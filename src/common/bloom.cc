@@ -1,0 +1,79 @@
+#include "common/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/crc32.h"
+
+namespace flor {
+
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+
+/// 64-bit probe base and stride from two CRC32C passes over the key. The
+/// second pass is seeded with the first's result, so h1 and h2 are distinct
+/// functions of the key (not a rotation of the same 32 bits), which double
+/// hashing needs to approximate k independent probes.
+struct ProbeSeq {
+  uint64_t base;
+  uint64_t stride;
+};
+
+ProbeSeq MakeProbeSeq(const std::string& key) {
+  const uint32_t h1 = Crc32c(key.data(), key.size());
+  const uint32_t h2 = Crc32c(h1, key.data(), key.size());
+  ProbeSeq seq;
+  seq.base = (static_cast<uint64_t>(h1) << 32) | h2;
+  // Odd stride: coprime with the power-of-two word grid, and never zero
+  // (a zero stride would collapse all k probes onto one bit).
+  seq.stride = ((static_cast<uint64_t>(h2) << 32) | h1) | 1;
+  return seq;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(int64_t expected_keys, double target_fpr) {
+  const double n = static_cast<double>(std::max<int64_t>(expected_keys, 1));
+  double p = target_fpr;
+  if (!(p > 0)) p = 1e-4;
+  if (p >= 1) p = 0.5;
+  const double bits = -n * std::log(p) / (kLn2 * kLn2);
+  // Round up to whole 64-bit words, minimum one word.
+  const uint64_t words =
+      std::max<uint64_t>(1, static_cast<uint64_t>((bits + 63) / 64));
+  bit_count_ = words * 64;
+  const double bits_per_key = static_cast<double>(bit_count_) / n;
+  hash_count_ = static_cast<int>(
+      std::min(30.0, std::max(1.0, std::round(bits_per_key * kLn2))));
+  words_ = std::make_unique<std::atomic<uint64_t>[]>(words);
+  for (uint64_t i = 0; i < words; ++i)
+    words_[i].store(0, std::memory_order_relaxed);
+}
+
+void BloomFilter::Add(const std::string& key) {
+  ProbeSeq seq = MakeProbeSeq(key);
+  uint64_t g = seq.base;
+  for (int i = 0; i < hash_count_; ++i) {
+    const uint64_t bit = g % bit_count_;
+    words_[bit >> 6].fetch_or(uint64_t{1} << (bit & 63),
+                              std::memory_order_relaxed);
+    g += seq.stride;
+  }
+}
+
+bool BloomFilter::MayContain(const std::string& key) const {
+  ProbeSeq seq = MakeProbeSeq(key);
+  uint64_t g = seq.base;
+  for (int i = 0; i < hash_count_; ++i) {
+    const uint64_t bit = g % bit_count_;
+    if ((words_[bit >> 6].load(std::memory_order_relaxed) &
+         (uint64_t{1} << (bit & 63))) == 0) {
+      return false;
+    }
+    g += seq.stride;
+  }
+  return true;
+}
+
+}  // namespace flor

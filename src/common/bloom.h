@@ -1,0 +1,63 @@
+// Bloom filter for checkpoint existence checks (checkpoint/store.h).
+//
+// A standard (non-blocked) bloom filter over string keys, with both hash
+// functions derived from CRC32C (common/crc32.h) via Kirsch–Mitzenmacher
+// double hashing: probe i sets/tests bit (h1 + i*h2) mod m. CRC32C is the
+// same primitive that places keys on shards (checkpoint/shard.h), so the
+// filter adds no new hash dependency and reuses the hardware dispatch.
+//
+// Concurrency: Add() publishes bits with relaxed atomic fetch_or and
+// MayContain() reads them with relaxed loads, so concurrent readers and
+// writers are race-free (ThreadSanitizer-clean). Relaxed ordering is
+// deliberate — the filter is an *accelerator* for a store whose own reads
+// already synchronize with the writes that created the objects; a reader
+// that has not yet observed an Add() simply takes the slow path the
+// filterless store would have taken anyway. The one guarantee that matters
+// is: once Add(k) has returned, MayContain(k) is true on every thread that
+// observes the store's own happens-before edge for k — no false negatives.
+//
+// Deletions are not supported: removing a key's bits could introduce false
+// negatives for other keys sharing them. Callers that delete objects keep
+// the stale bits (the filter tracks a *superset* of live keys) and rebuild
+// from the manifest when precision matters again.
+
+#ifndef FLOR_COMMON_BLOOM_H_
+#define FLOR_COMMON_BLOOM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace flor {
+
+class BloomFilter {
+ public:
+  /// Sizes the filter for `expected_keys` insertions at `target_fpr` false
+  /// positives (0 < target_fpr < 1): m = -n*ln(p)/ln(2)^2 bits, k =
+  /// round(m/n * ln 2) probes, both clamped to sane minimums so degenerate
+  /// inputs (0 keys, p near 1) still yield a working filter.
+  BloomFilter(int64_t expected_keys, double target_fpr);
+
+  BloomFilter(const BloomFilter&) = delete;
+  BloomFilter& operator=(const BloomFilter&) = delete;
+
+  /// Inserts `key`. Thread-safe against concurrent Add/MayContain.
+  void Add(const std::string& key);
+
+  /// False means `key` was definitely never Add()ed; true means probably
+  /// present. Thread-safe.
+  bool MayContain(const std::string& key) const;
+
+  uint64_t bit_count() const { return bit_count_; }
+  int hash_count() const { return hash_count_; }
+
+ private:
+  uint64_t bit_count_;  ///< m, a multiple of 64
+  int hash_count_;      ///< k
+  std::unique_ptr<std::atomic<uint64_t>[]> words_;
+};
+
+}  // namespace flor
+
+#endif  // FLOR_COMMON_BLOOM_H_

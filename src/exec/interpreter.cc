@@ -1,5 +1,7 @@
 #include "exec/interpreter.h"
 
+#include <cstdio>
+
 #include "common/strings.h"
 
 namespace flor {
@@ -10,7 +12,8 @@ Interpreter::Interpreter(Env* env, LogStream* log, ExecHooks* hooks)
 
 Status Interpreter::Run(ir::Program* program, Frame* frame) {
   program_ = program;
-  iter_stack_.clear();
+  ctx_.clear();
+  ctx_frame_lens_.clear();
   init_mode_ = false;
   const double start = env_->clock()->NowSeconds();
   Status s = RunBlock(&program->top(), frame);
@@ -40,21 +43,28 @@ Result<int64_t> Interpreter::TripCount(const ir::Loop& loop,
   return v.AsInt();
 }
 
-std::string Interpreter::ContextString() const {
-  std::string out;
-  for (const auto& [var, idx] : iter_stack_) {
-    if (!out.empty()) out += "/";
-    out += StrCat(var, "=", idx);
-  }
-  return out;
+void Interpreter::PushIterContext(const std::string& var, int64_t index) {
+  ctx_frame_lens_.push_back(ctx_.size());
+  if (!ctx_.empty()) ctx_ += '/';
+  ctx_ += var;
+  ctx_ += '=';
+  char buf[24];
+  const int len = std::snprintf(buf, sizeof(buf), "%lld",
+                                static_cast<long long>(index));
+  ctx_.append(buf, static_cast<size_t>(len));
+}
+
+void Interpreter::PopIterContext() {
+  ctx_.resize(ctx_frame_lens_.back());
+  ctx_frame_lens_.pop_back();
 }
 
 Status Interpreter::RunLoopBodyOnce(ir::Loop* loop, int64_t index,
                                     Frame* frame) {
   frame->Set(loop->iter().var, ir::Value::Int(index));
-  iter_stack_.emplace_back(loop->iter().var, index);
+  PushIterContext(loop->iter().var, index);
   Status s = RunBlock(&loop->body(), frame);
-  iter_stack_.pop_back();
+  PopIterContext();
   return s;
 }
 
@@ -120,13 +130,16 @@ Status Interpreter::RunStmt(ir::Stmt* stmt, Frame* frame) {
   }
   if (stmt->is_log()) {
     FLOR_ASSIGN_OR_RETURN(std::string text, stmt->log_fn(frame));
-    LogEntry entry;
-    entry.stmt_uid = stmt->uid;
-    entry.context = ContextString();
-    entry.init_mode = init_mode_;
-    entry.label = stmt->log_label;
-    entry.text = std::move(text);
-    if (log_) log_->Append(std::move(entry));
+    if (log_) {
+      // Emplace the entry and fill it in place (no temporary LogEntry),
+      // copying the incrementally maintained context string.
+      LogEntry& entry = log_->AppendEntry();
+      entry.stmt_uid = stmt->uid;
+      entry.context = ContextString();
+      entry.init_mode = init_mode_;
+      entry.label = stmt->log_label;
+      entry.text = std::move(text);
+    }
     return Status::OK();
   }
   if (!stmt->fn) return Status::OK();

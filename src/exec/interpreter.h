@@ -119,8 +119,14 @@ class Interpreter {
   Status RunStmt(ir::Stmt* stmt, Frame* frame);
   Result<int64_t> TripCount(const ir::Loop& loop, Frame* frame) const;
 
-  /// "e=17/i=3" for the current loop-iteration stack.
-  std::string ContextString() const;
+  /// "e=17/i=3" for the current loop-iteration stack. Maintained
+  /// incrementally (appended on loop-body entry, truncated on exit) so the
+  /// record hot path copies it instead of re-concatenating the whole stack
+  /// on every log statement.
+  const std::string& ContextString() const { return ctx_; }
+
+  void PushIterContext(const std::string& var, int64_t index);
+  void PopIterContext();
 
   Env* env_;
   LogStream* log_;
@@ -128,7 +134,10 @@ class Interpreter {
   VanillaHooks vanilla_;
 
   ir::Program* program_ = nullptr;
-  std::vector<std::pair<std::string, int64_t>> iter_stack_;
+  /// Current iteration context and, per open loop frame, the context
+  /// length to truncate back to on exit.
+  std::string ctx_;
+  std::vector<size_t> ctx_frame_lens_;
   bool init_mode_ = false;
   double elapsed_seconds_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "exec/log_stream.h"
 
+#include <cstdio>
+
 #include "common/strings.h"
 
 namespace flor {
@@ -7,25 +9,49 @@ namespace exec {
 
 namespace {
 
-std::string Escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
+/// Bytes Escape would emit for `s`: each of \t \n \\ grows to two bytes.
+size_t EscapedSize(const std::string& s) {
+  size_t n = s.size();
+  for (char c : s)
+    if (c == '\t' || c == '\n' || c == '\\') ++n;
+  return n;
+}
+
+/// Escapes `s` directly into `out` (no temporary string).
+void EscapeTo(const std::string& s, std::string* out) {
   for (char c : s) {
     switch (c) {
       case '\t':
-        out += "\\t";
+        *out += "\\t";
         break;
       case '\n':
-        out += "\\n";
+        *out += "\\n";
         break;
       case '\\':
-        out += "\\\\";
+        *out += "\\\\";
         break;
       default:
-        out += c;
+        *out += c;
     }
   }
-  return out;
+}
+
+/// Decimal length of `v` including a leading '-' (matches StrCat/printf).
+size_t DecimalLen(int32_t v) {
+  size_t n = v < 0 ? 1 : 0;
+  uint32_t u = v < 0 ? 0u - static_cast<uint32_t>(v)
+                     : static_cast<uint32_t>(v);
+  do {
+    ++n;
+    u /= 10;
+  } while (u != 0);
+  return n;
+}
+
+void DecimalTo(int32_t v, std::string* out) {
+  char buf[16];
+  const int len = std::snprintf(buf, sizeof(buf), "%d", v);
+  out->append(buf, static_cast<size_t>(len));
 }
 
 Result<std::string> Unescape(const std::string& s) {
@@ -65,11 +91,28 @@ std::vector<LogEntry> LogStream::WorkEntries() const {
 }
 
 std::string LogStream::Serialize() const {
-  std::string out;
+  // Exact-size first pass, then escape in place: one allocation for the
+  // whole stream instead of a temporary line (plus its escape temporaries)
+  // per entry.
+  size_t total = 0;
   for (const auto& e : entries_) {
-    out += StrCat(e.stmt_uid, "\t", Escape(e.context), "\t",
-                  e.init_mode ? 1 : 0, "\t", Escape(e.label), "\t",
-                  Escape(e.text), "\n");
+    total += DecimalLen(e.stmt_uid) + EscapedSize(e.context) +
+             EscapedSize(e.label) + EscapedSize(e.text) +
+             6;  // 4 tabs + the init digit + newline
+  }
+  std::string out;
+  out.reserve(total);
+  for (const auto& e : entries_) {
+    DecimalTo(e.stmt_uid, &out);
+    out += '\t';
+    EscapeTo(e.context, &out);
+    out += '\t';
+    out += e.init_mode ? '1' : '0';
+    out += '\t';
+    EscapeTo(e.label, &out);
+    out += '\t';
+    EscapeTo(e.text, &out);
+    out += '\n';
   }
   return out;
 }

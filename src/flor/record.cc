@@ -97,6 +97,7 @@ Result<RecordResult> RecordSession::Run(ir::Program* program,
   result.manifest = manifest_;
   result.materialize_main_seconds = materializer_->total_main_thread_seconds();
   result.materialize_stall_seconds = materializer_->total_stall_seconds();
+  result.group_commit = materializer_->group_commit_stats();
   result.adaptive_trace = adaptive_.trace();
   return result;
 }

@@ -87,6 +87,10 @@ struct RecordResult {
   /// Training-thread materialization cost (the record overhead numerator).
   double materialize_main_seconds = 0;
   double materialize_stall_seconds = 0;
+  /// Group-commit slot accounting (materializer.group_commit_window): how
+  /// many durability syncs the run paid and how many checkpoints shared
+  /// each. At window 1, slots == joins == syncs (one sync per checkpoint).
+  GroupCommitStats group_commit;
   std::vector<AdaptiveDecision> adaptive_trace;
   /// Per-shard spool outcomes (empty when spooling is disabled) and their
   /// aggregate. Spooling runs as a background tail: its drain is not

@@ -38,6 +38,18 @@ Result<ReplayResult> ReplaySession::Run(ir::Program* current_program,
       env_->fs(), paths_.CkptPrefix(), manifest_.shard_count);
   if (!options_.bucket_prefix.empty())
     store_->AttachBucket(options_.bucket_prefix, options_.bucket_rehydrate);
+  if (options_.bloom_filter) {
+    // Size each shard's filter for this run's manifest and seed it from
+    // the same records replay plans against — the rebuild-on-open story.
+    BloomOptions bloom;
+    bloom.target_fpr = options_.bloom_target_fpr;
+    bloom.expected_keys_per_shard = std::max<int64_t>(
+        64, static_cast<int64_t>(manifest_.records.size()) /
+                    std::max(manifest_.shard_count, 1) +
+            1);
+    store_->EnableBloom(bloom);
+    store_->SeedBloomFromManifest(manifest_);
+  }
   for (const auto& rec : manifest_.records)
     records_by_key_[rec.key.ToString()] = &rec;
 
@@ -51,6 +63,7 @@ Result<ReplayResult> ReplaySession::Run(ir::Program* current_program,
   FLOR_RETURN_IF_ERROR(interp.Run(current_program, frame));
   result.runtime_seconds = env_->clock()->NowSeconds() - start;
 
+  result.bloom_skipped_probes = store_->tier_stats().bloom_skipped_probes;
   result.restore_seconds = result_->restore_seconds;
   result.observed_c =
       restore_ratio_count_ > 0

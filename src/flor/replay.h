@@ -56,6 +56,13 @@ struct ReplayOptions {
   /// Write bucket fault-ins back to the local shard (under its writer
   /// lock) so repeated restores stay fast.
   bool bucket_rehydrate = true;
+  /// Attach per-shard bloom filters to the checkpoint store, seeded from
+  /// the record manifest, so existence checks on absent keys answer
+  /// definite-miss without probing any tier. Off by default: the
+  /// filterless store is the pinned-byte-identical baseline.
+  bool bloom_filter = false;
+  /// Target false-positive rate of those filters.
+  double bloom_target_fpr = 0.01;
 };
 
 /// Outcome of one worker's replay.
@@ -80,6 +87,9 @@ struct ReplayResult {
   double observed_c = 0;
   /// Restores served by the bucket tier (local store miss, bucket hit).
   int64_t bucket_faults = 0;
+  /// Store lookups the bloom filter answered definite-miss without
+  /// touching a shard (0 when ReplayOptions::bloom_filter is off).
+  int64_t bloom_skipped_probes = 0;
 };
 
 /// Executes one replay worker. Single-use.

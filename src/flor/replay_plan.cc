@@ -118,6 +118,8 @@ ReplayOptions WorkerReplayOptions(const ClusterPlanOptions& options,
   ropts.run_deferred_check = false;  // merged check in ReplayMerger
   ropts.bucket_prefix = options.bucket_prefix;
   ropts.bucket_rehydrate = options.bucket_rehydrate;
+  ropts.bloom_filter = options.bloom_filter;
+  ropts.bloom_target_fpr = options.bloom_target_fpr;
   return ropts;
 }
 
@@ -184,6 +186,7 @@ std::string EncodeWorkerResult(const ReplayResult& result) {
   AppendMetaInt(&meta, "sb_restores", result.skipblocks.restores);
   AppendMetaInt(&meta, "sb_materialized", result.skipblocks.materialized);
   AppendMetaInt(&meta, "bucket_faults", result.bucket_faults);
+  AppendMetaInt(&meta, "bloom_skipped_probes", result.bloom_skipped_probes);
   AppendMetaInt(&meta, "preamble_probed",
                 result.probes.preamble_probed ? 1 : 0);
 
@@ -253,6 +256,8 @@ Result<ReplayResult> DecodeWorkerResult(const std::string& data) {
   FLOR_ASSIGN_OR_RETURN(out.skipblocks.materialized,
                         take_int("sb_materialized"));
   FLOR_ASSIGN_OR_RETURN(out.bucket_faults, take_int("bucket_faults"));
+  FLOR_ASSIGN_OR_RETURN(out.bloom_skipped_probes,
+                        take_int("bloom_skipped_probes"));
   FLOR_ASSIGN_OR_RETURN(const int64_t preamble,
                         take_int("preamble_probed"));
   out.probes.preamble_probed = preamble != 0;
@@ -300,6 +305,7 @@ Result<MergedClusterReplay> ReplayMerger::Finish(
     out.skipblocks.skipped += wres.skipblocks.skipped;
     out.skipblocks.restores += wres.skipblocks.restores;
     out.bucket_faults += wres.bucket_faults;
+    out.bloom_skipped_probes += wres.bloom_skipped_probes;
   }
   out.latency_seconds = *std::max_element(out.worker_seconds.begin(),
                                           out.worker_seconds.end());

@@ -45,6 +45,10 @@ struct ClusterPlanOptions {
   std::string bucket_prefix;
   /// Write bucket fault-ins back to the local shard.
   bool bucket_rehydrate = true;
+  /// Copied into every worker's ReplayOptions: each worker's store gets
+  /// manifest-seeded per-shard bloom filters for its existence checks.
+  bool bloom_filter = false;
+  double bloom_target_fpr = 0.01;
 };
 
 /// Main-loop epochs usable as partition boundaries for `program`: every
@@ -98,6 +102,8 @@ struct MergedClusterReplay {
   SkipBlockStats skipblocks;
   /// Total restores served by the bucket tier across workers.
   int64_t bucket_faults = 0;
+  /// Total store lookups the workers' bloom filters short-circuited.
+  int64_t bloom_skipped_probes = 0;
 };
 
 /// Encodes one worker's ReplayResult for out-of-process transport — the

@@ -493,6 +493,171 @@ TEST_F(CrashConsistencyTest, KilledMidBucketRetirementKeepsTiersReadable) {
   EXPECT_EQ(count_objects(), manifest->records.size() * 2);
 }
 
+/// Delegating FileSystem that parks the process (after signaling `wfd`)
+/// on the `park_at`-th WriteFile under `watch_prefix` — before the write
+/// lands, so the parent SIGKILLs a record session genuinely mid-slot:
+/// earlier checkpoints are durable (some acked, some batched in the open
+/// group-commit slot), the parked one never exists.
+class ParkOnWriteFileSystem : public FileSystem {
+ public:
+  ParkOnWriteFileSystem(FileSystem* base, std::string watch_prefix,
+                        int park_at, int wfd)
+      : base_(base), watch_prefix_(std::move(watch_prefix)),
+        park_at_(park_at), wfd_(wfd) {}
+
+  Status WriteFile(const std::string& path, const std::string& data)
+      override {
+    if (path.rfind(watch_prefix_, 0) == 0 && ++writes_ == park_at_) {
+      char one = 1;
+      (void)!write(wfd_, &one, 1);
+      pause();  // parked mid-slot; parent SIGKILLs
+    }
+    return base_->WriteFile(path, data);
+  }
+  Status AppendFile(const std::string& path, const std::string& data)
+      override {
+    return base_->AppendFile(path, data);
+  }
+  Result<std::string> ReadFile(const std::string& path) const override {
+    return base_->ReadFile(path);
+  }
+  bool Exists(const std::string& path) const override {
+    return base_->Exists(path);
+  }
+  Result<uint64_t> FileSize(const std::string& path) const override {
+    return base_->FileSize(path);
+  }
+  Status DeleteFile(const std::string& path) override {
+    return base_->DeleteFile(path);
+  }
+  std::vector<std::string> ListPrefix(
+      const std::string& prefix) const override {
+    return base_->ListPrefix(prefix);
+  }
+
+ private:
+  FileSystem* base_;
+  std::string watch_prefix_;
+  int writes_ = 0;
+  int park_at_;
+  int wfd_;
+};
+
+TEST_F(CrashConsistencyTest, KilledMidGroupCommitSlotLosesNoAckedCheckpoint) {
+  // Group commit batches durable *notifications*, not durability: a record
+  // process SIGKILLed mid-slot (kill lands during the 6th checkpoint write
+  // at window 4 — slot one delivered, the 5th checkpoint durable but its
+  // ack still batched in the open slot) must leave
+  //   (a) no torn object at any final path (every checkpoint on disk
+  //       decodes bit-exact),
+  //   (b) the spool mirror holding only *acked* checkpoints (the open
+  //       slot's members were never handed to the spooler), each
+  //       byte-identical to its local object,
+  //   (c) no manifest (the run never completed — a half-written index
+  //       would be worse than none), and
+  //   (d) a re-record over the same prefix that completes green with a
+  //       parseable manifest and every record readable.
+  workloads::WorkloadProfile profile;
+  profile.name = "CrashGrpCmt";
+  profile.epochs = 10;
+  profile.sim_epoch_seconds = 100;
+  profile.sim_outer_seconds = 2;
+  profile.sim_preamble_seconds = 5;
+  profile.sim_ckpt_raw_bytes = 1 << 20;  // cheap: dense checkpoints
+  profile.ckpt_shards = 4;
+  profile.task_kind = data::Task::kVision;
+  profile.real_samples = 32;
+  profile.real_batch = 8;
+  profile.real_feature_dim = 12;
+  profile.real_classes = 3;
+  profile.real_hidden = 12;
+  profile.seed = testutil::TestSeed(71);
+
+  constexpr int kWindow = 4;
+  KillChildMidWrite([&](PosixFileSystem* fs, int wfd) {
+    // Park on the 6th checkpoint-object write: epochs 0-4 durable (0-3
+    // acked as slot one, 4 batched in the open slot), epoch 5 mid-write.
+    ParkOnWriteFileSystem parked(fs, "run/ckpt/", /*park_at=*/6, wfd);
+    Env env(std::make_unique<SimClock>(), &parked);
+    auto instance =
+        workloads::MakeWorkloadFactory(profile, workloads::kProbeNone)();
+    if (!instance.ok()) _exit(3);
+    RecordOptions opts = workloads::DefaultRecordOptions(profile, "run");
+    opts.adaptive.enabled = false;  // dense: one checkpoint per epoch
+    opts.spool_prefix = "s3";
+    opts.spool.max_batch_objects = 1;  // spool each ack promptly
+    opts.materializer.group_commit_window = kWindow;
+    RecordSession session(&env, opts);
+    exec::Frame frame;
+    auto result = session.Run(instance->program.get(), &frame);
+    (void)result;
+  });
+
+  PosixFileSystem fs(root());
+  CheckpointStore store(&fs, "run/ckpt", profile.ckpt_shards);
+
+  // (a) Exactly the five pre-kill checkpoints landed, none torn.
+  int durable = 0;
+  for (int64_t e = 0; e < profile.epochs; ++e) {
+    const CheckpointKey key{2, StrCat("e=", e)};
+    if (!store.Exists(key)) continue;
+    ++durable;
+    EXPECT_LT(e, 5) << "epoch " << e << " written after the kill point";
+    auto got = store.Get(key);
+    EXPECT_TRUE(got.ok()) << key.ToString() << ": "
+                          << got.status().ToString();
+  }
+  EXPECT_EQ(durable, 5);
+
+  // (b) The mirror holds only acked (slot-one, epochs 0-3) checkpoints,
+  // each complete and byte-identical to its local object. The open slot's
+  // epoch-4 ack was still batched: it must not have been spooled.
+  for (const auto& path : fs.ListPrefix("s3/run/ckpt/")) {
+    if (EndsWith(path, ".tmp")) continue;
+    const std::string local = path.substr(3);  // strip "s3/"
+    auto mirrored = fs.ReadFile(path);
+    auto local_data = fs.ReadFile(local);
+    ASSERT_TRUE(mirrored.ok()) << path;
+    ASSERT_TRUE(local_data.ok()) << local;
+    EXPECT_EQ(*mirrored, *local_data) << path;
+    EXPECT_TRUE(DecodeCheckpoint(*mirrored).ok()) << path;
+  }
+  const std::string unacked = "s3/" + store.PathFor(CheckpointKey{2, "e=4"});
+  EXPECT_FALSE(fs.Exists(unacked))
+      << "open-slot checkpoint was spooled before its slot closed";
+
+  // (c) The run never completed, so no index claims it did.
+  EXPECT_FALSE(fs.Exists("run/manifest.tsv"));
+
+  // (d) Re-recording over the crashed prefix completes green: manifest
+  // parses and every record it references is readable.
+  {
+    Env env(std::make_unique<SimClock>(), &fs);
+    auto instance =
+        workloads::MakeWorkloadFactory(profile, workloads::kProbeNone)();
+    ASSERT_TRUE(instance.ok());
+    RecordOptions opts = workloads::DefaultRecordOptions(profile, "run");
+    opts.adaptive.enabled = false;
+    opts.spool_prefix = "s3";
+    opts.materializer.group_commit_window = kWindow;
+    RecordSession session(&env, opts);
+    exec::Frame frame;
+    auto result = session.Run(instance->program.get(), &frame);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  auto manifest_bytes = fs.ReadFile("run/manifest.tsv");
+  ASSERT_TRUE(manifest_bytes.ok());
+  auto manifest = Manifest::Deserialize(*manifest_bytes);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  EXPECT_EQ(manifest->records.size(), static_cast<size_t>(profile.epochs));
+  CheckpointStore recovered(&fs, "run/ckpt", manifest->shard_count);
+  for (const auto& rec : manifest->records) {
+    auto got = recovered.Get(rec.key);
+    EXPECT_TRUE(got.ok()) << rec.key.ToString() << ": "
+                          << got.status().ToString();
+  }
+}
+
 TEST_F(CrashConsistencyTest, ReplayWorkerKilledMidPartitionIsRecoverable) {
   // The process engine's crash contract: a replay worker SIGKILLed mid-
   // partition — here after tearing a half-written frame into its result

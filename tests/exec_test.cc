@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/strings.h"
 #include "exec/interpreter.h"
 #include "ir/builder.h"
+#include "test_util.h"
 
 namespace flor {
 namespace exec {
@@ -79,6 +82,75 @@ TEST(LogStream, WorkEntriesExcludeInit) {
 TEST(LogStream, MalformedLineRejected) {
   EXPECT_FALSE(LogStream::Deserialize("not\tenough\tfields\n").ok());
   EXPECT_TRUE(LogStream::Deserialize("").ok());  // empty is fine
+}
+
+/// The historical per-entry serializer (escape into a temporary, StrCat a
+/// line, append): the reference the single-allocation Serialize() is
+/// pinned against.
+std::string ReferenceSerialize(const LogStream& stream) {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '\t': out += "\\t"; break;
+        case '\n': out += "\\n"; break;
+        case '\\': out += "\\\\"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  };
+  std::string out;
+  for (const auto& e : stream.entries()) {
+    out += StrCat(e.stmt_uid, "\t", escape(e.context), "\t",
+                  e.init_mode ? 1 : 0, "\t", escape(e.label), "\t",
+                  escape(e.text), "\n");
+  }
+  return out;
+}
+
+TEST(LogStream, SerializeBitIdenticalToReferenceOnRandomEntries) {
+  // Property test over randomized entries — escape-heavy text, empty
+  // fields, negative and extreme uids — the recorded-log byte format is a
+  // compatibility surface (replay byte-parity checks hash it), so the
+  // low-copy serializer must reproduce the reference bytes exactly.
+  Rng rng = testutil::SeededRng(29);
+  const std::string alphabet = "ab\t\n\\=/0.5 loss\xc3\xa9";
+  auto random_string = [&](size_t max_len) {
+    std::string s;
+    const size_t len = rng.Uniform(max_len + 1);
+    for (size_t i = 0; i < len; ++i)
+      s += alphabet[rng.Uniform(alphabet.size())];
+    return s;
+  };
+  for (int round = 0; round < 50; ++round) {
+    LogStream stream;
+    const int n = static_cast<int>(rng.Uniform(20));
+    for (int i = 0; i < n; ++i) {
+      LogEntry e;
+      switch (rng.Uniform(5)) {
+        case 0: e.stmt_uid = -1; break;
+        case 1: e.stmt_uid = std::numeric_limits<int32_t>::min(); break;
+        case 2: e.stmt_uid = std::numeric_limits<int32_t>::max(); break;
+        default:
+          e.stmt_uid = static_cast<int32_t>(rng.Uniform(1 << 20));
+      }
+      e.context = random_string(12);
+      e.init_mode = rng.Uniform(2) == 1;
+      e.label = random_string(8);
+      e.text = random_string(40);
+      stream.Append(e);
+    }
+    const std::string bytes = stream.Serialize();
+    ASSERT_EQ(bytes, ReferenceSerialize(stream)) << "round " << round;
+    // And the bytes still round-trip (escapes included).
+    auto back = LogStream::Deserialize(bytes);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    ASSERT_EQ(back->size(), stream.size());
+    for (size_t i = 0; i < stream.size(); ++i)
+      EXPECT_TRUE(back->entries()[i] == stream.entries()[i]);
+  }
 }
 
 std::unique_ptr<ir::Program> CounterProgram(int64_t outer, int64_t inner) {

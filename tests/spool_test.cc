@@ -361,5 +361,143 @@ TEST(BackgroundQueue, WaitUntilInFlightBelowBoundsProducers) {
   EXPECT_LE(max_seen.load(), 1);  // single worker: never truly parallel
 }
 
+// --- Group-commit durability (Materializer::NotifyDurable) -----------------
+
+/// Dense sim workload: adaptive off, so every epoch materializes and the
+/// checkpoint count is deterministic.
+workloads::WorkloadProfile GroupCommitProfile() {
+  workloads::WorkloadProfile p;
+  p.name = "GrpCmt";
+  p.epochs = 10;
+  p.sim_epoch_seconds = 10;
+  p.sim_outer_seconds = 1;
+  p.sim_preamble_seconds = 2;
+  p.sim_ckpt_raw_bytes = 1 << 20;
+  p.ckpt_shards = 4;
+  p.task_kind = data::Task::kVision;
+  p.real_samples = 32;
+  p.real_batch = 8;
+  p.real_feature_dim = 12;
+  p.real_classes = 3;
+  p.real_hidden = 12;
+  p.seed = testutil::TestSeed(67);
+  return p;
+}
+
+RecordResult RecordGroupCommit(FileSystem* fs, int window,
+                               double notify_seconds) {
+  Env env(std::make_unique<SimClock>(), fs);
+  auto instance = workloads::MakeWorkloadFactory(GroupCommitProfile(),
+                                                 workloads::kProbeNone)();
+  EXPECT_TRUE(instance.ok());
+  RecordOptions opts =
+      workloads::DefaultRecordOptions(GroupCommitProfile(), "run");
+  opts.adaptive.enabled = false;
+  opts.spool_prefix = "s3";
+  opts.materializer.group_commit_window = window;
+  opts.materializer.costs.durable_notify_seconds = notify_seconds;
+  RecordSession session(&env, opts);
+  exec::Frame frame;
+  auto result = session.Run(instance->program.get(), &frame);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(GroupCommit, WindowEightByteIdenticalToWindowOneWhenNotifyIsFree) {
+  // With a free sync (the default cost), batching notifications must not
+  // change a single byte of any artifact — manifest, logs, checkpoint
+  // objects, or the spooled bucket mirror — only the slot accounting.
+  MemFileSystem fs_w1;
+  MemFileSystem fs_w8;
+  RecordResult w1 = RecordGroupCommit(&fs_w1, 1, 0.0);
+  RecordResult w8 = RecordGroupCommit(&fs_w8, 8, 0.0);
+
+  std::map<std::string, std::string> image_w1;
+  for (const auto& path : fs_w1.ListPrefix("")) {
+    auto data = fs_w1.ReadFile(path);
+    ASSERT_TRUE(data.ok()) << path;
+    image_w1[path] = *data;
+  }
+  std::map<std::string, std::string> image_w8;
+  for (const auto& path : fs_w8.ListPrefix("")) {
+    auto data = fs_w8.ReadFile(path);
+    ASSERT_TRUE(data.ok()) << path;
+    image_w8[path] = *data;
+  }
+  EXPECT_EQ(image_w8, image_w1);
+  EXPECT_EQ(w8.runtime_seconds, w1.runtime_seconds);
+
+  // Same notifications, different batching.
+  EXPECT_EQ(w1.group_commit.joins, 10);
+  EXPECT_EQ(w8.group_commit.joins, 10);
+  EXPECT_EQ(w1.group_commit.slots, w1.group_commit.joins);
+  EXPECT_EQ(w1.group_commit.syncs, w1.group_commit.joins);
+  EXPECT_EQ(w1.group_commit.max_slot_joins, 1);
+  // 10 joins at window 8: one full slot + the drain flush of the partial.
+  EXPECT_EQ(w8.group_commit.slots, 2);
+  EXPECT_EQ(w8.group_commit.syncs, 2);
+  EXPECT_EQ(w8.group_commit.max_slot_joins, 8);
+  EXPECT_EQ(w8.spool_report.objects, w1.spool_report.objects);
+}
+
+TEST(GroupCommit, SlotAccountingAndDeliveryOrder) {
+  auto env = Env::NewSimEnv();
+  MaterializerOptions opts;
+  opts.strategy = MaterializeStrategy::kFork;
+  opts.group_commit_window = 3;
+  std::vector<std::string> delivered;
+  opts.on_durable = [&delivered](const CheckpointKey& key, uint64_t bytes) {
+    EXPECT_GT(bytes, 0u);
+    delivered.push_back(key.ToString());
+  };
+  Materializer mat(env.get(), opts);
+  CheckpointStore store(env->fs(), "ck");
+
+  NamedSnapshots snaps;
+  snaps.emplace_back("count", ir::SnapshotValue(ir::Value::Int(42)));
+  for (int e = 0; e < 7; ++e) {
+    auto receipt = mat.Materialize(&store, CheckpointKey{1, StrCat("e=", e)},
+                                   snaps, 1 << 20);
+    ASSERT_TRUE(receipt.ok());
+  }
+  // Two full slots closed; the 7th join sits in the open slot.
+  GroupCommitStats mid = mat.group_commit_stats();
+  EXPECT_EQ(mid.joins, 7);
+  EXPECT_EQ(mid.slots, 2);
+  EXPECT_EQ(mid.syncs, 2);
+  ASSERT_EQ(delivered.size(), 6u);
+
+  mat.Drain();  // flushes the partial slot: nothing acked is ever lost
+  GroupCommitStats done = mat.group_commit_stats();
+  EXPECT_EQ(done.joins, 7);
+  EXPECT_EQ(done.slots, 3);
+  EXPECT_EQ(done.syncs, 3);
+  EXPECT_EQ(done.max_slot_joins, 3);
+  EXPECT_DOUBLE_EQ(done.JoinsPerSlot(), 7.0 / 3.0);
+  // Notifications arrive in store order across slot boundaries.
+  ASSERT_EQ(delivered.size(), 7u);
+  for (int e = 0; e < 7; ++e)
+    EXPECT_EQ(delivered[static_cast<size_t>(e)], StrCat("L1@e=", e));
+}
+
+TEST(GroupCommit, SimNotifyCostIsAmortizedByWindow) {
+  // A nonzero durable sync charges the training thread notify/window per
+  // checkpoint: window 1 pays it in full, window 8 amortizes it ~8x.
+  MemFileSystem fs_free;
+  MemFileSystem fs_w1;
+  MemFileSystem fs_w8;
+  RecordResult free_run = RecordGroupCommit(&fs_free, 1, 0.0);
+  RecordResult w1 = RecordGroupCommit(&fs_w1, 1, 0.5);
+  RecordResult w8 = RecordGroupCommit(&fs_w8, 8, 0.5);
+
+  EXPECT_GT(w1.runtime_seconds, w8.runtime_seconds);
+  EXPECT_GT(w8.runtime_seconds, free_run.runtime_seconds);
+  // 10 checkpoints: the full tax is 10 * 0.5s; amortized, 10 * 0.5/8.
+  EXPECT_NEAR(w1.runtime_seconds - free_run.runtime_seconds, 10 * 0.5,
+              1e-6);
+  EXPECT_NEAR(w8.runtime_seconds - free_run.runtime_seconds,
+              10 * 0.5 / 8, 1e-6);
+}
+
 }  // namespace
 }  // namespace flor
