@@ -8,7 +8,7 @@ Usage:
 Rows are matched by their identity fields: everything except measured
 values (fields named "seconds"/"fraction" or ending in "_seconds"/
 "_fraction") and derived or run-varying outputs (booleans, and fields
-mentioning "speedup", "steal", "retries", or "fraction" — e.g.
+mentioning "speedup", "steal", "retries", "fraction", or "per_sec" — e.g.
 speedup_vs_1_thread and steals change between any two wall-clock runs and
 must not break row matching). Fraction-valued measurements (e.g. the
 record-overhead rows of BENCH_fig11.json, which carry no wall seconds)
@@ -39,8 +39,10 @@ def is_measured(key):
 
 
 # Derived metrics and outcome flags vary run to run (or follow the measured
-# times); they are neither identity nor independently gated.
-DERIVED_TAGS = ("speedup", "steal", "retries", "fraction")
+# times); they are neither identity nor independently gated. "per_sec"
+# covers throughput rates (e.g. sessions_per_sec = sessions / wall_seconds),
+# which are the measured wall time seen from the other side.
+DERIVED_TAGS = ("speedup", "steal", "retries", "fraction", "per_sec")
 
 
 def is_derived(key, value):

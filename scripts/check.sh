@@ -52,6 +52,22 @@ if grep -nE 'mt19937[^;]*[({][0-9]|(^|[^A-Za-z_])Rng *[({] *[0-9]|Rng +[A-Za-z_0
   exit 1
 fi
 
+echo "== service-layer construction lint =="
+# The Connection/Session front-end owns store and spooler construction:
+# CheckpointStore::Open is the one sanctioned way to build a store, and the
+# only SpoolQueue constructions live in the service layer, the record
+# session (private per-run spooler), and the spool subsystem itself.
+# Direct construction anywhere else bypasses the connection's tier
+# configuration (bucket + bloom) and its shared-spooler accounting.
+LINT_ALLOW='src/checkpoint/store\.(h|cc)|src/checkpoint/spool\.(h|cc)|src/service/connection\.cc|src/flor/record\.cc'
+if grep -rnE 'make_unique<CheckpointStore>|new CheckpointStore|CheckpointStore [a-z_]+\(|make_unique<SpoolQueue>|new SpoolQueue|SpoolQueue [a-z_]+\(' \
+        src/ | grep -vE "^(${LINT_ALLOW}):"; then
+  echo "error: direct CheckpointStore/SpoolQueue construction outside the" >&2
+  echo "service layer — open stores via CheckpointStore::Open (tier-aware)" >&2
+  echo "or go through flor::Connection (src/service/service.h)" >&2
+  exit 1
+fi
+
 echo "== configure (${BUILD_DIR}) =="
 cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"
 
@@ -77,11 +93,13 @@ BENCH_SMOKE=1 BENCH_JSON=BENCH_fig14.json \
     "${BUILD_DIR}/bench_fig14_cost" > /dev/null
 BENCH_SMOKE=1 BENCH_JSON=BENCH_table4.json \
     "${BUILD_DIR}/bench_table4_storage" > /dev/null
-echo "wrote BENCH_fig10.json BENCH_fig11.json BENCH_fig13.json BENCH_fig14.json BENCH_table4.json"
+BENCH_SMOKE=1 BENCH_JSON=BENCH_service.json \
+    "${BUILD_DIR}/bench_service_mixed" > /dev/null
+echo "wrote BENCH_fig10.json BENCH_fig11.json BENCH_fig13.json BENCH_fig14.json BENCH_table4.json BENCH_service.json"
 
 if [[ -n "${BENCH_BASELINE:-}" ]]; then
   echo "== bench regression diff vs ${BENCH_BASELINE} =="
-  for f in BENCH_fig10.json BENCH_fig11.json BENCH_fig13.json BENCH_fig14.json BENCH_table4.json; do
+  for f in BENCH_fig10.json BENCH_fig11.json BENCH_fig13.json BENCH_fig14.json BENCH_table4.json BENCH_service.json; do
     if [[ -f "${BENCH_BASELINE}/${f}" ]]; then
       python3 scripts/bench_diff.py "${BENCH_BASELINE}/${f}" "${f}"
     else
@@ -96,16 +114,17 @@ if [[ "${FLOR_TSAN:-0}" != "0" ]]; then
   cmake --build "${BUILD_DIR}-tsan" -j "${JOBS}" \
         --target replay_executor_test spool_test bloom_test \
                  process_executor_test crash_consistency_test \
-                 tiered_store_test
+                 tiered_store_test service_test
   # `tsan` labels the suites exercising real threads (thread-pool replay
   # engine, spool/shard batching); `proc` labels the fork-heavy suites
   # (process replay engine, SIGKILL crash harness); `tiered` labels the
-  # tiered-store suite racing bucket fault-in against local GC demotion.
-  # All run instrumented: every fork happens from a single-threaded
-  # coordinator and the children stay single-threaded, which
-  # ThreadSanitizer supports.
+  # tiered-store suite racing bucket fault-in against local GC demotion;
+  # `service` labels the Connection/Session suite racing concurrent tenant
+  # sessions against the connection's background GC worker. All run
+  # instrumented: every fork happens from a single-threaded coordinator
+  # and the children stay single-threaded, which ThreadSanitizer supports.
   ctest --test-dir "${BUILD_DIR}-tsan" --output-on-failure \
-        --no-tests=error -j "${JOBS}" -L 'tsan|proc|tiered'
+        --no-tests=error -j "${JOBS}" -L 'tsan|proc|tiered|service'
 fi
 
 echo "== OK =="

@@ -281,9 +281,10 @@ Result<GcReport> RetireRun(FileSystem* fs, const std::string& manifest_path,
                         fs->ReadFile(manifest_path));
   FLOR_ASSIGN_OR_RETURN(Manifest manifest,
                         Manifest::Deserialize(manifest_bytes));
-  CheckpointStore store(fs, ckpt_prefix, manifest.shard_count);
-  if (!bucket_prefix.empty()) store.AttachBucket(bucket_prefix);
-  return RetireCheckpoints(&store, &manifest, manifest_path, policy);
+  TierOptions tier;
+  tier.bucket_prefix = bucket_prefix;
+  auto store = CheckpointStore::Open(fs, ckpt_prefix, tier, &manifest);
+  return RetireCheckpoints(store.get(), &manifest, manifest_path, policy);
 }
 
 Result<GcReport> RetireBucketRun(FileSystem* fs,
@@ -295,9 +296,11 @@ Result<GcReport> RetireBucketRun(FileSystem* fs,
                         fs->ReadFile(manifest_path));
   FLOR_ASSIGN_OR_RETURN(Manifest manifest,
                         Manifest::Deserialize(manifest_bytes));
-  CheckpointStore store(fs, ckpt_prefix, manifest.shard_count);
-  store.AttachBucket(bucket_prefix);
-  return RetireBucketCheckpoints(&store, &manifest, manifest_path, policy);
+  TierOptions tier;
+  tier.bucket_prefix = bucket_prefix;
+  auto store = CheckpointStore::Open(fs, ckpt_prefix, tier, &manifest);
+  return RetireBucketCheckpoints(store.get(), &manifest, manifest_path,
+                                 policy);
 }
 
 Result<ReconcileReport> ReconcileRun(FileSystem* fs,
@@ -308,9 +311,10 @@ Result<ReconcileReport> ReconcileRun(FileSystem* fs,
                         fs->ReadFile(manifest_path));
   FLOR_ASSIGN_OR_RETURN(Manifest manifest,
                         Manifest::Deserialize(manifest_bytes));
-  CheckpointStore store(fs, ckpt_prefix, manifest.shard_count);
-  if (!bucket_prefix.empty()) store.AttachBucket(bucket_prefix);
-  return ReconcileOrphans(&store, manifest);
+  TierOptions tier;
+  tier.bucket_prefix = bucket_prefix;
+  auto store = CheckpointStore::Open(fs, ckpt_prefix, tier, &manifest);
+  return ReconcileOrphans(store.get(), manifest);
 }
 
 }  // namespace flor

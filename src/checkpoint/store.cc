@@ -136,6 +136,32 @@ CheckpointStore::CheckpointStore(FileSystem* fs, std::string prefix,
     shards_.push_back(std::make_unique<Shard>());
 }
 
+std::unique_ptr<CheckpointStore> CheckpointStore::Open(
+    FileSystem* fs, const std::string& prefix, const TierOptions& tier,
+    const Manifest* manifest, int num_shards) {
+  const int shards = manifest != nullptr ? manifest->shard_count : num_shards;
+  auto store = std::make_unique<CheckpointStore>(fs, prefix, shards);
+  if (!tier.bucket_prefix.empty())
+    store->AttachBucket(tier.bucket_prefix, tier.bucket_rehydrate);
+  if (tier.bloom_filter) {
+    // Size each shard's filter for the run's manifest and seed it from the
+    // same records replay plans against — the rebuild-on-open story. With
+    // no manifest yet (a run still being written) the default sizing
+    // applies and PutBytes populates the filter as objects land.
+    BloomOptions bloom;
+    bloom.target_fpr = tier.bloom_target_fpr;
+    if (manifest != nullptr) {
+      bloom.expected_keys_per_shard = std::max<int64_t>(
+          64, static_cast<int64_t>(manifest->records.size()) /
+                      std::max(manifest->shard_count, 1) +
+              1);
+    }
+    store->EnableBloom(bloom);
+    if (manifest != nullptr) store->SeedBloomFromManifest(*manifest);
+  }
+  return store;
+}
+
 Status CheckpointStore::PutBytes(const CheckpointKey& key,
                                  const std::string& bytes) {
   const int shard_idx = router_.ShardOf(key);

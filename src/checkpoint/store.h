@@ -97,6 +97,29 @@ struct TierStats {
   int64_t bloom_false_positives = 0;
 };
 
+/// Read-tier selection shared by every replay entry point (ReplayOptions
+/// and the three engine option structs inherit it) and by the service
+/// ConnectionOptions: which bucket mirror, if any, backs local misses, and
+/// whether the store fronts its shards with manifest-seeded bloom filters.
+/// Declaring the fields once here is what keeps the four entry-point
+/// structs from drifting apart again.
+struct TierOptions {
+  /// Bucket tier of the run's checkpoint store (the spool mirror prefix).
+  /// Non-empty makes reads survive aggressive local GC: a local miss falls
+  /// through to the bucket instead of failing. Empty: local tier only.
+  std::string bucket_prefix;
+  /// Write bucket fault-ins back to the local shard (under its writer
+  /// lock) so repeated reads stay fast.
+  bool bucket_rehydrate = true;
+  /// Attach per-shard bloom filters to the store, seeded from the record
+  /// manifest, so existence checks on absent keys answer definite-miss
+  /// without probing any tier. Off by default: the filterless store is the
+  /// pinned-byte-identical baseline.
+  bool bloom_filter = false;
+  /// Target false-positive rate of those filters.
+  double bloom_target_fpr = 0.01;
+};
+
 /// Sizing knobs for the store's per-shard bloom filters (EnableBloom).
 struct BloomOptions {
   /// Expected live keys per shard; the filter degrades (higher FPR, never
@@ -122,6 +145,21 @@ class CheckpointStore {
   /// Does not own `fs`. Typical prefix: "run1/ckpt". `num_shards` == 1
   /// reproduces the legacy flat layout.
   CheckpointStore(FileSystem* fs, std::string prefix, int num_shards = 1);
+
+  /// The sanctioned way to open a store: one call that applies the whole
+  /// tier configuration — shard count from `manifest` when provided (so the
+  /// layout always matches what record wrote), bucket attached, bloom
+  /// filters sized for the manifest's record count and seeded from it.
+  /// Replay sessions, GC passes, and the service Connection all open
+  /// stores through here; scripts/check.sh lints src/ against direct
+  /// construction so new code cannot drift from the tier configuration.
+  /// `num_shards` is only consulted when `manifest` is null (a store for a
+  /// run still being written).
+  static std::unique_ptr<CheckpointStore> Open(FileSystem* fs,
+                                               const std::string& prefix,
+                                               const TierOptions& tier,
+                                               const Manifest* manifest,
+                                               int num_shards = 1);
 
   /// Attaches the bucket tier: reads that miss locally fall through to the
   /// mirror of this store's layout under `bucket_prefix` (objects live at

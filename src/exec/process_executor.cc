@@ -138,8 +138,7 @@ Result<ProcessReplayExecutorResult> ProcessReplayExecutor::Run(
   plan.init_mode = options_.init_mode;
   plan.costs = options_.costs;
   plan.sample_epochs = options_.sample_epochs;
-  plan.bucket_prefix = options_.bucket_prefix;
-  plan.bucket_rehydrate = options_.bucket_rehydrate;
+  static_cast<TierOptions&>(plan) = options_;  // bucket + bloom, one slice
 
   FLOR_ASSIGN_OR_RETURN(const int active,
                         PlanActiveWorkers(factory, fs_, plan));

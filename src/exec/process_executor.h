@@ -56,8 +56,11 @@
 namespace flor {
 namespace exec {
 
-/// Process-engine configuration.
-struct ProcessReplayExecutorOptions {
+/// Process-engine configuration. The read-tier fields (bucket
+/// fall-through, bloom filters) come from the shared TierOptions base
+/// (checkpoint/store.h) and are sliced into the cluster plan, so every
+/// forked child's store sees them.
+struct ProcessReplayExecutorOptions : TierOptions {
   std::string run_prefix = "run";
   /// Log partitions (the paper's G); one worker process replays each
   /// partition. The planner may clamp to fewer when checkpoints are
@@ -69,11 +72,6 @@ struct ProcessReplayExecutorOptions {
   MaterializerCosts costs;
   /// Non-empty selects iteration-sampling replay on a single worker.
   std::vector<int64_t> sample_epochs;
-  /// Bucket tier of the run's checkpoint store (spool mirror prefix):
-  /// restores missing locally fall through to the bucket in every child.
-  std::string bucket_prefix;
-  /// Write bucket fault-ins back to the local shard.
-  bool bucket_rehydrate = true;
   /// Directory for worker result files. Empty: a fresh mkdtemp scratch
   /// directory, removed after the run. Non-empty: used as-is (created if
   /// missing, stale worker files cleared, left in place afterwards) so
@@ -110,6 +108,16 @@ struct ProcessReplayExecutorOptions {
   std::function<void(int worker_id, int attempt)> child_before_session;
   std::function<void(int worker_id, int attempt)> child_before_result_write;
 };
+
+/// Naming scheme: an engine's option/result structs are named after the
+/// engine class — `ReplayExecutor` → `ReplayExecutorOptions`,
+/// `ProcessReplayExecutor` → `ProcessReplayExecutorOptions`. Earlier
+/// changelog entries used the shorthand "ProcessReplayOptions"; this alias
+/// keeps that spelling compiling for one PR and is then removed.
+using ProcessReplayOptions
+    [[deprecated("renamed to ProcessReplayExecutorOptions (engine option "
+                 "structs are named after their engine class)")]] =
+        ProcessReplayExecutorOptions;
 
 /// Outcome of a process-level replay: the engine-agnostic merge plus
 /// process-side measurements and scheduler statistics.

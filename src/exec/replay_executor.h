@@ -45,8 +45,11 @@ class WorkStealingPool {
                    const std::vector<std::function<void()>>& tasks);
 };
 
-/// Real-engine configuration.
-struct ReplayExecutorOptions {
+/// Real-engine configuration. The read-tier fields (bucket fall-through,
+/// bloom filters) come from the shared TierOptions base
+/// (checkpoint/store.h) and are sliced into the cluster plan, so every
+/// worker's store sees them.
+struct ReplayExecutorOptions : TierOptions {
   std::string run_prefix = "run";
   /// Worker threads in the pool.
   int num_threads = 4;
@@ -60,11 +63,6 @@ struct ReplayExecutorOptions {
   MaterializerCosts costs;
   /// Non-empty selects iteration-sampling replay on a single worker.
   std::vector<int64_t> sample_epochs;
-  /// Bucket tier of the run's checkpoint store (spool mirror prefix):
-  /// restores missing locally fall through to the bucket.
-  std::string bucket_prefix;
-  /// Write bucket fault-ins back to the local shard.
-  bool bucket_rehydrate = true;
 };
 
 /// Outcome of a real parallel replay: the engine-agnostic merge (latency,

@@ -62,6 +62,17 @@ struct RecordOptions {
   /// SpoolReports in RecordResult after the end-of-run drain.
   std::string spool_prefix;
   SpoolOptions spool;
+  /// Externally owned spool queue (a flor::Connection's shared spooler):
+  /// when set together with spool_prefix, the session enqueues through it
+  /// instead of constructing a private queue, so concurrent record
+  /// sessions share one spooler's batching and backpressure (`spool` is
+  /// then ignored — the owner configured the queue). The queue's shard
+  /// count must match ckpt_shards. The end-of-run drain drains the shared
+  /// queue (other sessions' pending batches included — the group-drain
+  /// semantics of a shared spooler), and RecordResult reports the spool
+  /// *delta* observed across this session's run, not the queue's lifetime
+  /// totals.
+  SpoolQueue* shared_spool = nullptr;
   /// Checkpoint retention, applied after logs + manifest are persisted:
   /// keep_last_k == 0 (default) keeps everything and leaves the store
   /// byte-identical; K > 0 retires older epochs per loop, shard-locally

@@ -34,22 +34,11 @@ Result<ReplayResult> ReplaySession::Run(ir::Program* current_program,
   FLOR_ASSIGN_OR_RETURN(std::string manifest_bytes,
                         env_->fs()->ReadFile(paths_.Manifest()));
   FLOR_ASSIGN_OR_RETURN(manifest_, Manifest::Deserialize(manifest_bytes));
-  store_ = std::make_unique<CheckpointStore>(
-      env_->fs(), paths_.CkptPrefix(), manifest_.shard_count);
-  if (!options_.bucket_prefix.empty())
-    store_->AttachBucket(options_.bucket_prefix, options_.bucket_rehydrate);
-  if (options_.bloom_filter) {
-    // Size each shard's filter for this run's manifest and seed it from
-    // the same records replay plans against — the rebuild-on-open story.
-    BloomOptions bloom;
-    bloom.target_fpr = options_.bloom_target_fpr;
-    bloom.expected_keys_per_shard = std::max<int64_t>(
-        64, static_cast<int64_t>(manifest_.records.size()) /
-                    std::max(manifest_.shard_count, 1) +
-            1);
-    store_->EnableBloom(bloom);
-    store_->SeedBloomFromManifest(manifest_);
-  }
+  // The manifest decides the shard layout; Open applies the whole tier
+  // configuration (bucket attach, bloom sizing + manifest seeding) in one
+  // place shared with GC and the service Connection.
+  store_ = CheckpointStore::Open(env_->fs(), paths_.CkptPrefix(), options_,
+                                 &manifest_);
   for (const auto& rec : manifest_.records)
     records_by_key_[rec.key.ToString()] = &rec;
 

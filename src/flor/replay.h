@@ -32,8 +32,13 @@
 
 namespace flor {
 
-/// Replay configuration.
-struct ReplayOptions {
+/// Replay configuration. Inherits the shared read-tier fields
+/// (bucket_prefix / bucket_rehydrate / bloom_filter / bloom_target_fpr)
+/// from TierOptions (checkpoint/store.h) — the same aggregate every engine
+/// option struct and the service ConnectionOptions carry, so tier
+/// configuration is declared once and flows everywhere by slice
+/// assignment.
+struct ReplayOptions : TierOptions {
   std::string run_prefix = "run";
   /// Requested worker-initialization mode; falls back to weak when the
   /// record run checkpointed sparsely (§5.4.2).
@@ -49,20 +54,6 @@ struct ReplayOptions {
   /// Skip the deferred log check (used when a caller merges worker logs and
   /// checks once).
   bool run_deferred_check = true;
-  /// Bucket tier of the run's checkpoint store (the spool mirror prefix).
-  /// Non-empty makes restores survive aggressive local GC: a local miss
-  /// falls through to the bucket instead of failing the replay.
-  std::string bucket_prefix;
-  /// Write bucket fault-ins back to the local shard (under its writer
-  /// lock) so repeated restores stay fast.
-  bool bucket_rehydrate = true;
-  /// Attach per-shard bloom filters to the checkpoint store, seeded from
-  /// the record manifest, so existence checks on absent keys answer
-  /// definite-miss without probing any tier. Off by default: the
-  /// filterless store is the pinned-byte-identical baseline.
-  bool bloom_filter = false;
-  /// Target false-positive rate of those filters.
-  double bloom_target_fpr = 0.01;
 };
 
 /// Outcome of one worker's replay.

@@ -116,10 +116,10 @@ ReplayOptions WorkerReplayOptions(const ClusterPlanOptions& options,
   ropts.sample_epochs = options.sample_epochs;
   ropts.costs = options.costs;
   ropts.run_deferred_check = false;  // merged check in ReplayMerger
-  ropts.bucket_prefix = options.bucket_prefix;
-  ropts.bucket_rehydrate = options.bucket_rehydrate;
-  ropts.bloom_filter = options.bloom_filter;
-  ropts.bloom_target_fpr = options.bloom_target_fpr;
+  // Tier configuration (bucket + bloom) travels as one slice: both structs
+  // inherit TierOptions, so a field added there flows to workers without
+  // touching this function.
+  static_cast<TierOptions&>(ropts) = options;
   return ropts;
 }
 

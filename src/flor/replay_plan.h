@@ -28,8 +28,11 @@
 namespace flor {
 
 /// Engine-agnostic cluster-replay configuration: everything needed to plan
-/// worker partitions and build per-worker ReplayOptions.
-struct ClusterPlanOptions {
+/// worker partitions and build per-worker ReplayOptions. The read-tier
+/// fields (bucket + bloom) come from the shared TierOptions base
+/// (checkpoint/store.h) and are sliced into every worker's ReplayOptions,
+/// so each worker's store sees the same tier configuration.
+struct ClusterPlanOptions : TierOptions {
   std::string run_prefix = "run";
   /// Requested log partitions (the paper's G). The effective worker count
   /// can be lower when the main loop is short or checkpoints are sparse.
@@ -39,16 +42,6 @@ struct ClusterPlanOptions {
   MaterializerCosts costs;
   /// Non-empty selects iteration-sampling replay on a single worker.
   std::vector<int64_t> sample_epochs;
-  /// Bucket tier of the run's checkpoint store (spool mirror prefix).
-  /// Copied into every worker's ReplayOptions: restores missing locally
-  /// fall through to the bucket instead of failing the worker.
-  std::string bucket_prefix;
-  /// Write bucket fault-ins back to the local shard.
-  bool bucket_rehydrate = true;
-  /// Copied into every worker's ReplayOptions: each worker's store gets
-  /// manifest-seeded per-shard bloom filters for its existence checks.
-  bool bloom_filter = false;
-  double bloom_target_fpr = 0.01;
 };
 
 /// Main-loop epochs usable as partition boundaries for `program`: every

@@ -1,0 +1,190 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+#include "flor/skipblock.h"
+
+namespace flor {
+
+Status ValidateNamespaceSegment(const std::string& name, const char* what) {
+  if (name.empty())
+    return Status::InvalidArgument(StrCat("empty ", what, " name"));
+  if (name == "." || name == "..") {
+    return Status::InvalidArgument(
+        StrCat(what, " name '", name, "' would escape its namespace"));
+  }
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) {
+      return Status::InvalidArgument(
+          StrCat(what, " name '", name,
+                 "' contains a character outside [A-Za-z0-9._-]"));
+    }
+  }
+  return Status::OK();
+}
+
+Connection::Connection(Env* env, ConnectionOptions options)
+    : env_(env), options_(std::move(options)) {
+  if (!options_.tier.bucket_prefix.empty()) {
+    spool_ = std::make_unique<SpoolQueue>(env_->fs(), options_.ckpt_shards,
+                                          options_.spool);
+  }
+}
+
+Result<std::unique_ptr<Connection>> Connection::Open(
+    Env* env, ConnectionOptions options) {
+  if (env == nullptr)
+    return Status::InvalidArgument("Connection::Open: null env");
+  FLOR_RETURN_IF_ERROR(
+      ValidateNamespaceSegment(options.root, "connection root"));
+  if (options.ckpt_shards < 1) {
+    return Status::InvalidArgument(
+        StrCat("ckpt_shards must be >= 1, got ", options.ckpt_shards));
+  }
+  if (options.max_concurrent_records < 0) {
+    return Status::InvalidArgument(
+        StrCat("max_concurrent_records must be >= 0, got ",
+               options.max_concurrent_records));
+  }
+  // The connection's bucket prefix must not collide with the namespace
+  // root: bucket objects live at "<bucket>/<root>/<tenant>/...", so a
+  // bucket *inside* the root would be scanned as tenant data.
+  if (!options.tier.bucket_prefix.empty()) {
+    FLOR_RETURN_IF_ERROR(ValidateNamespaceSegment(
+        options.tier.bucket_prefix, "bucket prefix"));
+    if (options.tier.bucket_prefix == options.root) {
+      return Status::InvalidArgument(
+          StrCat("bucket prefix '", options.tier.bucket_prefix,
+                 "' collides with the connection root"));
+    }
+  }
+  return std::unique_ptr<Connection>(
+      new Connection(env, std::move(options)));
+}
+
+Connection::~Connection() { DrainBackground(); }
+
+void Connection::DrainBackground() {
+  // Spool first: a GC pass scheduled behind a still-spooling run must see
+  // the bucket mirror complete before it demotes local copies.
+  if (spool_) spool_->Drain();
+  gc_queue_.Drain();
+}
+
+std::string Connection::TenantRoot(const std::string& tenant) const {
+  return JoinObjectPath(options_.root, tenant);
+}
+
+Result<std::unique_ptr<Session>> Connection::OpenSession(
+    const std::string& tenant) {
+  FLOR_RETURN_IF_ERROR(ValidateNamespaceSegment(tenant, "tenant"));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.sessions_opened;
+  }
+  return std::unique_ptr<Session>(new Session(this, tenant));
+}
+
+bool Connection::AcquireRecordSlot() {
+  std::unique_lock<std::mutex> lock(mu_);
+  bool waited = false;
+  while (options_.max_concurrent_records > 0 &&
+         active_records_ >= options_.max_concurrent_records) {
+    waited = true;
+    slot_freed_.wait(lock);
+  }
+  ++active_records_;
+  stats_.max_observed_records =
+      std::max(stats_.max_observed_records, active_records_);
+  if (waited) ++stats_.admission_waits;
+  return waited;
+}
+
+void Connection::ReleaseRecordSlot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_records_;
+  }
+  slot_freed_.notify_one();
+}
+
+bool Connection::AnyRecordActive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_records_ > 0;
+}
+
+void Connection::ScheduleRetirement(const std::string& manifest_path,
+                                    const std::string& ckpt_prefix) {
+  if (options_.gc.keep_last_k <= 0) return;
+  gc_queue_.Submit([this, manifest_path, ckpt_prefix] {
+    auto report = RetireRun(env_->fs(), manifest_path, ckpt_prefix,
+                            options_.gc, options_.tier.bucket_prefix);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (report.ok()) {
+      ++stats_.gc_passes;
+    } else {
+      ++stats_.gc_failures;
+      stats_.last_gc_error = report.status().ToString();
+    }
+  });
+}
+
+void Connection::BumpQuery() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.queries_served;
+}
+
+void Connection::BumpReplay() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.replays_completed;
+}
+
+void Connection::BumpRecord() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.records_completed;
+}
+
+Result<GcReport> Connection::RetireBucket(const std::string& tenant,
+                                          const std::string& run,
+                                          const BucketGcPolicy& policy) {
+  FLOR_RETURN_IF_ERROR(ValidateNamespaceSegment(tenant, "tenant"));
+  FLOR_RETURN_IF_ERROR(ValidateNamespaceSegment(run, "run"));
+  if (options_.tier.bucket_prefix.empty())
+    return Status::FailedPrecondition("connection has no bucket tier");
+  if (AnyRecordActive()) {
+    return Status::FailedPrecondition(
+        "bucket retirement is between-sessions maintenance; a record "
+        "session is executing");
+  }
+  const RunPaths paths(JoinObjectPath(TenantRoot(tenant), run));
+  return RetireBucketRun(env_->fs(), paths.Manifest(), paths.CkptPrefix(),
+                         options_.tier.bucket_prefix, policy);
+}
+
+Result<ReconcileReport> Connection::Reconcile(const std::string& tenant,
+                                              const std::string& run) {
+  FLOR_RETURN_IF_ERROR(ValidateNamespaceSegment(tenant, "tenant"));
+  FLOR_RETURN_IF_ERROR(ValidateNamespaceSegment(run, "run"));
+  if (AnyRecordActive()) {
+    return Status::FailedPrecondition(
+        "orphan reconciliation is between-sessions maintenance; a record "
+        "session is executing");
+  }
+  const RunPaths paths(JoinObjectPath(TenantRoot(tenant), run));
+  return ReconcileRun(env_->fs(), paths.Manifest(), paths.CkptPrefix(),
+                      options_.tier.bucket_prefix);
+}
+
+ConnectionStats Connection::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ConnectionStats snapshot = stats_;
+  snapshot.active_records = active_records_;
+  return snapshot;
+}
+
+}  // namespace flor

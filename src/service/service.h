@@ -1,0 +1,320 @@
+// Connection/Session — the always-on multi-tenant hindsight service
+// front-end (WiredTiger's connection/session split, applied to Flor).
+//
+// Everything below this layer is one-shot: a RecordSession records and
+// exits, a replay engine replays and exits, each opening its own
+// CheckpointStore and SpoolQueue. A long-running service inverts that
+// ownership:
+//
+//   * flor::Connection — opened once per process. Owns the shared
+//     infrastructure: the tier configuration every store open uses
+//     (bucket mirror + bloom filters, TierOptions), the single shared
+//     SpoolQueue all record sessions spool through (shard-batched, with
+//     backpressure via SpoolOptions::max_queued_batches), admission
+//     control over concurrent recorders, and the background GC worker
+//     that retires checkpoints after record sessions finish — demoting
+//     to the bucket tier when one is attached, racing live readers
+//     safely (the tiered-store fall-through contract).
+//   * flor::Session — a lightweight per-tenant handle from
+//     Connection::OpenSession. Record / Replay / Query / Exists calls
+//     map the tenant namespace onto run prefixes
+//     ("<root>/<tenant>/<run>"), so tenants can never observe each
+//     other's runs or checkpoint keys through any tier — local shards,
+//     bucket fall-through, or the bloom fast path.
+//
+// Thread-safety follows WiredTiger: a Connection is fully thread-safe
+// and meant to be shared; a Session is a cheap single-threaded handle —
+// open one per thread. The pre-existing one-shot entry points
+// (RecordSession, sim::ClusterReplay, exec::ReplayExecutor,
+// exec::ProcessReplayExecutor) remain as the compat surface and share
+// this layer's internals (CheckpointStore::Open, TierOptions,
+// RecordOptions::shared_spool), so both paths stay byte-identical.
+
+#ifndef FLOR_SERVICE_SERVICE_H_
+#define FLOR_SERVICE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "checkpoint/gc.h"
+#include "checkpoint/spool.h"
+#include "checkpoint/store.h"
+#include "env/background_queue.h"
+#include "env/env.h"
+#include "flor/query.h"
+#include "flor/record.h"
+#include "flor/replay_plan.h"
+#include "sim/cost_model.h"
+
+namespace flor {
+
+class Session;
+
+/// Which engine executes a Session::Replay. All three consume the shared
+/// plan (flor/replay_plan.h) and produce byte-identical merged logs; they
+/// differ in clocks and isolation.
+enum class ReplayEngine {
+  kSimulated,  ///< sequential workers on simulated clocks (latency model)
+  kThreads,    ///< work-stealing thread pool, wall clock
+  kProcesses,  ///< fork-per-partition scheduler, true isolation
+};
+
+/// Connection-level configuration: the layer of knobs that is set once
+/// for the service lifetime. Per-call knobs (engine choice, worker count,
+/// scratch dir, workload costs) live in SessionRecordOptions /
+/// SessionReplayOptions instead.
+struct ConnectionOptions {
+  /// Filesystem root of the service namespace; a tenant's runs live at
+  /// "<root>/<tenant>/<run>".
+  std::string root = "flor";
+  /// Shard count of every run's checkpoint store.
+  int ckpt_shards = 1;
+  /// Read-tier configuration applied to every store the connection opens
+  /// (record spool mirror, replay fall-through, Exists/query probes):
+  /// bucket prefix + rehydration, bloom filters + target FPR. The same
+  /// aggregate the one-shot entry points inherit.
+  TierOptions tier;
+  /// Shared spooler batching/backpressure (the admission-control back
+  /// half: a full queue blocks the materializer threads of every
+  /// recording session). Only used when tier.bucket_prefix is set.
+  SpoolOptions spool;
+  /// Local checkpoint retention, applied by the background GC worker
+  /// after each record session completes. keep_last_k == 0 disables
+  /// retirement. With a bucket tier attached the pass *demotes* (local
+  /// deletes only, manifest intact) — live replays fault demoted epochs
+  /// back in, so GC can race readers.
+  GcPolicy gc;
+  /// Admission control: at most this many record sessions execute
+  /// concurrently; further Session::Record calls block until a slot
+  /// frees (counted in ConnectionStats::admission_waits). 0 = unlimited.
+  int max_concurrent_records = 0;
+};
+
+/// Point-in-time service counters (Connection::stats()).
+struct ConnectionStats {
+  int64_t sessions_opened = 0;
+  int64_t records_completed = 0;
+  int64_t replays_completed = 0;
+  /// Query-surface calls served (ListRuns / FindRuns / MetricSeries /
+  /// Exists).
+  int64_t queries_served = 0;
+  /// Record calls that blocked on the admission gate before starting.
+  int64_t admission_waits = 0;
+  /// High-water mark of concurrently executing record sessions.
+  int max_observed_records = 0;
+  /// Record sessions executing right now (point-in-time; lets a caller
+  /// observe that a record is genuinely in flight).
+  int active_records = 0;
+  /// Background retirement passes completed / failed. The last failure
+  /// message is in last_gc_error.
+  int64_t gc_passes = 0;
+  int64_t gc_failures = 0;
+  std::string last_gc_error;
+};
+
+/// The shared service owner. Thread-safe; open one per process and share
+/// it across threads, handing each thread its own Session.
+class Connection {
+ public:
+  /// Validates `options` (root name, shard count) and builds the shared
+  /// state: the spool queue when a bucket tier is configured, and the
+  /// background GC worker. Does not own `env`; env->fs() must be
+  /// thread-safe (all flor FileSystem implementations are). A simulated
+  /// env clock makes every record/replay run on its own fresh SimClock —
+  /// deterministic and byte-identical to the one-shot entry points.
+  static Result<std::unique_ptr<Connection>> Open(Env* env,
+                                                  ConnectionOptions options);
+
+  /// Drains the shared spool and the background GC queue.
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Hands out a tenant-scoped session handle. Tenant names are path
+  /// segments: [A-Za-z0-9._-]+, not "." or ".." — anything else is
+  /// rejected so a tenant cannot escape its namespace.
+  Result<std::unique_ptr<Session>> OpenSession(const std::string& tenant);
+
+  /// Blocks until the background work the connection owns is idle: the
+  /// shared spool's pending batches and every scheduled GC pass.
+  void DrainBackground();
+
+  /// Bucket-tier retirement (keep-newest-K') for one run. Synchronous,
+  /// between-sessions maintenance: fails with FailedPrecondition while
+  /// any record session is executing.
+  Result<GcReport> RetireBucket(const std::string& tenant,
+                                const std::string& run,
+                                const BucketGcPolicy& policy);
+
+  /// Manifest-vs-listing orphan sweep for one run. Synchronous,
+  /// between-sessions maintenance like RetireBucket.
+  Result<ReconcileReport> Reconcile(const std::string& tenant,
+                                    const std::string& run);
+
+  ConnectionStats stats() const;
+  const ConnectionOptions& options() const { return options_; }
+  Env* env() const { return env_; }
+  /// The shared spooler; null when no bucket tier is configured.
+  SpoolQueue* shared_spool() const { return spool_.get(); }
+
+  /// "<root>/<tenant>" — the prefix a session's queries scan. The
+  /// trailing-slash scan in ListRuns means tenant "a" can never match
+  /// tenant "ab"'s runs.
+  std::string TenantRoot(const std::string& tenant) const;
+
+ private:
+  friend class Session;
+
+  explicit Connection(Env* env, ConnectionOptions options);
+
+  /// Admission gate. Returns whether the caller had to wait.
+  bool AcquireRecordSlot();
+  void ReleaseRecordSlot();
+
+  /// Queues a background retirement pass for a finished run (no-op when
+  /// gc.keep_last_k == 0).
+  void ScheduleRetirement(const std::string& manifest_path,
+                          const std::string& ckpt_prefix);
+
+  void BumpQuery();
+  void BumpReplay();
+  void BumpRecord();
+
+  /// True while any record session is executing (guards the synchronous
+  /// maintenance entry points).
+  bool AnyRecordActive() const;
+
+  Env* env_;
+  ConnectionOptions options_;
+
+  /// Declared before gc_queue_ so queued GC jobs (which only read/write
+  /// through env_->fs()) are drained before the spooler goes away.
+  std::unique_ptr<SpoolQueue> spool_;
+  BackgroundQueue gc_queue_;
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_freed_;
+  int active_records_ = 0;
+  ConnectionStats stats_;
+};
+
+/// Per-call record knobs — the workload-shaped layer (cost models,
+/// adaptive controller); everything store/tier/GC-shaped is connection
+/// state.
+struct SessionRecordOptions {
+  /// Workload name stored in the manifest (informational).
+  std::string workload;
+  MaterializerOptions materializer;
+  AdaptiveOptions adaptive;
+  /// Nominal (paper-scale) raw bytes per checkpoint for the simulated
+  /// cost model; 0 = actual snapshot sizes.
+  uint64_t nominal_checkpoint_bytes = 0;
+  /// Optional vanilla runtime of the same program (manifest field).
+  double vanilla_runtime_seconds = 0;
+};
+
+/// Per-call replay knobs: engine choice, worker count, scratch dir. The
+/// tier configuration (bucket + bloom) always comes from the connection.
+struct SessionReplayOptions {
+  ReplayEngine engine = ReplayEngine::kSimulated;
+  /// Log partitions (the paper's G); one worker per partition.
+  int workers = 1;
+  /// Thread-engine pool size; 0 = one thread per worker.
+  int num_threads = 0;
+  InitMode init_mode = InitMode::kStrong;
+  /// Non-empty selects iteration-sampling replay on a single worker.
+  std::vector<int64_t> sample_epochs;
+  /// Restore-cost model (charged under simulated clocks only).
+  MaterializerCosts costs;
+  /// Process-engine result-file directory; empty = fresh mkdtemp scratch.
+  std::string scratch_dir;
+  /// Simulated-engine billing shape: workers fill machines of this
+  /// instance type, `workers` must be a multiple of instance.gpus so the
+  /// partition count stays exactly `workers`.
+  sim::Ec2Instance instance = sim::kP3_2xLarge;
+};
+
+/// Engine-agnostic replay outcome (merged logs are byte-identical across
+/// all three engines) plus the per-engine extras that survive the
+/// dispatch.
+struct SessionReplayResult : MergedClusterReplay {
+  ReplayEngine engine = ReplayEngine::kSimulated;
+  /// Measured wall time (thread/process engines; 0 under the simulated
+  /// engine, whose latency_seconds is modeled).
+  double wall_seconds = 0;
+  /// Simulated-cluster billing (simulated engine only).
+  double total_cost_dollars = 0;
+};
+
+/// A tenant-scoped handle. Cheap to create and destroy; NOT thread-safe —
+/// like a WiredTiger session, open one per thread and share the
+/// Connection instead.
+class Session {
+ public:
+  const std::string& tenant() const { return tenant_; }
+  Connection* connection() const { return conn_; }
+
+  /// "<root>/<tenant>/<run>" after validating `run` as a path segment.
+  Result<std::string> RunPrefix(const std::string& run) const;
+
+  /// Records one program execution as run `run` under this tenant,
+  /// spooling through the connection's shared queue and subject to its
+  /// admission gate. Retirement (ConnectionOptions::gc) is scheduled on
+  /// the connection's background worker after the artifacts are durable —
+  /// the session never blocks on GC.
+  Result<RecordResult> Record(const std::string& run,
+                              const ProgramFactory& factory,
+                              const SessionRecordOptions& options =
+                                  SessionRecordOptions());
+
+  /// Replays run `run` on the chosen engine. `factory` rebuilds the
+  /// *current* (possibly probed) program per worker.
+  Result<SessionReplayResult> Replay(const std::string& run,
+                                     const ProgramFactory& factory,
+                                     const SessionReplayOptions& options =
+                                         SessionReplayOptions());
+
+  /// This tenant's recorded runs (never another tenant's: the scan is
+  /// prefix-scoped to TenantRoot).
+  Result<std::vector<RunInfo>> Query() const;
+
+  /// This tenant's runs whose record logs satisfy `predicate`.
+  Result<std::vector<RunInfo>> Query(const RunPredicate& predicate) const;
+
+  /// Numeric series of `label` from a run's record logs.
+  Result<std::vector<double>> MetricSeries(const std::string& run,
+                                           const std::string& label) const;
+
+  /// Whether `key` is readable through any tier of `run`'s store — the
+  /// connection's tier configuration applies (bucket fall-through, bloom
+  /// fast path). NotFound when the run itself does not exist.
+  Result<bool> Exists(const std::string& run,
+                      const CheckpointKey& key) const;
+
+ private:
+  friend class Connection;
+
+  Session(Connection* conn, std::string tenant);
+
+  /// Opens the run's store the same way replay does: manifest-first, then
+  /// CheckpointStore::Open with the connection tier.
+  Result<std::unique_ptr<CheckpointStore>> OpenRunStore(
+      const std::string& run, Manifest* manifest_out) const;
+
+  Connection* conn_;
+  std::string tenant_;
+};
+
+/// Validates a tenant or run name as a single safe path segment:
+/// non-empty, [A-Za-z0-9._-] only, not "." or "..". Exposed for tests.
+Status ValidateNamespaceSegment(const std::string& name,
+                                const char* what);
+
+}  // namespace flor
+
+#endif  // FLOR_SERVICE_SERVICE_H_

@@ -1,0 +1,199 @@
+#include "service/service.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "exec/process_executor.h"
+#include "exec/replay_executor.h"
+#include "flor/skipblock.h"
+#include "sim/parallel_replay.h"
+
+namespace flor {
+
+namespace {
+
+/// A record/replay run on a connection whose env clock is simulated gets
+/// its own fresh SimClock — every run starts at t=0 regardless of what
+/// other sessions did, which is exactly the per-worker-env discipline
+/// sim::ClusterReplay uses, and what keeps service-path results
+/// byte-identical to the one-shot entry points. Wall-clock connections
+/// keep the shared clock (wall clocks are stateless).
+struct RunEnv {
+  explicit RunEnv(Env* conn_env) {
+    if (conn_env->clock()->is_simulated()) {
+      owned = std::make_unique<Env>(std::make_unique<SimClock>(),
+                                    conn_env->fs());
+      env = owned.get();
+    } else {
+      env = conn_env;
+    }
+  }
+  std::unique_ptr<Env> owned;
+  Env* env = nullptr;
+};
+
+}  // namespace
+
+Session::Session(Connection* conn, std::string tenant)
+    : conn_(conn), tenant_(std::move(tenant)) {}
+
+Result<std::string> Session::RunPrefix(const std::string& run) const {
+  FLOR_RETURN_IF_ERROR(ValidateNamespaceSegment(run, "run"));
+  return JoinObjectPath(conn_->TenantRoot(tenant_), run);
+}
+
+Result<RecordResult> Session::Record(const std::string& run,
+                                     const ProgramFactory& factory,
+                                     const SessionRecordOptions& options) {
+  FLOR_ASSIGN_OR_RETURN(const std::string prefix, RunPrefix(run));
+  const ConnectionOptions& copts = conn_->options();
+
+  RecordOptions ropts;
+  ropts.run_prefix = prefix;
+  ropts.workload = options.workload;
+  ropts.ckpt_shards = copts.ckpt_shards;
+  ropts.materializer = options.materializer;
+  ropts.adaptive = options.adaptive;
+  ropts.nominal_checkpoint_bytes = options.nominal_checkpoint_bytes;
+  ropts.vanilla_runtime_seconds = options.vanilla_runtime_seconds;
+  // The connection owns the spool mirror and retirement: sessions spool
+  // through the shared queue and never run GC inline — the background
+  // worker retires after the run's artifacts are durable.
+  ropts.spool_prefix = copts.tier.bucket_prefix;
+  ropts.shared_spool = conn_->shared_spool();
+  ropts.gc = GcPolicy();
+
+  conn_->AcquireRecordSlot();
+  Result<RecordResult> result = [&]() -> Result<RecordResult> {
+    RunEnv run_env(conn_->env());
+    FLOR_ASSIGN_OR_RETURN(ProgramInstance instance, factory());
+    RecordSession session(run_env.env, std::move(ropts));
+    exec::Frame frame;
+    return session.Run(instance.program.get(), &frame);
+  }();
+  conn_->ReleaseRecordSlot();
+  if (!result.ok()) return result;
+
+  conn_->BumpRecord();
+  const RunPaths paths(prefix);
+  conn_->ScheduleRetirement(paths.Manifest(), paths.CkptPrefix());
+  return result;
+}
+
+Result<SessionReplayResult> Session::Replay(
+    const std::string& run, const ProgramFactory& factory,
+    const SessionReplayOptions& options) {
+  FLOR_ASSIGN_OR_RETURN(const std::string prefix, RunPrefix(run));
+  if (options.workers < 1) {
+    return Status::InvalidArgument(
+        StrCat("replay workers must be >= 1, got ", options.workers));
+  }
+  const TierOptions& tier = conn_->options().tier;
+
+  SessionReplayResult out;
+  out.engine = options.engine;
+  switch (options.engine) {
+    case ReplayEngine::kSimulated: {
+      if (options.instance.gpus < 1 ||
+          options.workers % options.instance.gpus != 0) {
+        return Status::InvalidArgument(
+            StrCat("simulated replay: workers (", options.workers,
+                   ") must be a positive multiple of instance gpus (",
+                   options.instance.gpus, ")"));
+      }
+      sim::ClusterReplayOptions eopts;
+      static_cast<TierOptions&>(eopts) = tier;
+      eopts.run_prefix = prefix;
+      eopts.cluster.instance = options.instance;
+      eopts.cluster.num_machines = options.workers / options.instance.gpus;
+      eopts.init_mode = options.init_mode;
+      eopts.costs = options.costs;
+      eopts.sample_epochs = options.sample_epochs;
+      FLOR_ASSIGN_OR_RETURN(
+          sim::ClusterReplayResult r,
+          sim::ClusterReplay(factory, conn_->env()->fs(), eopts));
+      out.total_cost_dollars = r.total_cost_dollars;
+      static_cast<MergedClusterReplay&>(out) = std::move(r);
+      break;
+    }
+    case ReplayEngine::kThreads: {
+      exec::ReplayExecutorOptions eopts;
+      static_cast<TierOptions&>(eopts) = tier;
+      eopts.run_prefix = prefix;
+      eopts.num_partitions = options.workers;
+      eopts.num_threads =
+          options.num_threads > 0 ? options.num_threads : options.workers;
+      eopts.init_mode = options.init_mode;
+      eopts.costs = options.costs;
+      eopts.sample_epochs = options.sample_epochs;
+      exec::ReplayExecutor executor(conn_->env()->fs(), std::move(eopts));
+      FLOR_ASSIGN_OR_RETURN(exec::ReplayExecutorResult r,
+                            executor.Run(factory));
+      out.wall_seconds = r.wall_seconds;
+      static_cast<MergedClusterReplay&>(out) = std::move(r);
+      break;
+    }
+    case ReplayEngine::kProcesses: {
+      exec::ProcessReplayExecutorOptions eopts;
+      static_cast<TierOptions&>(eopts) = tier;
+      eopts.run_prefix = prefix;
+      eopts.num_partitions = options.workers;
+      eopts.init_mode = options.init_mode;
+      eopts.costs = options.costs;
+      eopts.sample_epochs = options.sample_epochs;
+      eopts.scratch_dir = options.scratch_dir;
+      exec::ProcessReplayExecutor executor(conn_->env()->fs(),
+                                           std::move(eopts));
+      FLOR_ASSIGN_OR_RETURN(exec::ProcessReplayExecutorResult r,
+                            executor.Run(factory));
+      out.wall_seconds = r.wall_seconds;
+      static_cast<MergedClusterReplay&>(out) = std::move(r);
+      break;
+    }
+  }
+  conn_->BumpReplay();
+  return out;
+}
+
+Result<std::vector<RunInfo>> Session::Query() const {
+  conn_->BumpQuery();
+  return ListRuns(conn_->env()->fs(), conn_->TenantRoot(tenant_));
+}
+
+Result<std::vector<RunInfo>> Session::Query(
+    const RunPredicate& predicate) const {
+  conn_->BumpQuery();
+  return FindRuns(conn_->env()->fs(), conn_->TenantRoot(tenant_),
+                  predicate);
+}
+
+Result<std::vector<double>> Session::MetricSeries(
+    const std::string& run, const std::string& label) const {
+  FLOR_ASSIGN_OR_RETURN(const std::string prefix, RunPrefix(run));
+  conn_->BumpQuery();
+  return flor::MetricSeries(conn_->env()->fs(), prefix, label);
+}
+
+Result<std::unique_ptr<CheckpointStore>> Session::OpenRunStore(
+    const std::string& run, Manifest* manifest_out) const {
+  FLOR_ASSIGN_OR_RETURN(const std::string prefix, RunPrefix(run));
+  const RunPaths paths(prefix);
+  FLOR_ASSIGN_OR_RETURN(std::string manifest_bytes,
+                        conn_->env()->fs()->ReadFile(paths.Manifest()));
+  FLOR_ASSIGN_OR_RETURN(Manifest manifest,
+                        Manifest::Deserialize(manifest_bytes));
+  auto store = CheckpointStore::Open(conn_->env()->fs(), paths.CkptPrefix(),
+                                     conn_->options().tier, &manifest);
+  if (manifest_out != nullptr) *manifest_out = std::move(manifest);
+  return store;
+}
+
+Result<bool> Session::Exists(const std::string& run,
+                             const CheckpointKey& key) const {
+  conn_->BumpQuery();
+  FLOR_ASSIGN_OR_RETURN(std::unique_ptr<CheckpointStore> store,
+                        OpenRunStore(run, nullptr));
+  return store->Exists(key);
+}
+
+}  // namespace flor

@@ -16,8 +16,7 @@ Result<ClusterReplayResult> ClusterReplay(const ProgramFactory& factory,
   plan.init_mode = options.init_mode;
   plan.costs = options.costs;
   plan.sample_epochs = options.sample_epochs;
-  plan.bucket_prefix = options.bucket_prefix;
-  plan.bucket_rehydrate = options.bucket_rehydrate;
+  static_cast<TierOptions&>(plan) = options;  // bucket + bloom, one slice
 
   FLOR_ASSIGN_OR_RETURN(const int active,
                         PlanActiveWorkers(factory, shared_fs, plan));

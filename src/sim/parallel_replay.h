@@ -30,19 +30,16 @@
 namespace flor {
 namespace sim {
 
-/// Engine configuration.
-struct ClusterReplayOptions {
+/// Engine configuration. The read-tier fields (bucket fall-through, bloom
+/// filters) come from the shared TierOptions base (checkpoint/store.h) and
+/// are sliced into the cluster plan, so every worker's store sees them.
+struct ClusterReplayOptions : TierOptions {
   std::string run_prefix = "run";
   Cluster cluster;
   InitMode init_mode = InitMode::kStrong;
   MaterializerCosts costs;
   /// Optional iteration sampling (single worker) instead of partitioning.
   std::vector<int64_t> sample_epochs;
-  /// Bucket tier of the run's checkpoint store (spool mirror prefix):
-  /// restores missing locally fall through to the bucket.
-  std::string bucket_prefix;
-  /// Write bucket fault-ins back to the local shard.
-  bool bucket_rehydrate = true;
 };
 
 /// Aggregate outcome of a cluster replay: the engine-agnostic merge

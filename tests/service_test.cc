@@ -1,0 +1,537 @@
+// Connection/Session service front-end: tenant-namespace isolation through
+// every tier (local shards, bucket fall-through, bloom fast path),
+// byte-identity of the service path against the one-shot entry points on
+// all three replay engines, admission control over concurrent recorders,
+// concurrent sessions racing the background GC worker, shared-spool delta
+// accounting, namespace validation, the options-dedup static guards, and
+// the pinned process-worker wire format. Runs under the `service` ctest
+// label (including the FLOR_TSAN pass in check.sh).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "checkpoint/gc.h"
+#include "common/strings.h"
+#include "env/filesystem.h"
+#include "exec/process_executor.h"
+#include "exec/replay_executor.h"
+#include "flor/record.h"
+#include "flor/replay_plan.h"
+#include "service/service.h"
+#include "sim/parallel_replay.h"
+#include "test_util.h"
+#include "workloads/programs.h"
+
+namespace flor {
+namespace {
+
+using workloads::kProbeInner;
+using workloads::kProbeNone;
+using workloads::MakeWorkloadFactory;
+using workloads::WorkloadProfile;
+
+// --- Options-dedup guards: every replay entry point and the service share
+// --- the one TierOptions aggregate (satellite of the connection/session
+// --- redesign). A new tier knob added to TierOptions flows to all of them
+// --- or none.
+static_assert(std::is_base_of_v<TierOptions, ReplayOptions>,
+              "ReplayOptions must inherit the shared TierOptions");
+static_assert(std::is_base_of_v<TierOptions, ClusterPlanOptions>,
+              "ClusterPlanOptions must inherit the shared TierOptions");
+static_assert(std::is_base_of_v<TierOptions, sim::ClusterReplayOptions>,
+              "ClusterReplayOptions must inherit the shared TierOptions");
+static_assert(std::is_base_of_v<TierOptions, exec::ReplayExecutorOptions>,
+              "ReplayExecutorOptions must inherit the shared TierOptions");
+static_assert(
+    std::is_base_of_v<TierOptions, exec::ProcessReplayExecutorOptions>,
+    "ProcessReplayExecutorOptions must inherit the shared TierOptions");
+
+/// Densely checkpointed sim workload (the tiered-test shape) so GC and
+/// partitioned replay have a long epoch timeline.
+WorkloadProfile ServiceProfile(int64_t epochs = 12, int shards = 4) {
+  WorkloadProfile p;
+  p.name = "SvcT";
+  p.epochs = epochs;
+  p.sim_epoch_seconds = 100;
+  p.sim_outer_seconds = 2;
+  p.sim_preamble_seconds = 5;
+  p.sim_ckpt_raw_bytes = 1 << 20;
+  p.ckpt_shards = shards;
+  p.task_kind = data::Task::kVision;
+  p.real_samples = 32;
+  p.real_batch = 8;
+  p.real_feature_dim = 12;
+  p.real_classes = 3;
+  p.real_hidden = 12;
+  p.seed = testutil::TestSeed(47);
+  return p;
+}
+
+/// The per-call slice of a one-shot RecordOptions — what a service caller
+/// passes per Record (the store/tier/GC layer lives on the Connection).
+SessionRecordOptions SessionRecordFrom(const RecordOptions& o) {
+  SessionRecordOptions s;
+  s.workload = o.workload;
+  s.materializer = o.materializer;
+  s.adaptive = o.adaptive;
+  s.nominal_checkpoint_bytes = o.nominal_checkpoint_bytes;
+  s.vanilla_runtime_seconds = o.vanilla_runtime_seconds;
+  return s;
+}
+
+/// Full byte image of everything under `prefix`.
+std::map<std::string, std::string> SnapshotPrefix(const FileSystem& fs,
+                                                  const std::string& prefix) {
+  std::map<std::string, std::string> out;
+  for (const auto& path : fs.ListPrefix(prefix)) {
+    auto data = fs.ReadFile(path);
+    EXPECT_TRUE(data.ok()) << path;
+    if (data.ok()) out[path] = *data;
+  }
+  return out;
+}
+
+ConnectionOptions TieredConnectionOptions(const WorkloadProfile& profile) {
+  ConnectionOptions copts;
+  copts.root = "svc";
+  copts.ckpt_shards = profile.ckpt_shards;
+  copts.tier.bucket_prefix = "s3";
+  return copts;
+}
+
+TEST(ServiceTest, SessionPathByteIdenticalToOneShotEntryPoints) {
+  const WorkloadProfile profile = ServiceProfile();
+  const std::string prefix = "svc/alice/r1";
+
+  // Service path: record + three-engine replay through one Connection.
+  MemFileSystem fs_svc;
+  Env env_svc = testutil::MakeSimEnv(&fs_svc);
+  auto conn = Connection::Open(&env_svc, TieredConnectionOptions(profile));
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  auto session = (*conn)->OpenSession("alice");
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  const RecordOptions ropts = workloads::DefaultRecordOptions(profile, "");
+  auto rec = (*session)->Record("r1", MakeWorkloadFactory(profile, kProbeNone),
+                                SessionRecordFrom(ropts));
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  (*conn)->DrainBackground();
+
+  // One-shot path: same run prefix, same spool mirror, private spooler.
+  MemFileSystem fs_direct;
+  Env env_direct = testutil::MakeSimEnv(&fs_direct);
+  RecordOptions direct_opts = workloads::DefaultRecordOptions(profile, prefix);
+  direct_opts.spool_prefix = "s3";
+  {
+    auto instance = MakeWorkloadFactory(profile, kProbeNone)();
+    ASSERT_TRUE(instance.ok());
+    RecordSession one_shot(&env_direct, direct_opts);
+    exec::Frame frame;
+    auto direct_rec = one_shot.Run(instance->program.get(), &frame);
+    ASSERT_TRUE(direct_rec.ok()) << direct_rec.status().ToString();
+    EXPECT_EQ(rec->manifest.records.size(),
+              direct_rec->manifest.records.size());
+  }
+
+  // Record artifacts and the bucket mirror are byte-identical between the
+  // service path (shared spool, connection-owned store) and the one-shot
+  // path (private spool, session-owned store).
+  EXPECT_EQ(SnapshotPrefix(fs_svc, "svc"), SnapshotPrefix(fs_direct, "svc"));
+  EXPECT_EQ(SnapshotPrefix(fs_svc, "s3"), SnapshotPrefix(fs_direct, "s3"));
+
+  // Replay through the session on all three engines; all merged logs must
+  // be byte-identical to a direct sim::ClusterReplay of the one-shot run.
+  const ProgramFactory probed = MakeWorkloadFactory(profile, kProbeInner);
+  sim::ClusterReplayOptions sim_opts;
+  sim_opts.run_prefix = prefix;
+  sim_opts.cluster.instance = sim::kP3_2xLarge;
+  sim_opts.cluster.num_machines = 2;
+  sim_opts.bucket_prefix = "s3";
+  auto direct_replay = sim::ClusterReplay(probed, &fs_direct, sim_opts);
+  ASSERT_TRUE(direct_replay.ok()) << direct_replay.status().ToString();
+  ASSERT_TRUE(direct_replay->deferred.ok);
+  const std::string golden_logs = direct_replay->merged_logs.Serialize();
+
+  for (ReplayEngine engine :
+       {ReplayEngine::kSimulated, ReplayEngine::kThreads,
+        ReplayEngine::kProcesses}) {
+    SessionReplayOptions sopts;
+    sopts.engine = engine;
+    sopts.workers = 2;
+    auto replay = (*session)->Replay("r1", probed, sopts);
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    EXPECT_TRUE(replay->deferred.ok);
+    EXPECT_EQ(replay->merged_logs.Serialize(), golden_logs)
+        << "engine " << static_cast<int>(engine);
+    EXPECT_EQ(replay->workers_used, 2) << static_cast<int>(engine);
+  }
+
+  const ConnectionStats stats = (*conn)->stats();
+  EXPECT_EQ(stats.sessions_opened, 1);
+  EXPECT_EQ(stats.records_completed, 1);
+  EXPECT_EQ(stats.replays_completed, 3);
+}
+
+TEST(ServiceTest, TenantsAreInvisibleToEachOtherThroughEveryTier) {
+  // Bloom filters ON: Exists takes the bloom fast path; demotion below
+  // forces the bucket fall-through path too.
+  const WorkloadProfile long_profile = ServiceProfile(/*epochs=*/12);
+  WorkloadProfile short_profile = ServiceProfile(/*epochs=*/6);
+
+  MemFileSystem fs;
+  Env env = testutil::MakeSimEnv(&fs);
+  ConnectionOptions copts = TieredConnectionOptions(long_profile);
+  copts.tier.bloom_filter = true;
+  copts.gc.keep_last_k = 1;  // background demotion after each record
+  auto conn = Connection::Open(&env, copts);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+
+  auto alice = (*conn)->OpenSession("alice");
+  auto bob = (*conn)->OpenSession("bob");
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(bob.ok());
+
+  auto alice_rec =
+      (*alice)->Record("exp", MakeWorkloadFactory(long_profile, kProbeNone),
+                       SessionRecordFrom(workloads::DefaultRecordOptions(
+                           long_profile, "")));
+  ASSERT_TRUE(alice_rec.ok()) << alice_rec.status().ToString();
+  auto bob_rec =
+      (*bob)->Record("exp", MakeWorkloadFactory(short_profile, kProbeNone),
+                     SessionRecordFrom(workloads::DefaultRecordOptions(
+                         short_profile, "")));
+  ASSERT_TRUE(bob_rec.ok()) << bob_rec.status().ToString();
+  (*conn)->DrainBackground();  // demotion done: locals pruned to K=1
+
+  // Query surface: each tenant lists exactly its own run, under its own
+  // prefix.
+  auto alice_runs = (*alice)->Query();
+  auto bob_runs = (*bob)->Query();
+  ASSERT_TRUE(alice_runs.ok());
+  ASSERT_TRUE(bob_runs.ok());
+  ASSERT_EQ(alice_runs->size(), 1u);
+  ASSERT_EQ(bob_runs->size(), 1u);
+  EXPECT_EQ((*alice_runs)[0].prefix, "svc/alice/exp");
+  EXPECT_EQ((*bob_runs)[0].prefix, "svc/bob/exp");
+
+  // Alice recorded more epochs than bob: her newest checkpoint key does
+  // not exist in bob's run of the same name. After demotion the alice
+  // probe is served through the bucket fall-through; the bob probe is a
+  // bloom-fast-path definite miss (or a counted false positive that still
+  // probes and misses) — never a hit on alice's object.
+  ASSERT_FALSE(alice_rec->manifest.records.empty());
+  const CheckpointKey alice_key = alice_rec->manifest.records.back().key;
+  auto alice_sees = (*alice)->Exists("exp", alice_key);
+  ASSERT_TRUE(alice_sees.ok()) << alice_sees.status().ToString();
+  EXPECT_TRUE(*alice_sees);
+  auto bob_sees = (*bob)->Exists("exp", alice_key);
+  ASSERT_TRUE(bob_sees.ok()) << bob_sees.status().ToString();
+  EXPECT_FALSE(*bob_sees);
+
+  // A run bob never recorded is NotFound for him even though alice has it
+  // — and he cannot reach hers by name escape.
+  EXPECT_FALSE((*bob)->MetricSeries("other", "loss").ok());
+  auto escape = (*bob)->Exists("../alice", alice_key);
+  EXPECT_FALSE(escape.ok());
+  EXPECT_TRUE(escape.status().code() == StatusCode::kInvalidArgument)
+      << escape.status().ToString();
+}
+
+TEST(ServiceTest, AdmissionControlBoundsConcurrentRecorders) {
+  // Wall-clock connection: two recorder threads, one admission slot. The
+  // second thread starts only once the first is observably inside its
+  // record, so it must wait on the gate.
+  WorkloadProfile profile = ServiceProfile(/*epochs=*/4);
+  profile.wall_batch_seconds = 0.01;
+
+  MemFileSystem fs;
+  Env env(std::make_unique<WallClock>(), &fs);
+  ConnectionOptions copts = TieredConnectionOptions(profile);
+  copts.max_concurrent_records = 1;
+  auto conn = Connection::Open(&env, copts);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+
+  const SessionRecordOptions sropts =
+      SessionRecordFrom(workloads::DefaultRecordOptions(profile, ""));
+  auto record_one = [&](const std::string& tenant) {
+    auto session = (*conn)->OpenSession(tenant);
+    ASSERT_TRUE(session.ok());
+    auto rec = (*session)->Record("r", MakeWorkloadFactory(profile, kProbeNone),
+                                  sropts);
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  };
+
+  std::thread first([&] { record_one("t0"); });
+  while ((*conn)->stats().active_records < 1) std::this_thread::yield();
+  std::thread second([&] { record_one("t1"); });
+  first.join();
+  second.join();
+  (*conn)->DrainBackground();
+
+  const ConnectionStats stats = (*conn)->stats();
+  EXPECT_EQ(stats.records_completed, 2);
+  EXPECT_EQ(stats.max_observed_records, 1);
+  EXPECT_GE(stats.admission_waits, 1);
+  EXPECT_EQ(stats.active_records, 0);
+}
+
+TEST(ServiceTest, ConcurrentSessionsRaceBackgroundGc) {
+  // Three tenant threads record, query, and replay through one connection
+  // while its background worker demotes each finished run to the bucket
+  // tier (keep-last-1). Demotion keeps manifests intact, so every replay
+  // — racing GC or after it — must produce the same merged logs.
+  const WorkloadProfile profile = ServiceProfile();
+
+  MemFileSystem fs;
+  Env env = testutil::MakeSimEnv(&fs);
+  ConnectionOptions copts = TieredConnectionOptions(profile);
+  copts.tier.bloom_filter = true;
+  copts.gc.keep_last_k = 1;
+  auto conn = Connection::Open(&env, copts);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+
+  const SessionRecordOptions sropts =
+      SessionRecordFrom(workloads::DefaultRecordOptions(profile, ""));
+  const ProgramFactory record_factory =
+      MakeWorkloadFactory(profile, kProbeNone);
+  const ProgramFactory probed = MakeWorkloadFactory(profile, kProbeInner);
+
+  constexpr int kTenants = 3;
+  std::vector<std::string> merged(kTenants);
+  std::vector<std::thread> threads;
+  threads.reserve(kTenants);
+  for (int t = 0; t < kTenants; ++t) {
+    threads.emplace_back([&, t] {
+      auto session = (*conn)->OpenSession(StrCat("tenant", t));
+      ASSERT_TRUE(session.ok());
+      auto rec = (*session)->Record("run", record_factory, sropts);
+      ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+      // Race the query surface and a threaded replay against the
+      // background demotion of this run (and the other tenants' work).
+      for (int i = 0; i < 3; ++i) {
+        auto runs = (*session)->Query();
+        ASSERT_TRUE(runs.ok());
+        EXPECT_EQ(runs->size(), 1u);
+        auto exists =
+            (*session)->Exists("run", rec->manifest.records.front().key);
+        ASSERT_TRUE(exists.ok()) << exists.status().ToString();
+        EXPECT_TRUE(*exists);  // demoted at worst — bucket keeps it live
+      }
+      SessionReplayOptions sopts;
+      sopts.engine = ReplayEngine::kThreads;
+      sopts.workers = 2;
+      auto replay = (*session)->Replay("run", probed, sopts);
+      ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+      EXPECT_TRUE(replay->deferred.ok);
+      merged[static_cast<size_t>(t)] = replay->merged_logs.Serialize();
+    });
+  }
+  for (auto& th : threads) th.join();
+  (*conn)->DrainBackground();
+
+  // Identical workloads => identical merged logs per tenant, racing GC or
+  // not; and a quiescent post-GC replay agrees too.
+  for (int t = 1; t < kTenants; ++t) EXPECT_EQ(merged[0], merged[t]);
+  auto session = (*conn)->OpenSession("tenant0");
+  ASSERT_TRUE(session.ok());
+  SessionReplayOptions sopts;
+  sopts.engine = ReplayEngine::kSimulated;
+  sopts.workers = 2;
+  auto after_gc = (*session)->Replay("run", probed, sopts);
+  ASSERT_TRUE(after_gc.ok()) << after_gc.status().ToString();
+  EXPECT_EQ(after_gc->merged_logs.Serialize(), merged[0]);
+
+  const ConnectionStats stats = (*conn)->stats();
+  EXPECT_EQ(stats.records_completed, kTenants);
+  EXPECT_EQ(stats.gc_passes, kTenants);
+  EXPECT_EQ(stats.gc_failures, 0) << stats.last_gc_error;
+}
+
+TEST(ServiceTest, SharedSpoolReportsPerSessionDeltas) {
+  const WorkloadProfile profile = ServiceProfile(/*epochs=*/6);
+  MemFileSystem fs;
+  Env env = testutil::MakeSimEnv(&fs);
+  auto conn = Connection::Open(&env, TieredConnectionOptions(profile));
+  ASSERT_TRUE(conn.ok());
+  auto session = (*conn)->OpenSession("alice");
+  ASSERT_TRUE(session.ok());
+
+  const SessionRecordOptions sropts =
+      SessionRecordFrom(workloads::DefaultRecordOptions(profile, ""));
+  const ProgramFactory factory = MakeWorkloadFactory(profile, kProbeNone);
+  auto rec1 = (*session)->Record("r1", factory, sropts);
+  ASSERT_TRUE(rec1.ok()) << rec1.status().ToString();
+  auto rec2 = (*session)->Record("r2", factory, sropts);
+  ASSERT_TRUE(rec2.ok()) << rec2.status().ToString();
+
+  // Each session's report covers its own run, not the queue's cumulative
+  // totals; the shared queue's lifetime totals are the sum.
+  EXPECT_EQ(rec1->spool_report.objects,
+            static_cast<int64_t>(rec1->manifest.records.size()));
+  EXPECT_EQ(rec2->spool_report.objects,
+            static_cast<int64_t>(rec2->manifest.records.size()));
+  EXPECT_EQ((*conn)->shared_spool()->TotalReport().objects,
+            rec1->spool_report.objects + rec2->spool_report.objects);
+}
+
+TEST(ServiceTest, NamespaceValidationRejectsEscapes) {
+  MemFileSystem fs;
+  Env env = testutil::MakeSimEnv(&fs);
+  auto conn = Connection::Open(&env, ConnectionOptions());
+  ASSERT_TRUE(conn.ok());
+
+  for (const char* bad : {"", ".", "..", "a/b", "a\\b", "a b", "/abs"}) {
+    auto s = (*conn)->OpenSession(bad);
+    EXPECT_FALSE(s.ok()) << "tenant '" << bad << "'";
+    EXPECT_TRUE(s.status().code() == StatusCode::kInvalidArgument) << s.status().ToString();
+  }
+  auto session = (*conn)->OpenSession("ok-1.2_b");
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  for (const char* bad : {"", "..", "x/y", "../peer"}) {
+    auto p = (*session)->RunPrefix(bad);
+    EXPECT_FALSE(p.ok()) << "run '" << bad << "'";
+  }
+  auto p = (*session)->RunPrefix("run-1");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p, "flor/ok-1.2_b/run-1");
+}
+
+TEST(ServiceTest, ConnectionValidatesOptions) {
+  MemFileSystem fs;
+  Env env = testutil::MakeSimEnv(&fs);
+
+  ConnectionOptions bad_shards;
+  bad_shards.ckpt_shards = 0;
+  EXPECT_FALSE(Connection::Open(&env, bad_shards).ok());
+
+  ConnectionOptions bad_root;
+  bad_root.root = "";
+  EXPECT_FALSE(Connection::Open(&env, bad_root).ok());
+
+  ConnectionOptions colliding;
+  colliding.root = "svc";
+  colliding.tier.bucket_prefix = "svc";
+  EXPECT_FALSE(Connection::Open(&env, colliding).ok());
+
+  ConnectionOptions negative_admission;
+  negative_admission.max_concurrent_records = -1;
+  EXPECT_FALSE(Connection::Open(&env, negative_admission).ok());
+}
+
+TEST(ServiceTest, MaintenanceRequiresQuiescence) {
+  const WorkloadProfile profile = ServiceProfile(/*epochs=*/6);
+  MemFileSystem fs;
+  Env env = testutil::MakeSimEnv(&fs);
+  auto conn = Connection::Open(&env, TieredConnectionOptions(profile));
+  ASSERT_TRUE(conn.ok());
+  auto session = (*conn)->OpenSession("alice");
+  ASSERT_TRUE(session.ok());
+  auto rec = (*session)->Record(
+      "r1", MakeWorkloadFactory(profile, kProbeNone),
+      SessionRecordFrom(workloads::DefaultRecordOptions(profile, "")));
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  (*conn)->DrainBackground();
+
+  BucketGcPolicy policy;
+  policy.keep_last_k = 1;
+  auto bucket_gc = (*conn)->RetireBucket("alice", "r1", policy);
+  ASSERT_TRUE(bucket_gc.ok()) << bucket_gc.status().ToString();
+  auto sweep = (*conn)->Reconcile("alice", "r1");
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+}
+
+// --- Naming-drift satellite: the deprecated one-PR alias still compiles
+// --- and refers to the canonical type.
+TEST(ServiceTest, DeprecatedProcessReplayOptionsAliasCompiles) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  exec::ProcessReplayOptions legacy;
+  static_assert(
+      std::is_same_v<exec::ProcessReplayOptions,
+                     exec::ProcessReplayExecutorOptions>,
+      "alias must refer to the canonical options type");
+#pragma GCC diagnostic pop
+  legacy.num_partitions = 3;
+  exec::ProcessReplayExecutorOptions& canonical = legacy;
+  EXPECT_EQ(canonical.num_partitions, 3);
+}
+
+// --- Wire-format guard: the options dedup (TierOptions bases) must not
+// --- move a byte of the process-worker result encoding. Golden captured
+// --- from the pre-refactor encoder; a change here is a wire break for
+// --- mixed-version parent/child fleets.
+TEST(ServiceTest, WorkerResultWireFormatIsPinned) {
+  ReplayResult r;
+  r.runtime_seconds = 1.5;
+  r.restore_seconds = 0.25;
+  r.observed_c = 0.625;
+  r.effective_init = InitMode::kWeak;
+  r.partition_segments = 8;
+  r.active_workers = 4;
+  r.work_begin = 2;
+  r.work_end = 4;
+  r.skipblocks.executed = 3;
+  r.skipblocks.skipped = 5;
+  r.skipblocks.restores = 2;
+  r.skipblocks.materialized = 1;
+  r.bucket_faults = 7;
+  r.bloom_skipped_probes = 9;
+  r.probes.preamble_probed = true;
+  r.probes.probed_loops = {2, 5};
+  r.probes.probe_stmt_uids = {11, 13};
+  exec::LogEntry e1;
+  e1.stmt_uid = 11;
+  e1.context = "e=2/i=0";
+  e1.init_mode = false;
+  e1.label = "loss";
+  e1.text = "0.125";
+  r.logs.Append(e1);
+  exec::LogEntry e2;
+  e2.stmt_uid = 13;
+  e2.context = "e=3";
+  e2.init_mode = true;
+  e2.label = "grad_norm";
+  e2.text = "2.5";
+  r.logs.Append(e2);
+  r.probe_entries = {e1};
+
+  const char* kGoldenHex =
+      "8b7fd9a50a666c6f7272657331093539ca4d31870272756e74696d655f7365636f6e"
+      "6473093078312e38702b300a726573746f72655f7365636f6e647309307831702d32"
+      "0a6f627365727665645f63093078312e34702d310a6566666563746976655f696e69"
+      "7409310a706172746974696f6e5f7365676d656e747309380a6163746976655f776f"
+      "726b65727309340a776f726b5f626567696e09320a776f726b5f656e6409340a7362"
+      "5f657865637574656409330a73625f736b697070656409350a73625f726573746f72"
+      "657309320a73625f6d6174657269616c697a656409310a6275636b65745f6661756c"
+      "747309370a626c6f6f6d5f736b69707065645f70726f62657309390a707265616d62"
+      "6c655f70726f62656409310ac6369e332f313109653d322f693d300930096c6f7373"
+      "09302e3132350a313309653d33093109677261645f6e6f726d09322e350a57744858"
+      "18313109653d322f693d300930096c6f737309302e3132350aad4cb6330631310a31"
+      "330a2862fbc804320a350a";
+  std::string golden;
+  for (const char* p = kGoldenHex; p[0] != '\0' && p[1] != '\0'; p += 2) {
+    auto nibble = [](char c) {
+      return c <= '9' ? c - '0' : c - 'a' + 10;
+    };
+    golden.push_back(
+        static_cast<char>((nibble(p[0]) << 4) | nibble(p[1])));
+  }
+
+  EXPECT_EQ(EncodeWorkerResult(r), golden);
+
+  auto decoded = DecodeWorkerResult(golden);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->runtime_seconds, 1.5);
+  EXPECT_EQ(decoded->bucket_faults, 7);
+  EXPECT_EQ(decoded->bloom_skipped_probes, 9);
+  EXPECT_EQ(decoded->logs.Serialize(), r.logs.Serialize());
+}
+
+}  // namespace
+}  // namespace flor
