@@ -114,17 +114,19 @@ if [[ "${FLOR_TSAN:-0}" != "0" ]]; then
   cmake --build "${BUILD_DIR}-tsan" -j "${JOBS}" \
         --target replay_executor_test spool_test bloom_test \
                  process_executor_test crash_consistency_test \
-                 tiered_store_test service_test
+                 tiered_store_test service_test server_test
   # `tsan` labels the suites exercising real threads (thread-pool replay
   # engine, spool/shard batching); `proc` labels the fork-heavy suites
   # (process replay engine, SIGKILL crash harness); `tiered` labels the
   # tiered-store suite racing bucket fault-in against local GC demotion;
   # `service` labels the Connection/Session suite racing concurrent tenant
-  # sessions against the connection's background GC worker. All run
+  # sessions against the connection's background GC worker; `server` labels
+  # the wire-server suite racing socket clients, fuzzed frames, and drain
+  # against the accept/handler threads. All run
   # instrumented: every fork happens from a single-threaded coordinator
   # and the children stay single-threaded, which ThreadSanitizer supports.
   ctest --test-dir "${BUILD_DIR}-tsan" --output-on-failure \
-        --no-tests=error -j "${JOBS}" -L 'tsan|proc|tiered|service'
+        --no-tests=error -j "${JOBS}" -L 'tsan|proc|tiered|service|server'
 fi
 
 echo "== OK =="

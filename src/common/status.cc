@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ReplayAnomaly";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

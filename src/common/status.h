@@ -29,6 +29,7 @@ enum class StatusCode : uint8_t {
   kInternal = 9,
   kReplayAnomaly = 10,  ///< deferred correctness check failed (paper §5.2.2)
   kAborted = 11,
+  kUnavailable = 12,  ///< service is draining/closed; retry elsewhere
 };
 
 /// Returns a stable human-readable name ("OK", "Corruption", ...).
@@ -55,6 +56,7 @@ constexpr bool IsValidStatusCode(int64_t code) {
     case StatusCode::kInternal:
     case StatusCode::kReplayAnomaly:
     case StatusCode::kAborted:
+    case StatusCode::kUnavailable:
       return true;
   }
   return false;
@@ -104,6 +106,9 @@ class Status {
   }
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

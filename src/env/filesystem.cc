@@ -1,6 +1,8 @@
 #include "env/filesystem.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
@@ -193,12 +195,21 @@ Status PosixFileSystem::WriteFile(const std::string& path,
   const std::string tmp = full + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IOError("cannot open for write: " + full);
+    if (!out) {
+      return Status::IOError(StrCat("cannot open for write: ", full, ": ",
+                                    std::strerror(errno)));
+    }
     out.write(data.data(), static_cast<std::streamsize>(data.size()));
-    if (!out) return Status::IOError("short write: " + full);
+    if (!out) {
+      return Status::IOError(
+          StrCat("short write: ", full, ": ", std::strerror(errno)));
+    }
   }
   stdfs::rename(tmp, full, ec);
-  if (ec) return Status::IOError("rename failed: " + full);
+  if (ec) {
+    return Status::IOError(
+        StrCat("rename failed: ", full, ": ", ec.message()));
+  }
   return Status::OK();
 }
 
@@ -208,9 +219,15 @@ Status PosixFileSystem::AppendFile(const std::string& path,
   std::error_code ec;
   stdfs::create_directories(stdfs::path(full).parent_path(), ec);
   std::ofstream out(full, std::ios::binary | std::ios::app);
-  if (!out) return Status::IOError("cannot open for append: " + full);
+  if (!out) {
+    return Status::IOError(StrCat("cannot open for append: ", full, ": ",
+                                  std::strerror(errno)));
+  }
   out.write(data.data(), static_cast<std::streamsize>(data.size()));
-  if (!out) return Status::IOError("short append: " + full);
+  if (!out) {
+    return Status::IOError(
+        StrCat("short append: ", full, ": ", std::strerror(errno)));
+  }
   return Status::OK();
 }
 

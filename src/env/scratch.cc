@@ -1,6 +1,8 @@
 #include "env/scratch.h"
 
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <system_error>
 #include <utility>
@@ -23,8 +25,10 @@ Result<ScratchDir> ScratchDir::Create(const std::string& tag,
   }
   std::string tmpl =
       (std::filesystem::path(base) / (tag + "-XXXXXX")).string();
-  if (::mkdtemp(tmpl.data()) == nullptr)
-    return Status::IOError(StrCat("mkdtemp ", tmpl, " failed"));
+  if (::mkdtemp(tmpl.data()) == nullptr) {
+    return Status::IOError(
+        StrCat("mkdtemp ", tmpl, " failed: ", std::strerror(errno)));
+  }
   return ScratchDir(std::move(tmpl));
 }
 

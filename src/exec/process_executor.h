@@ -109,16 +109,6 @@ struct ProcessReplayExecutorOptions : TierOptions {
   std::function<void(int worker_id, int attempt)> child_before_result_write;
 };
 
-/// Naming scheme: an engine's option/result structs are named after the
-/// engine class — `ReplayExecutor` → `ReplayExecutorOptions`,
-/// `ProcessReplayExecutor` → `ProcessReplayExecutorOptions`. Earlier
-/// changelog entries used the shorthand "ProcessReplayOptions"; this alias
-/// keeps that spelling compiling for one PR and is then removed.
-using ProcessReplayOptions
-    [[deprecated("renamed to ProcessReplayExecutorOptions (engine option "
-                 "structs are named after their engine class)")]] =
-        ProcessReplayExecutorOptions;
-
 /// Outcome of a process-level replay: the engine-agnostic merge plus
 /// process-side measurements and scheduler statistics.
 struct ProcessReplayExecutorResult : MergedClusterReplay {

@@ -1,6 +1,7 @@
 #include "service/service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/strings.h"
@@ -8,9 +9,34 @@
 
 namespace flor {
 
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int StarvedWaitBucket(double seconds) {
+  constexpr double kUpperEdges[kStarvedWaitBucketCount - 1] = {
+      1e-3, 1e-2, 1e-1, 1.0, 10.0};
+  for (int i = 0; i < kStarvedWaitBucketCount - 1; ++i) {
+    if (seconds < kUpperEdges[i]) return i;
+  }
+  return kStarvedWaitBucketCount - 1;
+}
+
 Status ValidateNamespaceSegment(const std::string& name, const char* what) {
   if (name.empty())
     return Status::InvalidArgument(StrCat("empty ", what, " name"));
+  if (name.size() > kMaxNamespaceSegmentBytes) {
+    return Status::InvalidArgument(
+        StrCat(what, " name is ", name.size(), " bytes; the limit is ",
+               kMaxNamespaceSegmentBytes,
+               " (filesystem path components cap out at 255)"));
+  }
   if (name == "." || name == "..") {
     return Status::InvalidArgument(
         StrCat(what, " name '", name, "' would escape its namespace"));
@@ -51,6 +77,11 @@ Result<std::unique_ptr<Connection>> Connection::Open(
         StrCat("max_concurrent_records must be >= 0, got ",
                options.max_concurrent_records));
   }
+  if (options.max_records_per_tenant < 0) {
+    return Status::InvalidArgument(
+        StrCat("max_records_per_tenant must be >= 0, got ",
+               options.max_records_per_tenant));
+  }
   // The connection's bucket prefix must not collide with the namespace
   // root: bucket objects live at "<bucket>/<root>/<tenant>/...", so a
   // bucket *inside* the root would be scanned as tenant data.
@@ -76,6 +107,54 @@ void Connection::DrainBackground() {
   gc_queue_.Drain();
 }
 
+Status Connection::Close(double deadline_seconds) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!closing_) {
+      closing_ = true;
+      // Wake every recorder blocked on the admission gate; they observe
+      // closing_ and fail with Unavailable, which releases their
+      // in-flight op guard.
+      for (auto& entry : gates_) entry.second.cv.notify_all();
+      slot_freed_.notify_all();
+    }
+    const auto idle = [this] { return in_flight_ops_ == 0; };
+    if (deadline_seconds > 0) {
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(deadline_seconds));
+      if (!ops_idle_.wait_until(lock, deadline, idle)) {
+        return Status::Aborted(
+            StrCat("close deadline expired with ", in_flight_ops_,
+                   " session call(s) still in flight"));
+      }
+    } else {
+      ops_idle_.wait(lock, idle);
+    }
+  }
+  DrainBackground();
+  return Status::OK();
+}
+
+bool Connection::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closing_;
+}
+
+Status Connection::BeginOp() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closing_)
+    return Status::Unavailable("connection is closed to new work");
+  ++in_flight_ops_;
+  return Status::OK();
+}
+
+void Connection::EndOp() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--in_flight_ops_ == 0) ops_idle_.notify_all();
+}
+
 std::string Connection::TenantRoot(const std::string& tenant) const {
   return JoinObjectPath(options_.root, tenant);
 }
@@ -85,32 +164,169 @@ Result<std::unique_ptr<Session>> Connection::OpenSession(
   FLOR_RETURN_IF_ERROR(ValidateNamespaceSegment(tenant, "tenant"));
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (closing_)
+      return Status::Unavailable("connection is closed to new work");
     ++stats_.sessions_opened;
+    ++GateLocked(tenant)->stats.sessions_opened;
   }
   return std::unique_ptr<Session>(new Session(this, tenant));
 }
 
-bool Connection::AcquireRecordSlot() {
-  std::unique_lock<std::mutex> lock(mu_);
-  bool waited = false;
-  while (options_.max_concurrent_records > 0 &&
-         active_records_ >= options_.max_concurrent_records) {
-    waited = true;
-    slot_freed_.wait(lock);
-  }
+Connection::TenantGate* Connection::GateLocked(const std::string& tenant) {
+  auto it = gates_.find(tenant);
+  if (it == gates_.end()) it = gates_.try_emplace(tenant, tenant).first;
+  return &it->second;
+}
+
+bool Connection::GlobalSlotFreeLocked() const {
+  return options_.max_concurrent_records <= 0 ||
+         active_records_ < options_.max_concurrent_records;
+}
+
+bool Connection::TenantSlotFreeLocked(const TenantGate& gate) const {
+  return options_.max_records_per_tenant <= 0 ||
+         gate.stats.active_records < options_.max_records_per_tenant;
+}
+
+void Connection::AdmitLocked(TenantGate* gate) {
   ++active_records_;
   stats_.max_observed_records =
       std::max(stats_.max_observed_records, active_records_);
-  if (waited) ++stats_.admission_waits;
-  return waited;
+  ++gate->stats.active_records;
+  gate->stats.max_observed_records = std::max(
+      gate->stats.max_observed_records, gate->stats.active_records);
 }
 
-void Connection::ReleaseRecordSlot() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    --active_records_;
+void Connection::GrantSlotsLocked() {
+  if (closing_) return;
+  // Round-robin across the wait ring: each pass visits every queued
+  // tenant at most once; repeat while grants are still being handed out
+  // (a release can free room for several waiters at once). Tenants at
+  // their per-tenant quota rotate to the back instead of head-blocking
+  // everyone behind them.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    size_t rounds = wait_ring_.size();
+    while (rounds-- > 0 && !wait_ring_.empty() && GlobalSlotFreeLocked()) {
+      TenantGate* gate = wait_ring_.front();
+      wait_ring_.pop_front();
+      if (gate->waiting - gate->tokens <= 0) {
+        gate->in_ring = false;  // stale entry: all waiters already granted
+        continue;
+      }
+      if (!TenantSlotFreeLocked(*gate)) {
+        wait_ring_.push_back(gate);
+        continue;
+      }
+      // Direct handoff: account the slot on behalf of the waiter and
+      // post a token it consumes without re-checking capacity, so an
+      // arrival racing the wakeup cannot steal the freed slot.
+      AdmitLocked(gate);
+      ++gate->tokens;
+      gate->cv.notify_one();
+      progress = true;
+      if (gate->waiting - gate->tokens > 0) {
+        wait_ring_.push_back(gate);
+      } else {
+        gate->in_ring = false;
+      }
+    }
   }
-  slot_freed_.notify_one();
+}
+
+Status Connection::AcquireRecordSlot(const std::string& tenant,
+                                     double* waited_seconds) {
+  *waited_seconds = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closing_)
+    return Status::Unavailable("connection is closed to new work");
+  TenantGate* gate = GateLocked(tenant);
+
+  if (!options_.fair_admission) {
+    // Legacy global FIFO cv-gate, kept for before/after measurement of
+    // the fairness fix: wakeup order is whatever the cv delivers, and a
+    // burst tenant's backlog can starve everyone else. No per-tenant
+    // quota is enforced here.
+    bool waited = false;
+    const auto start = std::chrono::steady_clock::now();
+    while (!closing_ && options_.max_concurrent_records > 0 &&
+           active_records_ >= options_.max_concurrent_records) {
+      waited = true;
+      slot_freed_.wait(lock);
+    }
+    if (closing_) {
+      return Status::Unavailable(
+          "connection closed while waiting for admission");
+    }
+    AdmitLocked(gate);
+    if (waited) {
+      const double secs = SecondsSince(start);
+      *waited_seconds = secs;
+      ++stats_.admission_waits;
+      ++gate->stats.admission_waits;
+      gate->stats.admission_wait_seconds += secs;
+      gate->stats.max_admission_wait_seconds =
+          std::max(gate->stats.max_admission_wait_seconds, secs);
+      ++gate->stats.starved_wait_hist[static_cast<size_t>(
+          StarvedWaitBucket(secs))];
+    }
+    return Status::OK();
+  }
+
+  // Fair gate fast path: only when nobody is queued — arrivals may not
+  // barge past the wait ring.
+  if (wait_ring_.empty() && GlobalSlotFreeLocked() &&
+      TenantSlotFreeLocked(*gate)) {
+    AdmitLocked(gate);
+    return Status::OK();
+  }
+
+  ++gate->waiting;
+  if (!gate->in_ring) {
+    gate->in_ring = true;
+    wait_ring_.push_back(gate);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  // Capacity may be free right now (e.g. every queued tenant is at its
+  // quota but this one is not): run a grant pass with ourselves queued.
+  GrantSlotsLocked();
+  while (gate->tokens == 0 && !closing_) gate->cv.wait(lock);
+  --gate->waiting;
+  if (gate->tokens == 0) {
+    // Connection closed before a slot was granted. Drop our ring entry
+    // if we were this tenant's last ungranted waiter.
+    if (gate->in_ring && gate->waiting - gate->tokens <= 0) {
+      auto it = std::find(wait_ring_.begin(), wait_ring_.end(), gate);
+      if (it != wait_ring_.end()) wait_ring_.erase(it);
+      gate->in_ring = false;
+    }
+    return Status::Unavailable(
+        "connection closed while waiting for admission");
+  }
+  --gate->tokens;
+  const double secs = SecondsSince(start);
+  *waited_seconds = secs;
+  ++stats_.admission_waits;
+  ++gate->stats.admission_waits;
+  gate->stats.admission_wait_seconds += secs;
+  gate->stats.max_admission_wait_seconds =
+      std::max(gate->stats.max_admission_wait_seconds, secs);
+  ++gate->stats.starved_wait_hist[static_cast<size_t>(
+      StarvedWaitBucket(secs))];
+  return Status::OK();
+}
+
+void Connection::ReleaseRecordSlot(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantGate* gate = GateLocked(tenant);
+  --active_records_;
+  --gate->stats.active_records;
+  if (options_.fair_admission) {
+    GrantSlotsLocked();
+  } else {
+    slot_freed_.notify_one();
+  }
 }
 
 bool Connection::AnyRecordActive() const {
@@ -118,35 +334,75 @@ bool Connection::AnyRecordActive() const {
   return active_records_ > 0;
 }
 
-void Connection::ScheduleRetirement(const std::string& manifest_path,
+void Connection::ScheduleRetirement(const std::string& tenant,
+                                    const std::string& run,
+                                    const std::string& manifest_path,
                                     const std::string& ckpt_prefix) {
   if (options_.gc.keep_last_k <= 0) return;
-  gc_queue_.Submit([this, manifest_path, ckpt_prefix] {
+  gc_queue_.Submit([this, tenant, run, manifest_path, ckpt_prefix] {
     auto report = RetireRun(env_->fs(), manifest_path, ckpt_prefix,
                             options_.gc, options_.tier.bucket_prefix);
+    // A pass that decodes but leaves failed deletes behind is a failure
+    // too: the local orphans it leaks are invisible otherwise.
+    std::string error;
+    if (!report.ok()) {
+      error = report.status().ToString();
+    } else if (report->failed_deletes() > 0) {
+      error = StrCat(report->failed_deletes(),
+                     " checkpoint delete(s) failed; local orphans remain "
+                     "under ",
+                     ckpt_prefix);
+    }
     std::lock_guard<std::mutex> lock(mu_);
-    if (report.ok()) {
+    TenantGate* gate = GateLocked(tenant);
+    if (error.empty()) {
       ++stats_.gc_passes;
+      ++gate->stats.gc_passes;
     } else {
       ++stats_.gc_failures;
-      stats_.last_gc_error = report.status().ToString();
+      ++gate->stats.gc_failures;
+      stats_.last_gc_error =
+          StrCat("tenant ", tenant, " run ", run, ": ", error);
+      if (stats_.recent_gc_errors.size() >= kGcErrorRingCapacity) {
+        stats_.recent_gc_errors.erase(stats_.recent_gc_errors.begin());
+      }
+      stats_.recent_gc_errors.push_back(GcFailure{tenant, run, error});
     }
   });
 }
 
-void Connection::BumpQuery() {
+void Connection::BumpQuery(const std::string& tenant) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.queries_served;
+  ++GateLocked(tenant)->stats.queries_served;
 }
 
-void Connection::BumpReplay() {
+void Connection::BumpReplay(const std::string& tenant, int64_t bucket_faults,
+                            int64_t bloom_skipped_probes) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.replays_completed;
+  TenantGate* gate = GateLocked(tenant);
+  ++gate->stats.replays_completed;
+  gate->stats.bucket_faults += bucket_faults;
+  gate->stats.bloom_skipped_probes += bloom_skipped_probes;
 }
 
-void Connection::BumpRecord() {
+void Connection::BumpRecord(const std::string& tenant, int64_t spool_objects,
+                            int64_t spool_bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.records_completed;
+  TenantGate* gate = GateLocked(tenant);
+  ++gate->stats.records_completed;
+  gate->stats.spool_objects += spool_objects;
+  gate->stats.spool_bytes += spool_bytes;
+}
+
+void Connection::AccountTier(const std::string& tenant,
+                             const TierStats& delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantGate* gate = GateLocked(tenant);
+  gate->stats.bucket_faults += delta.bucket_faults;
+  gate->stats.bloom_skipped_probes += delta.bloom_skipped_probes;
 }
 
 Result<GcReport> Connection::RetireBucket(const std::string& tenant,
@@ -156,6 +412,8 @@ Result<GcReport> Connection::RetireBucket(const std::string& tenant,
   FLOR_RETURN_IF_ERROR(ValidateNamespaceSegment(run, "run"));
   if (options_.tier.bucket_prefix.empty())
     return Status::FailedPrecondition("connection has no bucket tier");
+  FLOR_RETURN_IF_ERROR(BeginOp());
+  OpScope op(this);
   if (AnyRecordActive()) {
     return Status::FailedPrecondition(
         "bucket retirement is between-sessions maintenance; a record "
@@ -170,6 +428,8 @@ Result<ReconcileReport> Connection::Reconcile(const std::string& tenant,
                                               const std::string& run) {
   FLOR_RETURN_IF_ERROR(ValidateNamespaceSegment(tenant, "tenant"));
   FLOR_RETURN_IF_ERROR(ValidateNamespaceSegment(run, "run"));
+  FLOR_RETURN_IF_ERROR(BeginOp());
+  OpScope op(this);
   if (AnyRecordActive()) {
     return Status::FailedPrecondition(
         "orphan reconciliation is between-sessions maintenance; a record "
@@ -184,6 +444,9 @@ ConnectionStats Connection::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ConnectionStats snapshot = stats_;
   snapshot.active_records = active_records_;
+  for (const auto& entry : gates_) {
+    snapshot.tenants[entry.first] = entry.second.stats;
+  }
   return snapshot;
 }
 

@@ -33,8 +33,11 @@
 #ifndef FLOR_SERVICE_SERVICE_H_
 #define FLOR_SERVICE_SERVICE_H_
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -92,6 +95,64 @@ struct ConnectionOptions {
   /// concurrently; further Session::Record calls block until a slot
   /// frees (counted in ConnectionStats::admission_waits). 0 = unlimited.
   int max_concurrent_records = 0;
+  /// Per-tenant admission quota: at most this many of the global slots
+  /// may be held by one tenant at a time. 0 = no per-tenant cap. Only
+  /// meaningful under fair admission.
+  int max_records_per_tenant = 0;
+  /// Fair admission (the default): freed slots are handed round-robin
+  /// across *tenants* with waiting recorders, and arrivals cannot barge
+  /// past the wait ring, so a burst tenant cannot starve steady ones.
+  /// false selects the legacy global FIFO cv-gate — kept so the skewed
+  /// bench can measure the fairness fix (per-tenant quotas are not
+  /// enforced in this mode).
+  bool fair_admission = true;
+};
+
+/// Starved-wait histogram shape: exponential admission-wait buckets
+/// <1ms, <10ms, <100ms, <1s, <10s, >=10s (wall-clock accounting — the
+/// gate always waits in real time, even on simulated-clock connections).
+inline constexpr int kStarvedWaitBucketCount = 6;
+
+/// Bucket index for an admission wait of `seconds`.
+int StarvedWaitBucket(double seconds);
+
+/// Per-tenant slice of the service counters
+/// (ConnectionStats::tenants). A tenant appears once any of its
+/// sessions touches the connection.
+struct TenantStats {
+  int64_t sessions_opened = 0;
+  int64_t records_completed = 0;
+  int64_t replays_completed = 0;
+  int64_t queries_served = 0;
+  /// Record calls that blocked on the admission gate.
+  int64_t admission_waits = 0;
+  /// High-water mark of this tenant's concurrently executing records —
+  /// under fair admission never exceeds max_records_per_tenant.
+  int max_observed_records = 0;
+  int active_records = 0;
+  /// Total / worst admission-gate wait, and the starved-wait histogram
+  /// (one count per blocked Record call, bucketed by wait duration).
+  double admission_wait_seconds = 0;
+  double max_admission_wait_seconds = 0;
+  std::array<int64_t, kStarvedWaitBucketCount> starved_wait_hist{};
+  /// Spool traffic attributed to this tenant's record sessions (only
+  /// populated when a bucket tier is attached).
+  int64_t spool_objects = 0;
+  int64_t spool_bytes = 0;
+  /// Read-tier traffic from this tenant's replays and Exists probes.
+  int64_t bucket_faults = 0;
+  int64_t bloom_skipped_probes = 0;
+  /// Background retirement passes for this tenant's runs.
+  int64_t gc_passes = 0;
+  int64_t gc_failures = 0;
+};
+
+/// One background-GC failure, tenant-attributed
+/// (ConnectionStats::recent_gc_errors).
+struct GcFailure {
+  std::string tenant;
+  std::string run;
+  std::string error;
 };
 
 /// Point-in-time service counters (Connection::stats()).
@@ -110,11 +171,21 @@ struct ConnectionStats {
   /// observe that a record is genuinely in flight).
   int active_records = 0;
   /// Background retirement passes completed / failed. The last failure
-  /// message is in last_gc_error.
+  /// message is in last_gc_error; the most recent kGcErrorRingCapacity
+  /// failures survive (tenant-attributed, oldest first) in
+  /// recent_gc_errors. A pass that leaves failed deletes behind counts
+  /// as a failure even when the report itself decodes — orphaned local
+  /// checkpoints are exactly what an operator needs to see.
   int64_t gc_passes = 0;
   int64_t gc_failures = 0;
   std::string last_gc_error;
+  std::vector<GcFailure> recent_gc_errors;
+  /// Per-tenant breakdowns, keyed by tenant name.
+  std::map<std::string, TenantStats> tenants;
 };
+
+/// Bound on ConnectionStats::recent_gc_errors.
+inline constexpr size_t kGcErrorRingCapacity = 16;
 
 /// The shared service owner. Thread-safe; open one per process and share
 /// it across threads, handing each thread its own Session.
@@ -144,6 +215,18 @@ class Connection {
   /// shared spool's pending batches and every scheduled GC pass.
   void DrainBackground();
 
+  /// Graceful drain: stops admitting new work (every subsequent session
+  /// call — and any Record blocked on the admission gate — fails with
+  /// Unavailable), waits for in-flight session calls to finish, then
+  /// drains the spool and the GC queue. `deadline_seconds > 0` bounds
+  /// the wait for in-flight work: on expiry Close returns Aborted
+  /// *without* draining — the connection stays closed and a later
+  /// Close() can finish the job. Idempotent; 0 = wait forever.
+  Status Close(double deadline_seconds = 0);
+
+  /// True once Close has been called (even if a deadline expired).
+  bool closed() const;
+
   /// Bucket-tier retirement (keep-newest-K') for one run. Synchronous,
   /// between-sessions maintenance: fails with FailedPrecondition while
   /// any record session is executing.
@@ -172,18 +255,67 @@ class Connection {
 
   explicit Connection(Env* env, ConnectionOptions options);
 
-  /// Admission gate. Returns whether the caller had to wait.
-  bool AcquireRecordSlot();
-  void ReleaseRecordSlot();
+  /// Per-tenant admission gate state, owned by the connection map so
+  /// pointers stay stable across rehashes. Slots are handed off
+  /// directly: the granter accounts the slot and posts a token, and the
+  /// woken waiter consumes the token without re-checking capacity — so
+  /// a freed slot can never be stolen by a barging arrival.
+  struct TenantGate {
+    explicit TenantGate(std::string n) : name(std::move(n)) {}
+    std::string name;
+    int waiting = 0;  ///< blocked Record calls
+    int tokens = 0;   ///< granted-but-unconsumed slots
+    bool in_ring = false;
+    std::condition_variable cv;
+    TenantStats stats;
+  };
+
+  /// In-flight-call guard around every session op: refuses with
+  /// Unavailable once the connection is closing, and lets Close wait
+  /// for the stragglers.
+  Status BeginOp();
+  void EndOp();
+
+  /// RAII over a successful BeginOp.
+  class OpScope {
+   public:
+    explicit OpScope(Connection* conn) : conn_(conn) {}
+    ~OpScope() { conn_->EndOp(); }
+    OpScope(const OpScope&) = delete;
+    OpScope& operator=(const OpScope&) = delete;
+
+   private:
+    Connection* conn_;
+  };
+
+  /// Admission gate. On success *waited_seconds is the wall-clock gate
+  /// wait (0 when admitted immediately); Unavailable when the
+  /// connection closes while waiting.
+  Status AcquireRecordSlot(const std::string& tenant,
+                           double* waited_seconds);
+  void ReleaseRecordSlot(const std::string& tenant);
+
+  /// Hands freed capacity to waiting tenants, round-robin across the
+  /// wait ring. Caller holds mu_.
+  void GrantSlotsLocked();
+  bool GlobalSlotFreeLocked() const;
+  bool TenantSlotFreeLocked(const TenantGate& gate) const;
+  void AdmitLocked(TenantGate* gate);
+  TenantGate* GateLocked(const std::string& tenant);
 
   /// Queues a background retirement pass for a finished run (no-op when
-  /// gc.keep_last_k == 0).
-  void ScheduleRetirement(const std::string& manifest_path,
+  /// gc.keep_last_k == 0). Tenant/run feed the GC failure ring.
+  void ScheduleRetirement(const std::string& tenant, const std::string& run,
+                          const std::string& manifest_path,
                           const std::string& ckpt_prefix);
 
-  void BumpQuery();
-  void BumpReplay();
-  void BumpRecord();
+  void BumpQuery(const std::string& tenant);
+  void BumpReplay(const std::string& tenant, int64_t bucket_faults,
+                  int64_t bloom_skipped_probes);
+  void BumpRecord(const std::string& tenant, int64_t spool_objects,
+                  int64_t spool_bytes);
+  /// Read-tier deltas from an Exists probe.
+  void AccountTier(const std::string& tenant, const TierStats& delta);
 
   /// True while any record session is executing (guards the synchronous
   /// maintenance entry points).
@@ -198,8 +330,15 @@ class Connection {
   BackgroundQueue gc_queue_;
 
   mutable std::mutex mu_;
-  std::condition_variable slot_freed_;
+  std::condition_variable slot_freed_;  ///< legacy FIFO gate only
+  std::condition_variable ops_idle_;    ///< Close waits here
+  std::map<std::string, TenantGate> gates_;
+  /// Round-robin grant order: tenants with waiting recorders, each at
+  /// most once.
+  std::deque<TenantGate*> wait_ring_;
   int active_records_ = 0;
+  int in_flight_ops_ = 0;
+  bool closing_ = false;
   ConnectionStats stats_;
 };
 
@@ -239,6 +378,15 @@ struct SessionReplayOptions {
   sim::Ec2Instance instance = sim::kP3_2xLarge;
 };
 
+/// Record outcome through the service path: everything the one-shot
+/// RecordSession reports, plus what only the service layer can know —
+/// how long this call was held at the admission gate.
+struct SessionRecordResult : RecordResult {
+  /// Wall-clock admission-gate wait before the run started (0 when
+  /// admitted immediately).
+  double admission_wait_seconds = 0;
+};
+
 /// Engine-agnostic replay outcome (merged logs are byte-identical across
 /// all three engines) plus the per-engine extras that survive the
 /// dispatch.
@@ -267,10 +415,10 @@ class Session {
   /// admission gate. Retirement (ConnectionOptions::gc) is scheduled on
   /// the connection's background worker after the artifacts are durable —
   /// the session never blocks on GC.
-  Result<RecordResult> Record(const std::string& run,
-                              const ProgramFactory& factory,
-                              const SessionRecordOptions& options =
-                                  SessionRecordOptions());
+  Result<SessionRecordResult> Record(const std::string& run,
+                                     const ProgramFactory& factory,
+                                     const SessionRecordOptions& options =
+                                         SessionRecordOptions());
 
   /// Replays run `run` on the chosen engine. `factory` rebuilds the
   /// *current* (possibly probed) program per worker.
@@ -310,8 +458,15 @@ class Session {
   std::string tenant_;
 };
 
+/// Longest accepted tenant/run name. Chosen under every mainstream
+/// filesystem's 255-byte component limit so an over-long name fails
+/// here with InvalidArgument instead of surfacing as ENAMETOOLONG from
+/// deep inside a record session.
+inline constexpr size_t kMaxNamespaceSegmentBytes = 200;
+
 /// Validates a tenant or run name as a single safe path segment:
-/// non-empty, [A-Za-z0-9._-] only, not "." or "..". Exposed for tests.
+/// non-empty, at most kMaxNamespaceSegmentBytes bytes, [A-Za-z0-9._-]
+/// only, not "." or "..". Exposed for tests.
 Status ValidateNamespaceSegment(const std::string& name,
                                 const char* what);
 

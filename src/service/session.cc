@@ -42,10 +42,12 @@ Result<std::string> Session::RunPrefix(const std::string& run) const {
   return JoinObjectPath(conn_->TenantRoot(tenant_), run);
 }
 
-Result<RecordResult> Session::Record(const std::string& run,
-                                     const ProgramFactory& factory,
-                                     const SessionRecordOptions& options) {
+Result<SessionRecordResult> Session::Record(
+    const std::string& run, const ProgramFactory& factory,
+    const SessionRecordOptions& options) {
   FLOR_ASSIGN_OR_RETURN(const std::string prefix, RunPrefix(run));
+  FLOR_RETURN_IF_ERROR(conn_->BeginOp());
+  Connection::OpScope op(conn_);
   const ConnectionOptions& copts = conn_->options();
 
   RecordOptions ropts;
@@ -63,7 +65,9 @@ Result<RecordResult> Session::Record(const std::string& run,
   ropts.shared_spool = conn_->shared_spool();
   ropts.gc = GcPolicy();
 
-  conn_->AcquireRecordSlot();
+  double admission_wait_seconds = 0;
+  FLOR_RETURN_IF_ERROR(
+      conn_->AcquireRecordSlot(tenant_, &admission_wait_seconds));
   Result<RecordResult> result = [&]() -> Result<RecordResult> {
     RunEnv run_env(conn_->env());
     FLOR_ASSIGN_OR_RETURN(ProgramInstance instance, factory());
@@ -71,13 +75,19 @@ Result<RecordResult> Session::Record(const std::string& run,
     exec::Frame frame;
     return session.Run(instance.program.get(), &frame);
   }();
-  conn_->ReleaseRecordSlot();
-  if (!result.ok()) return result;
+  conn_->ReleaseRecordSlot(tenant_);
+  if (!result.ok()) return result.status();
 
-  conn_->BumpRecord();
+  conn_->BumpRecord(tenant_,
+                    static_cast<int64_t>(result->spool_report.objects),
+                    static_cast<int64_t>(result->spool_report.bytes));
   const RunPaths paths(prefix);
-  conn_->ScheduleRetirement(paths.Manifest(), paths.CkptPrefix());
-  return result;
+  conn_->ScheduleRetirement(tenant_, run, paths.Manifest(),
+                            paths.CkptPrefix());
+  SessionRecordResult out;
+  static_cast<RecordResult&>(out) = std::move(*result);
+  out.admission_wait_seconds = admission_wait_seconds;
+  return out;
 }
 
 Result<SessionReplayResult> Session::Replay(
@@ -88,6 +98,8 @@ Result<SessionReplayResult> Session::Replay(
     return Status::InvalidArgument(
         StrCat("replay workers must be >= 1, got ", options.workers));
   }
+  FLOR_RETURN_IF_ERROR(conn_->BeginOp());
+  Connection::OpScope op(conn_);
   const TierOptions& tier = conn_->options().tier;
 
   SessionReplayResult out;
@@ -151,18 +163,22 @@ Result<SessionReplayResult> Session::Replay(
       break;
     }
   }
-  conn_->BumpReplay();
+  conn_->BumpReplay(tenant_, out.bucket_faults, out.bloom_skipped_probes);
   return out;
 }
 
 Result<std::vector<RunInfo>> Session::Query() const {
-  conn_->BumpQuery();
+  FLOR_RETURN_IF_ERROR(conn_->BeginOp());
+  Connection::OpScope op(conn_);
+  conn_->BumpQuery(tenant_);
   return ListRuns(conn_->env()->fs(), conn_->TenantRoot(tenant_));
 }
 
 Result<std::vector<RunInfo>> Session::Query(
     const RunPredicate& predicate) const {
-  conn_->BumpQuery();
+  FLOR_RETURN_IF_ERROR(conn_->BeginOp());
+  Connection::OpScope op(conn_);
+  conn_->BumpQuery(tenant_);
   return FindRuns(conn_->env()->fs(), conn_->TenantRoot(tenant_),
                   predicate);
 }
@@ -170,7 +186,9 @@ Result<std::vector<RunInfo>> Session::Query(
 Result<std::vector<double>> Session::MetricSeries(
     const std::string& run, const std::string& label) const {
   FLOR_ASSIGN_OR_RETURN(const std::string prefix, RunPrefix(run));
-  conn_->BumpQuery();
+  FLOR_RETURN_IF_ERROR(conn_->BeginOp());
+  Connection::OpScope op(conn_);
+  conn_->BumpQuery(tenant_);
   return flor::MetricSeries(conn_->env()->fs(), prefix, label);
 }
 
@@ -190,10 +208,16 @@ Result<std::unique_ptr<CheckpointStore>> Session::OpenRunStore(
 
 Result<bool> Session::Exists(const std::string& run,
                              const CheckpointKey& key) const {
-  conn_->BumpQuery();
+  FLOR_RETURN_IF_ERROR(conn_->BeginOp());
+  Connection::OpScope op(conn_);
+  conn_->BumpQuery(tenant_);
   FLOR_ASSIGN_OR_RETURN(std::unique_ptr<CheckpointStore> store,
                         OpenRunStore(run, nullptr));
-  return store->Exists(key);
+  Result<bool> exists = store->Exists(key);
+  // The store is opened fresh per probe, so its tier stats are exactly
+  // this call's read-tier traffic.
+  conn_->AccountTier(tenant_, store->tier_stats());
+  return exists;
 }
 
 }  // namespace flor

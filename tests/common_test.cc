@@ -29,7 +29,7 @@ TEST(Status, CarriesCodeAndMessage) {
 }
 
 TEST(Status, AllCodesHaveNames) {
-  for (int c = 0; c <= static_cast<int>(StatusCode::kAborted); ++c) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnavailable); ++c) {
     EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
   }
 }
@@ -46,10 +46,11 @@ TEST(Status, IsValidStatusCodeMatchesEnumeratorsExactly) {
     EXPECT_EQ(IsValidStatusCode(c), named) << "code " << c;
     valid += IsValidStatusCode(c) ? 1 : 0;
   }
-  EXPECT_EQ(valid, static_cast<int>(StatusCode::kAborted) + 1);
-  EXPECT_TRUE(IsValidStatusCode(static_cast<int>(StatusCode::kAborted)));
+  EXPECT_EQ(valid, static_cast<int>(StatusCode::kUnavailable) + 1);
+  EXPECT_TRUE(IsValidStatusCode(static_cast<int>(StatusCode::kUnavailable)));
   EXPECT_FALSE(IsValidStatusCode(-1));
-  EXPECT_FALSE(IsValidStatusCode(static_cast<int>(StatusCode::kAborted) + 1));
+  EXPECT_FALSE(
+      IsValidStatusCode(static_cast<int>(StatusCode::kUnavailable) + 1));
   EXPECT_FALSE(IsValidStatusCode(256));
   static_assert(IsValidStatusCode(static_cast<int>(StatusCode::kOk)),
                 "constexpr-usable");

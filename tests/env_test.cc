@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -241,6 +243,22 @@ TEST(ScratchDir, CreatesUniqueDirsAndRemovesOnDestruction) {
   // Gone, including nested content.
   PosixFileSystem probe(first_path);
   EXPECT_FALSE(probe.Exists("nested/file.txt"));
+}
+
+TEST(ScratchDir, CreateFailureNamesTheErrno) {
+  // A tag longer than any filesystem's component limit forces mkdtemp to
+  // fail with ENAMETOOLONG (works even as root, unlike a permission
+  // denial). The error must carry the template path and the strerror
+  // text, not a bare "mkdtemp failed".
+  const std::string tag(300, 'x');
+  auto dir = ScratchDir::Create(tag);
+  ASSERT_FALSE(dir.ok());
+  EXPECT_TRUE(dir.status().code() == StatusCode::kIOError)
+      << dir.status().ToString();
+  const std::string msg = dir.status().ToString();
+  EXPECT_NE(msg.find("mkdtemp"), std::string::npos) << msg;
+  EXPECT_NE(msg.find(tag), std::string::npos) << msg;
+  EXPECT_NE(msg.find(std::strerror(ENAMETOOLONG)), std::string::npos) << msg;
 }
 
 TEST(ScratchDir, KeepPreservesTheDirectory) {

@@ -4,11 +4,16 @@
 // all three replay engines, admission control over concurrent recorders,
 // concurrent sessions racing the background GC worker, shared-spool delta
 // accounting, namespace validation, the options-dedup static guards, and
-// the pinned process-worker wire format. Runs under the `service` ctest
-// label (including the FLOR_TSAN pass in check.sh).
+// the pinned process-worker wire format — plus the fair-admission gate
+// (per-tenant quotas, starved-wait histogram), per-tenant stats slices,
+// the tenant-attributed GC failure ring, and graceful drain via
+// Connection::Close. Runs under the `service` ctest label (including the
+// FLOR_TSAN pass in check.sh).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <string>
@@ -446,22 +451,6 @@ TEST(ServiceTest, MaintenanceRequiresQuiescence) {
   ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
 }
 
-// --- Naming-drift satellite: the deprecated one-PR alias still compiles
-// --- and refers to the canonical type.
-TEST(ServiceTest, DeprecatedProcessReplayOptionsAliasCompiles) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  exec::ProcessReplayOptions legacy;
-  static_assert(
-      std::is_same_v<exec::ProcessReplayOptions,
-                     exec::ProcessReplayExecutorOptions>,
-      "alias must refer to the canonical options type");
-#pragma GCC diagnostic pop
-  legacy.num_partitions = 3;
-  exec::ProcessReplayExecutorOptions& canonical = legacy;
-  EXPECT_EQ(canonical.num_partitions, 3);
-}
-
 // --- Wire-format guard: the options dedup (TierOptions bases) must not
 // --- move a byte of the process-worker result encoding. Golden captured
 // --- from the pre-refactor encoder; a change here is a wire break for
@@ -531,6 +520,333 @@ TEST(ServiceTest, WorkerResultWireFormatIsPinned) {
   EXPECT_EQ(decoded->bucket_faults, 7);
   EXPECT_EQ(decoded->bloom_skipped_probes, 9);
   EXPECT_EQ(decoded->logs.Serialize(), r.logs.Serialize());
+}
+
+// --- Fairness, per-tenant accounting, the GC failure ring, and graceful
+// --- drain (the admission-gate starvation fix).
+
+TEST(ServiceTest, NamespaceSegmentLengthIsCapped) {
+  MemFileSystem fs;
+  Env env = testutil::MakeSimEnv(&fs);
+  auto conn = Connection::Open(&env, ConnectionOptions());
+  ASSERT_TRUE(conn.ok());
+
+  const std::string at_limit(kMaxNamespaceSegmentBytes, 'a');
+  auto ok_session = (*conn)->OpenSession(at_limit);
+  EXPECT_TRUE(ok_session.ok()) << ok_session.status().ToString();
+
+  const std::string over(kMaxNamespaceSegmentBytes + 1, 'a');
+  auto rejected = (*conn)->OpenSession(over);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().code() == StatusCode::kInvalidArgument)
+      << rejected.status().ToString();
+  // The message names the offending size and the limit — an operator
+  // should not have to count the bytes themselves.
+  EXPECT_NE(rejected.status().ToString().find(
+                StrCat(kMaxNamespaceSegmentBytes + 1, " bytes")),
+            std::string::npos)
+      << rejected.status().ToString();
+  EXPECT_NE(rejected.status().ToString().find(
+                StrCat("limit is ", kMaxNamespaceSegmentBytes)),
+            std::string::npos)
+      << rejected.status().ToString();
+
+  // Run names go through the same validation.
+  auto session = (*conn)->OpenSession("alice");
+  ASSERT_TRUE(session.ok());
+  EXPECT_FALSE((*session)->RunPrefix(over).ok());
+  EXPECT_TRUE((*session)->RunPrefix(at_limit).ok());
+}
+
+TEST(ServiceTest, StarvedWaitBucketEdges) {
+  EXPECT_EQ(StarvedWaitBucket(0), 0);
+  EXPECT_EQ(StarvedWaitBucket(0.0009), 0);
+  EXPECT_EQ(StarvedWaitBucket(0.005), 1);
+  EXPECT_EQ(StarvedWaitBucket(0.05), 2);
+  EXPECT_EQ(StarvedWaitBucket(0.5), 3);
+  EXPECT_EQ(StarvedWaitBucket(5.0), 4);
+  EXPECT_EQ(StarvedWaitBucket(10.0), 5);
+  EXPECT_EQ(StarvedWaitBucket(1e9), kStarvedWaitBucketCount - 1);
+}
+
+TEST(ServiceTest, FairAdmissionBoundsBurstTenantToQuota) {
+  // The starvation regression: a burst tenant fires three concurrent
+  // records at a two-slot gate with a one-per-tenant quota. Under fair
+  // admission the burst tenant can never hold more than its quota, so a
+  // steady tenant arriving behind the burst still gets the other slot —
+  // the fifo gate would have let the burst queue-jump it indefinitely.
+  WorkloadProfile profile = ServiceProfile(/*epochs=*/4);
+  profile.wall_batch_seconds = 0.01;
+
+  MemFileSystem fs;
+  Env env(std::make_unique<WallClock>(), &fs);
+  ConnectionOptions copts = TieredConnectionOptions(profile);
+  copts.max_concurrent_records = 2;
+  copts.max_records_per_tenant = 1;
+  auto conn = Connection::Open(&env, copts);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+
+  const SessionRecordOptions sropts =
+      SessionRecordFrom(workloads::DefaultRecordOptions(profile, ""));
+  const ProgramFactory factory = MakeWorkloadFactory(profile, kProbeNone);
+  auto record_one = [&](const std::string& tenant, const std::string& run) {
+    auto session = (*conn)->OpenSession(tenant);
+    ASSERT_TRUE(session.ok());
+    auto rec = (*session)->Record(run, factory, sropts);
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  };
+
+  std::thread burst1([&] { record_one("burst", "r1"); });
+  while ((*conn)->stats().active_records < 1) std::this_thread::yield();
+  std::thread burst2([&] { record_one("burst", "r2"); });
+  std::thread burst3([&] { record_one("burst", "r3"); });
+  std::thread steady([&] { record_one("steady", "r1"); });
+  burst1.join();
+  burst2.join();
+  burst3.join();
+  steady.join();
+  (*conn)->DrainBackground();
+
+  const ConnectionStats stats = (*conn)->stats();
+  EXPECT_EQ(stats.records_completed, 4);
+  EXPECT_LE(stats.max_observed_records, 2);
+  EXPECT_EQ(stats.active_records, 0);
+
+  const TenantStats& burst = stats.tenants.at("burst");
+  const TenantStats& steady_stats = stats.tenants.at("steady");
+  // The quota held: the burst tenant never ran two records at once, no
+  // matter how many it had queued.
+  EXPECT_EQ(burst.max_observed_records, 1);
+  EXPECT_EQ(burst.records_completed, 3);
+  EXPECT_GE(burst.admission_waits, 2);  // r2 and r3 had to queue
+  EXPECT_EQ(steady_stats.records_completed, 1);
+  EXPECT_LE(steady_stats.max_observed_records, 1);
+
+  // Every blocked call landed exactly one histogram count, and the wait
+  // totals are consistent with the worst single wait.
+  for (const auto& entry : stats.tenants) {
+    const TenantStats& t = entry.second;
+    int64_t hist_total = 0;
+    for (int64_t c : t.starved_wait_hist) hist_total += c;
+    EXPECT_EQ(hist_total, t.admission_waits) << entry.first;
+    EXPECT_GE(t.admission_wait_seconds, t.max_admission_wait_seconds)
+        << entry.first;
+  }
+}
+
+TEST(ServiceTest, GcFailureRingAttributesTenants) {
+  // Two tenants' background retirements both fail (a flaky object store
+  // refusing deletes). Both failures must stay observable — the old
+  // last_gc_error-only surface let the second overwrite the first.
+  const WorkloadProfile profile = ServiceProfile(/*epochs=*/6);
+  MemFileSystem base;
+  FaultInjectionFileSystem fs(&base);
+  Env env = testutil::MakeSimEnv(&fs);
+  ConnectionOptions copts = TieredConnectionOptions(profile);
+  copts.gc.keep_last_k = 1;
+  auto conn = Connection::Open(&env, copts);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+
+  const SessionRecordOptions sropts =
+      SessionRecordFrom(workloads::DefaultRecordOptions(profile, ""));
+  const ProgramFactory factory = MakeWorkloadFactory(profile, kProbeNone);
+
+  // The record path only writes; deletes happen exclusively in the GC
+  // worker, so arming the injector now deterministically fails every
+  // retirement delete without touching the runs themselves.
+  fs.InjectDeleteFailures(1 << 20, "");
+  for (const char* tenant : {"alice", "bob"}) {
+    auto session = (*conn)->OpenSession(tenant);
+    ASSERT_TRUE(session.ok());
+    auto rec = (*session)->Record("run", factory, sropts);
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  }
+  (*conn)->DrainBackground();
+
+  const ConnectionStats stats = (*conn)->stats();
+  EXPECT_EQ(stats.gc_passes, 0);
+  EXPECT_EQ(stats.gc_failures, 2);
+  EXPECT_EQ(stats.tenants.at("alice").gc_failures, 1);
+  EXPECT_EQ(stats.tenants.at("bob").gc_failures, 1);
+  EXPECT_FALSE(stats.last_gc_error.empty());
+
+  // Both tenants' failures ride the ring, each attributed and carrying
+  // the orphan diagnosis.
+  ASSERT_EQ(stats.recent_gc_errors.size(), 2u);
+  std::vector<std::string> tenants;
+  for (const GcFailure& f : stats.recent_gc_errors) {
+    tenants.push_back(f.tenant);
+    EXPECT_EQ(f.run, "run");
+    EXPECT_NE(f.error.find("delete(s) failed"), std::string::npos)
+        << f.error;
+  }
+  std::sort(tenants.begin(), tenants.end());
+  EXPECT_EQ(tenants, (std::vector<std::string>{"alice", "bob"}));
+}
+
+TEST(ServiceTest, PerTenantStatsAttributeTraffic) {
+  // One tenant's spool, read-tier, GC, and query traffic lands on its
+  // TenantStats slice — and only there.
+  const WorkloadProfile profile = ServiceProfile();
+  MemFileSystem fs;
+  Env env = testutil::MakeSimEnv(&fs);
+  ConnectionOptions copts = TieredConnectionOptions(profile);
+  copts.tier.bloom_filter = true;
+  copts.gc.keep_last_k = 1;  // demote after record: replay faults buckets
+  auto conn = Connection::Open(&env, copts);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+
+  auto alice = (*conn)->OpenSession("alice");
+  auto bob = (*conn)->OpenSession("bob");
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(bob.ok());
+
+  const SessionRecordOptions sropts =
+      SessionRecordFrom(workloads::DefaultRecordOptions(profile, ""));
+  auto rec =
+      (*alice)->Record("r1", MakeWorkloadFactory(profile, kProbeNone), sropts);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->admission_wait_seconds, 0);  // gate unlimited: no wait
+  (*conn)->DrainBackground();  // demotion done
+
+  {
+    const ConnectionStats stats = (*conn)->stats();
+    const TenantStats& a = stats.tenants.at("alice");
+    EXPECT_EQ(a.records_completed, 1);
+    EXPECT_EQ(a.spool_objects, rec->spool_report.objects);
+    EXPECT_EQ(a.spool_bytes, static_cast<int64_t>(rec->spool_report.bytes));
+    EXPECT_GT(a.spool_bytes, 0);
+    EXPECT_EQ(a.gc_passes, 1);
+    EXPECT_EQ(a.gc_failures, 0);
+  }
+
+  SessionReplayOptions sopts;
+  sopts.engine = ReplayEngine::kThreads;
+  sopts.workers = 2;
+  auto replay =
+      (*alice)->Replay("r1", MakeWorkloadFactory(profile, kProbeInner), sopts);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_GT(replay->bucket_faults, 0);  // demoted epochs fault back in
+  {
+    const ConnectionStats stats = (*conn)->stats();
+    const TenantStats& a = stats.tenants.at("alice");
+    EXPECT_EQ(a.replays_completed, 1);
+    EXPECT_EQ(a.bucket_faults, replay->bucket_faults);
+    EXPECT_EQ(a.bloom_skipped_probes, replay->bloom_skipped_probes);
+  }
+
+  // The query surface counts per tenant: two Query calls and an Exists
+  // probe for alice, none of it visible on bob.
+  ASSERT_TRUE((*alice)->Query().ok());
+  ASSERT_TRUE((*alice)->Query().ok());
+  ASSERT_FALSE(rec->manifest.records.empty());
+  auto exists = (*alice)->Exists("r1", rec->manifest.records.front().key);
+  ASSERT_TRUE(exists.ok()) << exists.status().ToString();
+  EXPECT_TRUE(*exists);
+
+  const ConnectionStats stats = (*conn)->stats();
+  EXPECT_EQ(stats.tenants.at("alice").queries_served, 3);
+  const TenantStats& b = stats.tenants.at("bob");
+  EXPECT_EQ(b.sessions_opened, 1);
+  EXPECT_EQ(b.records_completed, 0);
+  EXPECT_EQ(b.queries_served, 0);
+  EXPECT_EQ(b.spool_bytes, 0);
+  EXPECT_EQ(b.bucket_faults, 0);
+}
+
+TEST(ServiceTest, CloseRefusesNewWorkAndUnblocksWaiters) {
+  // Graceful drain: Close stops admitting, a Record blocked on the
+  // admission gate fails with Unavailable instead of hanging, in-flight
+  // work finishes, and Close is idempotent.
+  WorkloadProfile profile = ServiceProfile(/*epochs=*/6);
+  profile.wall_batch_seconds = 0.02;
+
+  MemFileSystem fs;
+  Env env(std::make_unique<WallClock>(), &fs);
+  ConnectionOptions copts = TieredConnectionOptions(profile);
+  copts.max_concurrent_records = 1;
+  auto conn = Connection::Open(&env, copts);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+
+  const SessionRecordOptions sropts =
+      SessionRecordFrom(workloads::DefaultRecordOptions(profile, ""));
+  const ProgramFactory factory = MakeWorkloadFactory(profile, kProbeNone);
+
+  auto holder = (*conn)->OpenSession("holder");
+  auto waiter = (*conn)->OpenSession("waiter");
+  ASSERT_TRUE(holder.ok());
+  ASSERT_TRUE(waiter.ok());
+
+  Status holder_status, waiter_status;
+  std::thread holder_thread([&] {
+    holder_status = (*holder)->Record("r", factory, sropts).status();
+  });
+  while ((*conn)->stats().active_records < 1) std::this_thread::yield();
+  std::thread waiter_thread([&] {
+    waiter_status = (*waiter)->Record("r", factory, sropts).status();
+  });
+  // Give the waiter a moment to reach the gate (either way it must come
+  // back Unavailable: refused at BeginOp or woken out of the wait ring).
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  ASSERT_TRUE((*conn)->Close().ok());
+  EXPECT_TRUE((*conn)->closed());
+  holder_thread.join();
+  waiter_thread.join();
+
+  // The in-flight record was allowed to finish; the queued one was not.
+  EXPECT_TRUE(holder_status.ok()) << holder_status.ToString();
+  EXPECT_TRUE(waiter_status.code() == StatusCode::kUnavailable)
+      << waiter_status.ToString();
+
+  // Closed means closed: sessions (new or existing) are refused.
+  auto late = (*conn)->OpenSession("late");
+  EXPECT_TRUE(late.status().code() == StatusCode::kUnavailable)
+      << late.status().ToString();
+  auto query = (*holder)->Query();
+  EXPECT_TRUE(query.status().code() == StatusCode::kUnavailable)
+      << query.status().ToString();
+  EXPECT_TRUE((*conn)->Close().ok());  // idempotent
+
+  const ConnectionStats stats = (*conn)->stats();
+  EXPECT_EQ(stats.records_completed, 1);
+  EXPECT_EQ(stats.active_records, 0);
+}
+
+TEST(ServiceTest, CloseDeadlineExpiryAborts) {
+  WorkloadProfile profile = ServiceProfile(/*epochs=*/8);
+  profile.wall_batch_seconds = 0.02;
+
+  MemFileSystem fs;
+  Env env(std::make_unique<WallClock>(), &fs);
+  auto conn = Connection::Open(&env, TieredConnectionOptions(profile));
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  auto session = (*conn)->OpenSession("slow");
+  ASSERT_TRUE(session.ok());
+
+  const SessionRecordOptions sropts =
+      SessionRecordFrom(workloads::DefaultRecordOptions(profile, ""));
+  Status record_status;
+  std::thread recorder([&] {
+    record_status =
+        (*session)
+            ->Record("r", MakeWorkloadFactory(profile, kProbeNone), sropts)
+            .status();
+  });
+  while ((*conn)->stats().active_records < 1) std::this_thread::yield();
+
+  // The record takes >= 320ms of modeled batches; a 1ms deadline expires
+  // first. The connection stays closed, the straggler finishes, and a
+  // second Close completes the drain.
+  const Status expired = (*conn)->Close(/*deadline_seconds=*/0.001);
+  EXPECT_TRUE(expired.code() == StatusCode::kAborted) << expired.ToString();
+  EXPECT_NE(expired.ToString().find("still in flight"), std::string::npos)
+      << expired.ToString();
+  EXPECT_TRUE((*conn)->closed());
+
+  recorder.join();
+  EXPECT_TRUE(record_status.ok()) << record_status.ToString();
+  EXPECT_TRUE((*conn)->Close().ok());
 }
 
 }  // namespace
